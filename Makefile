@@ -1,0 +1,43 @@
+# Development targets. Everything is stdlib Go; no external tools needed.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments quick-experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per experiment (see DESIGN.md).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Printable tables for every figure reproduction and claim experiment.
+experiments:
+	$(GO) run ./cmd/mdbench -all
+
+quick-experiments:
+	$(GO) run ./cmd/mdbench -all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/forecast
+	$(GO) run ./examples/geospatial
+	$(GO) run ./examples/curation
+	$(GO) run ./examples/service
+
+clean:
+	$(GO) clean ./...

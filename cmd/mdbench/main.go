@@ -1,0 +1,58 @@
+// mdbench runs the reproduction experiments and prints their tables.
+//
+//	mdbench -list
+//	mdbench -exp E3
+//	mdbench -all [-quick]
+//
+// Experiment IDs and the paper claims they quantify are listed in
+// DESIGN.md's per-experiment index; EXPERIMENTS.md records expected vs
+// measured shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/gridmeta/hybridcat/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run (e.g. E1, F2, A3)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment IDs")
+		quick = flag.Bool("quick", false, "shrink corpora for a fast smoke run")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Quick: *quick}
+	switch {
+	case *list:
+		for _, id := range bench.IDs() {
+			e, _ := bench.Lookup(id)
+			fmt.Printf("%-4s %s\n", id, e.Title)
+		}
+	case *all:
+		for _, id := range bench.IDs() {
+			run(id, opts)
+		}
+	case *exp != "":
+		for _, id := range strings.Split(*exp, ",") {
+			run(strings.TrimSpace(id), opts)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(id string, opts bench.Options) {
+	tab, err := bench.Run(id, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdbench: %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	fmt.Println(tab)
+}

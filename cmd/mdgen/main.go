@@ -1,0 +1,92 @@
+// mdgen generates the synthetic LEAD-profile corpus used by the
+// experiments, writing one XML document per file (or a single document to
+// stdout).
+//
+//	mdgen -docs 100 -out /tmp/corpus
+//	mdgen -doc 7              # print document 7 to stdout
+//	mdgen -defs               # print the dynamic definitions as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/workload"
+)
+
+func main() {
+	var (
+		docs  = flag.Int("docs", 10, "number of documents to generate")
+		out   = flag.String("out", "", "output directory (one file per document)")
+		one   = flag.Int("doc", -1, "print a single document to stdout")
+		defs  = flag.Bool("defs", false, "print the corpus's dynamic definitions")
+		seed  = flag.Int64("seed", 42, "generator seed")
+		dyn   = flag.Int("dynamic", 3, "dynamic attribute groups per document")
+		depth = flag.Int("depth", 1, "sub-attribute nesting depth")
+	)
+	flag.Parse()
+
+	cfg := workload.Default()
+	cfg.Seed = *seed
+	cfg.Docs = *docs
+	cfg.DynamicAttrsPerDoc = *dyn
+	cfg.NestDepth = *depth
+	g := workload.New(cfg)
+
+	switch {
+	case *defs:
+		cat, err := newCatalog(g)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := cat.DumpDefinitionsJSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	case *one >= 0:
+		if err := g.Document(*one).WriteTo(os.Stdout, 2); err != nil {
+			fatal(err)
+		}
+	case *out != "":
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for i := 0; i < cfg.Docs; i++ {
+			path := filepath.Join(*out, fmt.Sprintf("doc-%06d.xml", i))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := g.Document(i).WriteTo(f, 2); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d documents to %s\n", cfg.Docs, *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func newCatalog(g *workload.Generator) (*catalog.Catalog, error) {
+	cat, err := catalog.Open(g.Schema, catalog.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := g.RegisterDefinitions(cat); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdgen:", err)
+	os.Exit(1)
+}

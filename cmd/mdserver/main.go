@@ -1,0 +1,124 @@
+// mdserver runs the catalog as an HTTP/XML grid metadata service over
+// the LEAD schema (or a schema DSL file). See internal/service for the
+// endpoint list.
+//
+//	mdserver -addr :8080
+//	mdserver -load catalog.snap -save catalog.snap   # persist across runs
+//	mdserver -ontology terms.txt                     # enable ?expand=1
+//	curl -X POST --data-binary @doc.xml 'localhost:8080/ingest?owner=alice'
+//	curl -X POST --data @query.json localhost:8080/query
+//
+// With -save, the catalog snapshot is written on SIGINT/SIGTERM before
+// exit.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/ontology"
+	"github.com/gridmeta/hybridcat/internal/service"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		schemaPath = flag.String("schema", "", "annotated schema DSL file (default: built-in LEAD)")
+		autoReg    = flag.Bool("autoregister", false, "auto-register unknown dynamic attributes at ingest")
+		loadPath   = flag.String("load", "", "load a catalog snapshot at startup")
+		savePath   = flag.String("save", "", "write a catalog snapshot on shutdown")
+		ontPath    = flag.String("ontology", "", "term hierarchy file enabling ?expand=1 queries")
+	)
+	flag.Parse()
+
+	schema, err := loadSchema(*schemaPath)
+	if err != nil {
+		log.Fatal("mdserver: ", err)
+	}
+	opts := catalog.Options{AutoRegister: *autoReg}
+	var cat *catalog.Catalog
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			log.Fatal("mdserver: ", err)
+		}
+		cat, err = catalog.Load(schema, opts, f)
+		f.Close()
+		if err != nil {
+			log.Fatal("mdserver: ", err)
+		}
+		log.Printf("mdserver: loaded %d objects from %s", cat.ObjectCount(), *loadPath)
+	} else {
+		cat, err = catalog.Open(schema, opts)
+		if err != nil {
+			log.Fatal("mdserver: ", err)
+		}
+	}
+	srv := service.New(cat)
+	if *ontPath != "" {
+		data, err := os.ReadFile(*ontPath)
+		if err != nil {
+			log.Fatal("mdserver: ", err)
+		}
+		o, err := ontology.Parse(string(data))
+		if err != nil {
+			log.Fatal("mdserver: ", err)
+		}
+		srv.SetOntology(o)
+		log.Printf("mdserver: ontology with %d terms loaded", o.Len())
+	}
+
+	if *savePath != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			f, err := os.Create(*savePath)
+			if err != nil {
+				log.Fatal("mdserver: snapshot: ", err)
+			}
+			if err := cat.Save(f); err != nil {
+				log.Fatal("mdserver: snapshot: ", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal("mdserver: snapshot: ", err)
+			}
+			log.Printf("mdserver: snapshot written to %s", *savePath)
+			os.Exit(0)
+		}()
+	}
+
+	log.Printf("mdserver: schema %s, %d metadata attributes, listening on %s",
+		schema.Name, len(schema.Attributes), *addr)
+	if err := http.ListenAndServe(*addr, logRequests(srv.Handler())); err != nil {
+		log.Fatal("mdserver: ", err)
+	}
+}
+
+func loadSchema(path string) (*xmlschema.Schema, error) {
+	if path == "" {
+		return xmlschema.LEAD()
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".xsd") {
+		return xmlschema.ParseXSD(path, string(data), "")
+	}
+	return xmlschema.ParseDSL(path, string(data))
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		log.Printf("%s %s", r.Method, r.URL.Path)
+		next.ServeHTTP(w, r)
+	})
+}

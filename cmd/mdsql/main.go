@@ -1,0 +1,132 @@
+// mdsql is a SQL REPL over the embedded relational engine. With -demo it
+// preloads a catalog built from the synthetic workload so the hybrid
+// tables (attr_data, elem_data, sub_attrs, clobs, attr_def, …) can be
+// explored with plain SQL.
+//
+//	mdsql                # empty database
+//	mdsql -demo -docs 50 # catalog tables preloaded
+//	echo "SELECT COUNT(*) FROM elem_data" | mdsql -demo
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/sqlparser"
+	"github.com/gridmeta/hybridcat/internal/workload"
+)
+
+func main() {
+	var (
+		demo = flag.Bool("demo", false, "preload the hybrid catalog tables from a synthetic corpus")
+		docs = flag.Int("docs", 50, "corpus size for -demo")
+	)
+	flag.Parse()
+
+	db := relstore.NewDatabase()
+	if *demo {
+		cfg := workload.Default()
+		cfg.Docs = *docs
+		g := workload.New(cfg)
+		cat, err := catalog.Open(g.Schema, catalog.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.RegisterDefinitions(cat); err != nil {
+			fatal(err)
+		}
+		for _, d := range g.Corpus() {
+			if _, err := cat.Ingest("demo", d); err != nil {
+				fatal(err)
+			}
+		}
+		db = cat.DB
+		fmt.Fprintf(os.Stderr, "loaded %d documents; tables: %s\n", *docs, strings.Join(db.TableNames(), ", "))
+	}
+	engine := sqlparser.NewEngine(db)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminalHint()
+	if interactive {
+		fmt.Fprint(os.Stderr, "mdsql> ")
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+		case line == ".tables":
+			fmt.Println(strings.Join(db.TableNames(), "\n"))
+		case strings.HasPrefix(line, ".explain "):
+			desc, err := engine.Explain(strings.TrimPrefix(line, ".explain "), nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				break
+			}
+			fmt.Println(desc)
+		case line == ".quit" || line == ".exit":
+			return
+		case sqlparser.IsQuery(line):
+			it, err := engine.Query(line, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				break
+			}
+			printRows(it)
+		default:
+			n, err := engine.Exec(line, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				break
+			}
+			fmt.Printf("ok (%d rows affected)\n", n)
+		}
+		if interactive {
+			fmt.Fprint(os.Stderr, "mdsql> ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func printRows(it relstore.Iterator) {
+	cols := it.Columns()
+	fmt.Println(strings.Join(cols, " | "))
+	n := 0
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.AsString()
+			if v.IsNull() {
+				parts[i] = "NULL"
+			}
+		}
+		fmt.Println(strings.Join(parts, " | "))
+		n++
+	}
+	fmt.Printf("(%d rows)\n", n)
+}
+
+// isTerminalHint avoids prompting when stdin is clearly piped.
+func isTerminalHint() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdsql:", err)
+	os.Exit(1)
+}

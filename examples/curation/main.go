@@ -1,0 +1,123 @@
+// Curation example: the catalog features beyond single-document search —
+// aggregating objects into a project/experiment hierarchy (the paper's
+// "files or aggregations"), containment-scoped context queries, the
+// broader-context direction ("which experiments contain matching data"),
+// ontology-widened keyword search (§3's "connected to an ontology"), and
+// snapshot persistence across process restarts.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"github.com/gridmeta/hybridcat"
+)
+
+func main() {
+	cat, err := hybridcat.OpenLEAD(hybridcat.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A spring campaign with two experiments.
+	project, err := cat.CreateCollection("spring06", "alice", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	expA, err := cat.CreateCollection("radar-assim", "alice", project)
+	if err != nil {
+		log.Fatal(err)
+	}
+	expB, err := cat.CreateCollection("control", "alice", project)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Tagged datasets, split across the experiments.
+	type dataset struct {
+		name, keyword string
+		coll          int64
+	}
+	for _, d := range []dataset{
+		{"radar-001", "radar_reflectivity", expA},
+		{"precip-fc", "convective_precipitation_amount", expA},
+		{"precip-obs", "stratiform_precipitation_amount", expB},
+		{"temps", "air_temperature", expB},
+		{"scratch", "eastward_wind", 0}, // uncurated
+	} {
+		xml := fmt.Sprintf(`<LEADresource><resourceID>%s</resourceID><data><idinfo><keywords>
+		  <theme><themekt>CF</themekt><themekey>%s</themekey></theme>
+		</keywords></idinfo></data></LEADresource>`, d.name, d.keyword)
+		id, err := cat.IngestXML("alice", xml)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d.coll != 0 {
+			if err := cat.AddToCollection(d.coll, id); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("cataloged %d datasets in %d collections\n\n", len(cat.Objects()), len(cat.Collections()))
+
+	// Ontology-widened keyword search: "precipitation" finds datasets
+	// tagged only with narrower CF terms.
+	ont, err := hybridcat.ParseOntology(hybridcat.CFKeywords)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := &hybridcat.Query{}
+	q.Attr("theme", "").AddElem("themekey", "", hybridcat.OpEq, hybridcat.Str("precipitation"))
+	plain, _ := cat.Evaluate(q)
+	expanded, err := cat.Evaluate(hybridcat.ExpandQuery(ont, q))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("keyword 'precipitation': %d hits unexpanded, %d with ontology expansion\n",
+		len(plain), len(expanded))
+
+	// Containment viewpoint: scope the expanded query to each experiment.
+	for _, scope := range []struct {
+		name string
+		id   int64
+	}{{"spring06", project}, {"radar-assim", expA}, {"control", expB}} {
+		ids, err := cat.EvaluateInContext(scope.id, hybridcat.ExpandQuery(ont, q))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  within %-12s -> %d dataset(s)\n", scope.name, len(ids))
+	}
+
+	// Broader context: which collections hold precipitation data at all.
+	colls, err := cat.CollectionsContaining(hybridcat.ExpandQuery(ont, q))
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := map[int64]string{}
+	for _, ci := range cat.Collections() {
+		names[ci.ID] = ci.Name
+	}
+	fmt.Print("collections containing precipitation data:")
+	for _, id := range colls {
+		fmt.Printf(" %s", names[id])
+	}
+	fmt.Println()
+
+	// Snapshot persistence: serialize, reload, and query the clone.
+	var buf bytes.Buffer
+	if err := cat.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	reloaded, err := hybridcat.LoadCatalog(hybridcat.LEADSchema(), hybridcat.Options{}, &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := reloaded.EvaluateInContext(expA, hybridcat.ExpandQuery(ont, q))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsnapshot: %d bytes; reloaded catalog answers the scoped query with %d dataset(s)\n",
+		size, len(again))
+}

@@ -1,0 +1,163 @@
+// Forecast-ensemble example: a custom community schema (defined in the
+// annotation DSL), a fleet of simulated ARPS/WRF ensemble runs whose
+// namelist parameters land in dynamic metadata attributes, and the query
+// patterns a scientist would run — "find members with dx = 2 km", "find
+// members whose stretching starts below 40 m", "which members used the
+// Lin microphysics".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gridmeta/hybridcat"
+)
+
+// The community schema: a minimal forecast profile with one repeating
+// keyword attribute, a run-status attribute, and a dynamic namelist
+// region (the '!' marker uses the FGDC enttyp/attr convention).
+const forecastSchema = `
+forecast
+  runID *
+  meta
+    experiment *
+      campaign
+      member
+    status *
+      state
+      queued
+    keywords
+      tag *+
+        vocab
+        term +
+  model
+    namelists
+      detailed !+
+`
+
+func main() {
+	schema, err := hybridcat.ParseSchemaDSL("forecast", forecastSchema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat, err := hybridcat.Open(schema, hybridcat.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Namelist vocabulary: ARPS grid group with nested stretching, WRF
+	// physics group. Typed so bad member metadata is rejected at insert.
+	grid, err := cat.RegisterAttr("grid", "ARPS", 0, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []string{"dx", "dy", "dz"} {
+		if _, err := cat.RegisterElem(p, "ARPS", grid.ID, hybridcat.DTFloat, ""); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stretch, err := cat.RegisterAttr("grid-stretching", "ARPS", grid.ID, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cat.RegisterElem("dzmin", "ARPS", stretch.ID, hybridcat.DTFloat, ""); err != nil {
+		log.Fatal(err)
+	}
+	physics, err := cat.RegisterAttr("physics", "WRF", 0, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cat.RegisterElem("mp_physics", "WRF", physics.ID, hybridcat.DTString, ""); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cat.RegisterElem("radt", "WRF", physics.ID, hybridcat.DTInt, ""); err != nil {
+		log.Fatal(err)
+	}
+
+	// Sixteen ensemble members with varying grid spacing, stretching, and
+	// microphysics.
+	mps := []string{"Lin", "WSM6", "Thompson", "Morrison"}
+	for m := 0; m < 16; m++ {
+		dx := 1000 * (1 + m%4)
+		dzmin := 20 * (1 + m%5)
+		doc := fmt.Sprintf(`<forecast>
+  <runID>ens-%02d</runID>
+  <meta>
+    <experiment><campaign>spring06</campaign><member>%d</member></experiment>
+    <status><state>%s</state><queued>2006-05-12</queued></status>
+    <keywords>
+      <tag><vocab>CF</vocab><term>convective_precipitation_amount</term></tag>
+    </keywords>
+  </meta>
+  <model>
+    <namelists>
+      <detailed>
+        <enttyp><enttypl>grid</enttypl><enttypds>ARPS</enttypds></enttyp>
+        <attr><attrlabl>dx</attrlabl><attrdefs>ARPS</attrdefs><attrv>%d</attrv></attr>
+        <attr><attrlabl>dy</attrlabl><attrdefs>ARPS</attrdefs><attrv>%d</attrv></attr>
+        <attr><attrlabl>grid-stretching</attrlabl><attrdefs>ARPS</attrdefs>
+          <attr><attrlabl>dzmin</attrlabl><attrdefs>ARPS</attrdefs><attrv>%d</attrv></attr>
+        </attr>
+      </detailed>
+      <detailed>
+        <enttyp><enttypl>physics</enttypl><enttypds>WRF</enttypds></enttyp>
+        <attr><attrlabl>mp_physics</attrlabl><attrdefs>WRF</attrdefs><attrv>%s</attrv></attr>
+        <attr><attrlabl>radt</attrlabl><attrdefs>WRF</attrdefs><attrv>%d</attrv></attr>
+      </detailed>
+    </namelists>
+  </model>
+</forecast>`, m, m, state(m), dx, dx, dzmin, mps[m%len(mps)], 10+m%3)
+		if _, err := cat.IngestXML("ensemble", doc); err != nil {
+			log.Fatalf("member %d: %v", m, err)
+		}
+	}
+	fmt.Printf("cataloged %d ensemble members\n\n", len(cat.Objects()))
+
+	show := func(label string, q *hybridcat.Query) {
+		ids, err := cat.Evaluate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := make([]string, 0, len(ids))
+		for _, id := range ids {
+			doc, err := cat.FetchDocument(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			names = append(names, doc.ChildText("runID"))
+		}
+		fmt.Printf("%-48s -> %v\n", label, names)
+	}
+
+	q := &hybridcat.Query{}
+	q.Attr("grid", "ARPS").AddElem("dx", "ARPS", hybridcat.OpEq, hybridcat.Int(2000))
+	show("members with dx = 2000 m", q)
+
+	q = &hybridcat.Query{}
+	g := q.Attr("grid", "ARPS")
+	sub := &hybridcat.AttrCriteria{Name: "grid-stretching", Source: "ARPS"}
+	sub.AddElem("dzmin", "ARPS", hybridcat.OpLt, hybridcat.Int(40))
+	g.AddSub(sub)
+	show("members whose stretching starts below 40 m", q)
+
+	q = &hybridcat.Query{}
+	q.Attr("physics", "WRF").AddElem("mp_physics", "WRF", hybridcat.OpEq, hybridcat.Str("Lin"))
+	q.Attr("status", "").AddElem("state", "", hybridcat.OpEq, hybridcat.Str("Complete"))
+	show("completed members using Lin microphysics", q)
+
+	// Validation in action: a member with a non-numeric dx is rejected.
+	_, err = cat.IngestXML("ensemble", `<forecast><runID>bad</runID><meta>
+	  <status><state>Complete</state><queued>x</queued></status></meta>
+	  <model><namelists><detailed>
+	    <enttyp><enttypl>grid</enttypl><enttypds>ARPS</enttypds></enttyp>
+	    <attr><attrlabl>dx</attrlabl><attrdefs>ARPS</attrdefs><attrv>fast</attrv></attr>
+	  </detailed></namelists></model></forecast>`)
+	fmt.Printf("\ningesting a member with dx=\"fast\" fails as expected:\n  %v\n", err)
+}
+
+func state(m int) string {
+	if m%3 == 0 {
+		return "In work"
+	}
+	return "Complete"
+}

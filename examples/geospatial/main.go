@@ -1,0 +1,102 @@
+// Geospatial search example: purely structural metadata attributes of
+// the LEAD/FGDC profile — bounding boxes as a structural sub-attribute
+// (spdom/bounding) and keyword themes — queried with typed range
+// predicates, the clearinghouse-style discovery workload of the paper's
+// introduction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gridmeta/hybridcat"
+)
+
+// region describes one synthetic dataset footprint.
+type region struct {
+	name                     string
+	west, east, south, north float64
+	keyword                  string
+}
+
+func main() {
+	cat, err := hybridcat.OpenLEAD(hybridcat.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	regions := []region{
+		{"okc-metro-radar", -98.2, -96.9, 34.9, 35.9, "radar_reflectivity"},
+		{"central-plains-temps", -102.0, -94.0, 33.0, 40.0, "air_temperature"},
+		{"gulf-moisture", -97.5, -88.0, 25.0, 31.0, "relative_humidity"},
+		{"front-range-winds", -106.5, -103.0, 38.5, 41.0, "eastward_wind"},
+		{"ks-mesonet", -102.0, -94.6, 37.0, 40.0, "air_temperature"},
+	}
+	for _, r := range regions {
+		doc := fmt.Sprintf(`<LEADresource>
+  <resourceID>%s</resourceID>
+  <data>
+    <idinfo>
+      <citation><origin>NWS</origin><pubdate>2006-05-01</pubdate><title>%s</title></citation>
+      <keywords>
+        <theme><themekt>CF NetCDF</themekt><themekey>%s</themekey></theme>
+      </keywords>
+    </idinfo>
+    <geospatial>
+      <spdom>
+        <bounding>
+          <westbc>%.1f</westbc><eastbc>%.1f</eastbc>
+          <northbc>%.1f</northbc><southbc>%.1f</southbc>
+        </bounding>
+      </spdom>
+    </geospatial>
+  </data>
+</LEADresource>`, r.name, r.name, r.keyword, r.west, r.east, r.north, r.south)
+		if _, err := cat.IngestXML("geo", doc); err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+	}
+	fmt.Printf("cataloged %d datasets\n\n", len(cat.Objects()))
+
+	show := func(label string, q *hybridcat.Query) {
+		ids, err := cat.Evaluate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var names []string
+		for _, id := range ids {
+			doc, err := cat.FetchDocument(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			names = append(names, doc.ChildText("resourceID"))
+		}
+		fmt.Printf("%-52s -> %v\n", label, names)
+	}
+
+	// Datasets whose box overlaps Oklahoma-ish coordinates: west edge
+	// west of -96, east edge east of -98, spanning latitude 35.
+	q := &hybridcat.Query{}
+	sp := q.Attr("spdom", "")
+	box := &hybridcat.AttrCriteria{Name: "bounding"}
+	box.AddElem("westbc", "", hybridcat.OpLe, hybridcat.Float(-96)).
+		AddElem("eastbc", "", hybridcat.OpGe, hybridcat.Float(-98)).
+		AddElem("southbc", "", hybridcat.OpLe, hybridcat.Float(35)).
+		AddElem("northbc", "", hybridcat.OpGe, hybridcat.Float(35))
+	sp.AddSub(box)
+	show("boxes covering ~(35N, 97W)", q)
+
+	// Keyword search.
+	q = &hybridcat.Query{}
+	q.Attr("theme", "").AddElem("themekey", "", hybridcat.OpEq, hybridcat.Str("air_temperature"))
+	show("datasets tagged air_temperature", q)
+
+	// Combined: temperature datasets reaching north of 39N.
+	q = &hybridcat.Query{}
+	q.Attr("theme", "").AddElem("themekey", "", hybridcat.OpEq, hybridcat.Str("air_temperature"))
+	sp = q.Attr("spdom", "")
+	box = &hybridcat.AttrCriteria{Name: "bounding"}
+	box.AddElem("northbc", "", hybridcat.OpGe, hybridcat.Float(39))
+	sp.AddSub(box)
+	show("air_temperature datasets reaching 39N", q)
+}

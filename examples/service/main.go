@@ -1,0 +1,131 @@
+// Service example: how a downstream project wraps the catalog public API
+// in its own HTTP endpoints — ingest, query, fetch — and drives them as a
+// client, all in one process. (The full-featured server ships as
+// cmd/mdserver.)
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/gridmeta/hybridcat"
+)
+
+func main() {
+	cat, err := hybridcat.OpenLEAD(hybridcat.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid, err := cat.RegisterAttr("grid", "ARPS", 0, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []string{"dx", "dz"} {
+		if _, err := cat.RegisterElem(p, "ARPS", grid.ID, hybridcat.DTFloat, ""); err != nil {
+			log.Fatal(err)
+		}
+	}
+	gs, err := cat.RegisterAttr("grid-stretching", "ARPS", grid.ID, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []string{"dzmin", "reference-height"} {
+		if _, err := cat.RegisterElem(p, "ARPS", gs.ID, hybridcat.DTFloat, ""); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /documents", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := cat.IngestXML(r.URL.Query().Get("owner"), string(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]int64{"id": id})
+	})
+	mux.HandleFunc("GET /documents/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		doc, err := cat.FetchDocument(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		_ = doc.WriteTo(w, 2)
+	})
+	mux.HandleFunc("GET /search", func(w http.ResponseWriter, r *http.Request) {
+		// A simple query surface: /search?grid.dx=1000
+		q := &hybridcat.Query{}
+		g := q.Attr("grid", "ARPS")
+		if v := r.URL.Query().Get("dx"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			g.AddElem("dx", "ARPS", hybridcat.OpEq, hybridcat.Float(f))
+		}
+		ids, err := cat.Evaluate(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string][]int64{"ids": ids})
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !strings.Contains(err.Error(), "use of closed") {
+			log.Print(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("catalog service listening at", base)
+
+	// Drive it as a client.
+	resp, err := http.Post(base+"/documents?owner=alice", "application/xml",
+		strings.NewReader(hybridcat.Figure3Document))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("POST /documents -> %s: %s", resp.Status, body)
+
+	resp, err = http.Get(base + "/search?dx=1000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("GET /search?dx=1000 -> %s: %s", resp.Status, body)
+
+	resp, err = http.Get(base + "/documents/1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lines := strings.SplitN(string(body), "\n", 4)
+	fmt.Printf("GET /documents/1 -> %s:\n%s\n...\n", resp.Status, strings.Join(lines[:3], "\n"))
+}

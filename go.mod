@@ -1,0 +1,3 @@
+module github.com/gridmeta/hybridcat
+
+go 1.22

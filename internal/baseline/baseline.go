@@ -1,0 +1,224 @@
+// Package baseline defines the common store interface the comparison
+// systems implement — shared inlining, edge table, whole-document CLOB,
+// and the native XML store — plus a DOM-level query evaluator that serves
+// both as the CLOB/native query engine and as the correctness oracle for
+// the hybrid catalog.
+package baseline
+
+import (
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+// Store is the uniform facade the benchmark harness drives: every
+// baseline (and the hybrid catalog itself, via Adapter) ingests the same
+// documents and answers the same attribute-criteria queries.
+type Store interface {
+	// Name identifies the approach in benchmark output.
+	Name() string
+	// Ingest stores one document, returning its object ID.
+	Ingest(owner string, doc *xmldoc.Node) (int64, error)
+	// Evaluate returns the IDs of objects matching the query, ascending.
+	Evaluate(q *catalog.Query) ([]int64, error)
+	// Fetch reconstructs the documents for the given IDs.
+	Fetch(ids []int64) ([]catalog.Response, error)
+	// StorageBytes estimates resident data size.
+	StorageBytes() int64
+}
+
+// Adapter wraps the hybrid catalog as a Store.
+type Adapter struct{ C *catalog.Catalog }
+
+// Name implements Store.
+func (a Adapter) Name() string { return "hybrid" }
+
+// Ingest implements Store.
+func (a Adapter) Ingest(owner string, doc *xmldoc.Node) (int64, error) {
+	return a.C.Ingest(owner, doc)
+}
+
+// Evaluate implements Store.
+func (a Adapter) Evaluate(q *catalog.Query) ([]int64, error) { return a.C.Evaluate(q) }
+
+// Fetch implements Store.
+func (a Adapter) Fetch(ids []int64) ([]catalog.Response, error) { return a.C.BuildResponse(ids) }
+
+// StorageBytes implements Store.
+func (a Adapter) StorageBytes() int64 { return a.C.StorageBytes() }
+
+// DocMatches evaluates an attribute-criteria query directly against a
+// document tree, using the schema's annotations to locate structural
+// attributes and interpret dynamic containers. It is the query engine of
+// the CLOB and native-XML baselines and the oracle the property tests
+// compare every store against.
+func DocMatches(schema *xmlschema.Schema, doc *xmldoc.Node, q *catalog.Query) bool {
+	for _, crit := range q.Attrs {
+		if len(findSatisfying(schema, doc, crit, nil)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// findSatisfying returns the document nodes that satisfy one criteria
+// node. parent constrains the search to sub-attribute instances below a
+// given instance node (nil = whole document).
+func findSatisfying(schema *xmlschema.Schema, doc *xmldoc.Node, crit *catalog.AttrCriteria, parent *xmldoc.Node) []*xmldoc.Node {
+	var candidates []candidate
+	if parent == nil {
+		candidates = topCandidates(schema, doc, crit)
+	} else {
+		candidates = subCandidates(schema, parent, crit)
+	}
+	var out []*xmldoc.Node
+	for _, c := range candidates {
+		if !elemsSatisfied(c, crit.Elems) {
+			continue
+		}
+		ok := true
+		for _, sub := range crit.Subs {
+			if len(findSatisfying(schema, doc, sub, c.node)) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c.node)
+		}
+	}
+	return out
+}
+
+// candidate pairs an instance node with the element accessor appropriate
+// to its kind (structural vs dynamic).
+type candidate struct {
+	node    *xmldoc.Node
+	dynamic bool
+	spec    xmlschema.DynamicSpec
+}
+
+// topCandidates finds top-level instances of the criteria's attribute.
+func topCandidates(schema *xmlschema.Schema, doc *xmldoc.Node, crit *catalog.AttrCriteria) []candidate {
+	var out []candidate
+	if crit.Source == "" {
+		if decl := schema.AttributeByTag(crit.Name); decl != nil && !decl.IsDynamic {
+			for _, n := range doc.FindAll(crit.Name) {
+				out = append(out, candidate{node: n})
+			}
+			return out
+		}
+	}
+	// Dynamic: containers whose entity identity matches (name, source).
+	for _, a := range schema.Attributes {
+		if !a.IsDynamic {
+			continue
+		}
+		spec := a.Dynamic
+		for _, n := range doc.FindAll(a.Tag) {
+			entity := n.Child(spec.EntityTag)
+			if entity == nil {
+				continue
+			}
+			if entity.ChildText(spec.NameTag) == crit.Name && entity.ChildText(spec.SourceTag) == crit.Source {
+				out = append(out, candidate{node: n, dynamic: true, spec: spec})
+			}
+		}
+	}
+	return out
+}
+
+// subCandidates finds sub-attribute instances below a parent instance.
+func subCandidates(schema *xmlschema.Schema, parent *xmldoc.Node, crit *catalog.AttrCriteria) []candidate {
+	var out []candidate
+	// Dynamic sub-attribute: nested NodeTag children with matching
+	// name/source, at any depth (the inverted list matches any depth).
+	for _, a := range schema.Attributes {
+		if !a.IsDynamic {
+			continue
+		}
+		spec := a.Dynamic
+		var walk func(n *xmldoc.Node)
+		walk = func(n *xmldoc.Node) {
+			for _, c := range n.ChildrenByTag(spec.NodeTag) {
+				if c.ChildText(spec.NodeNameTag) == crit.Name && c.ChildText(spec.NodeSourceTag) == crit.Source &&
+					len(c.ChildrenByTag(spec.NodeTag)) > 0 {
+					out = append(out, candidate{node: c, dynamic: true, spec: spec})
+				}
+				walk(c)
+			}
+		}
+		walk(parent)
+	}
+	if crit.Source == "" {
+		// Structural sub-attribute: interior descendants with the tag.
+		for _, n := range parent.FindAll(crit.Name) {
+			if n != parent && !n.IsLeaf() {
+				out = append(out, candidate{node: n})
+			}
+		}
+	}
+	return out
+}
+
+// elemsSatisfied checks every element predicate against one instance.
+func elemsSatisfied(c candidate, preds []catalog.ElemPred) bool {
+	for _, p := range preds {
+		if !elemSatisfied(c, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func elemSatisfied(c candidate, p catalog.ElemPred) bool {
+	if c.dynamic {
+		for _, n := range c.node.ChildrenByTag(c.spec.NodeTag) {
+			if n.ChildText(c.spec.NodeNameTag) != p.Name || n.ChildText(c.spec.NodeSourceTag) != p.Source {
+				continue
+			}
+			v := n.Child(c.spec.ValueTag)
+			if v != nil && valueMatches(v.Text, p) {
+				return true
+			}
+		}
+		return false
+	}
+	// Structural: direct leaf children with the tag; the attribute may
+	// also be its own element (leaf attribute).
+	if c.node.IsLeaf() && c.node.Tag == p.Name {
+		return valueMatches(c.node.Text, p)
+	}
+	for _, ch := range c.node.Children {
+		if ch.Tag == p.Name && ch.IsLeaf() && valueMatches(ch.Text, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// valueMatches applies a predicate with the catalog's typed semantics:
+// numeric query values compare against the numeric interpretation of the
+// text; strings compare textually. OneOf predicates match any listed
+// value.
+func valueMatches(text string, p catalog.ElemPred) bool {
+	if len(p.OneOf) > 0 {
+		for _, v := range p.OneOf {
+			single := p
+			single.OneOf = nil
+			single.Value = v
+			if valueMatches(text, single) {
+				return true
+			}
+		}
+		return false
+	}
+	if f, ok := p.Value.AsFloat(); ok && isNumericKind(p) {
+		tf, ok2 := parseFloat(text)
+		if !ok2 {
+			return false
+		}
+		return p.Op.Holds(floatVal(tf), floatVal(f))
+	}
+	return p.Op.Holds(strVal(text), strVal(p.Value.AsString()))
+}

@@ -1,0 +1,321 @@
+package baseline_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/baseline"
+	"github.com/gridmeta/hybridcat/internal/baseline/clobonly"
+	"github.com/gridmeta/hybridcat/internal/baseline/edgetable"
+	"github.com/gridmeta/hybridcat/internal/baseline/inlining"
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/nativexml"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+	"github.com/gridmeta/hybridcat/internal/xpath"
+)
+
+// newHybrid builds the hybrid catalog with the Figure 3 dynamic
+// definitions.
+func newHybrid(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c, err := catalog.Open(xmlschema.MustLEAD(), catalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := c.RegisterAttr("grid", "ARPS", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []string{"dx", "dz"} {
+		if _, err := c.RegisterElem(e, "ARPS", grid.ID, core.DTFloat, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gs, err := c.RegisterAttr("grid-stretching", "ARPS", grid.ID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []string{"dzmin", "reference-height"} {
+		if _, err := c.RegisterElem(e, "ARPS", gs.ID, core.DTFloat, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// allStores builds one of each store kind over the LEAD schema.
+func allStores(t *testing.T) []baseline.Store {
+	t.Helper()
+	schema := xmlschema.MustLEAD()
+	inl, err := inlining.New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := edgetable.New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clob, err := clobonly.New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := nativexml.New(schema, "themekey", "attrlabl", "enttypl")
+	return []baseline.Store{
+		baseline.Adapter{C: newHybrid(t)},
+		inl,
+		edge,
+		clob,
+		native,
+	}
+}
+
+// corpus builds a small varied corpus: Figure 3 plus dx variants, a
+// structural-only document, and a multi-detailed document.
+func corpus(t *testing.T) []*xmldoc.Node {
+	t.Helper()
+	var docs []*xmldoc.Node
+	add := func(xml string) {
+		doc, err := xmldoc.ParseString(xml)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, doc)
+	}
+	add(xmlschema.Figure3Document)
+	for _, dx := range []string{"500", "2000"} {
+		doc, _ := xmldoc.ParseString(xmlschema.Figure3Document)
+		for _, a := range doc.FindAll("attr") {
+			if a.ChildText("attrlabl") == "dx" {
+				a.Child("attrv").Text = dx
+			}
+		}
+		docs = append(docs, doc)
+	}
+	add(`<LEADresource><resourceID>struct-only</resourceID><data><idinfo>
+	  <citation><origin>NWS</origin><pubdate>2006-05-01</pubdate><title>Radar composite</title></citation>
+	  <status><progress>Complete</progress><update>None</update></status>
+	  <keywords>
+	    <theme><themekt>CF</themekt><themekey>radar_reflectivity</themekey></theme>
+	    <place><placekt>GNS</placekt><placekey>Oklahoma</placekey><placekey>Kansas</placekey></place>
+	  </keywords>
+	  <accconst>none</accconst>
+	</idinfo><geospatial><spdom>
+	  <bounding><westbc>-103</westbc><eastbc>-94</eastbc><northbc>37</northbc><southbc>33</southbc></bounding>
+	</spdom></geospatial></data></LEADresource>`)
+	add(`<LEADresource><resourceID>multi</resourceID><data><geospatial><eainfo>
+	  <detailed><enttyp><enttypl>grid</enttypl><enttypds>ARPS</enttypds></enttyp>
+	    <attr><attrlabl>dx</attrlabl><attrdefs>ARPS</attrdefs><attrv>1000</attrv></attr></detailed>
+	  <detailed><enttyp><enttypl>grid</enttypl><enttypds>ARPS</enttypds></enttyp>
+	    <attr><attrlabl>dx</attrlabl><attrdefs>ARPS</attrdefs><attrv>3000</attrv></attr>
+	    <attr><attrlabl>grid-stretching</attrlabl><attrdefs>ARPS</attrdefs>
+	      <attr><attrlabl>dzmin</attrlabl><attrdefs>ARPS</attrdefs><attrv>50</attrv></attr></attr></detailed>
+	</eainfo></geospatial></data></LEADresource>`)
+	return docs
+}
+
+// queries returns the cross-store query suite with a human label each.
+func queries() map[string]*catalog.Query {
+	qs := map[string]*catalog.Query{}
+	q := &catalog.Query{}
+	q.Attr("grid", "ARPS").AddElem("dx", "ARPS", relstore.OpEq, relstore.Int(1000))
+	qs["dx=1000"] = q
+
+	q = &catalog.Query{}
+	q.Attr("grid", "ARPS").AddElem("dx", "ARPS", relstore.OpGe, relstore.Int(1000))
+	qs["dx>=1000"] = q
+
+	q = &catalog.Query{}
+	g := q.Attr("grid", "ARPS")
+	g.AddElem("dx", "ARPS", relstore.OpEq, relstore.Int(1000))
+	st := &catalog.AttrCriteria{Name: "grid-stretching", Source: "ARPS"}
+	st.AddElem("dzmin", "ARPS", relstore.OpEq, relstore.Int(100))
+	g.AddSub(st)
+	qs["paper-worked-query"] = q
+
+	q = &catalog.Query{}
+	q.Attr("theme", "").AddElem("themekey", "", relstore.OpEq, relstore.Str("radar_reflectivity"))
+	qs["theme-radar"] = q
+
+	q = &catalog.Query{}
+	q.Attr("theme", "").AddElem("themekt", "", relstore.OpEq, relstore.Str("CF NetCDF")).
+		AddElem("themekey", "", relstore.OpEq, relstore.Str("air_pressure_at_cloud_base"))
+	qs["theme-same-instance"] = q
+
+	q = &catalog.Query{}
+	q.Attr("place", "").AddElem("placekey", "", relstore.OpEq, relstore.Str("Kansas"))
+	qs["place-kansas"] = q
+
+	q = &catalog.Query{}
+	sp := q.Attr("spdom", "")
+	b := &catalog.AttrCriteria{Name: "bounding"}
+	b.AddElem("westbc", "", relstore.OpLe, relstore.Int(-100))
+	sp.AddSub(b)
+	qs["bounding-west"] = q
+
+	q = &catalog.Query{}
+	q.Attr("citation", "").AddElem("title", "", relstore.OpEq, relstore.Str("Radar composite"))
+	qs["citation-title"] = q
+
+	q = &catalog.Query{}
+	q.Attr("grid", "ARPS")
+	qs["grid-exists"] = q
+	return qs
+}
+
+// TestCrossStoreQueryEquivalence ingests the same corpus into every store
+// and requires identical query answers — the hybrid pipeline, the three
+// relational baselines, and the native XML store must agree with the DOM
+// oracle.
+func TestCrossStoreQueryEquivalence(t *testing.T) {
+	stores := allStores(t)
+	docs := corpus(t)
+	schema := xmlschema.MustLEAD()
+
+	// IDs are assigned per store; all stores see the same order so IDs
+	// align 1..n.
+	for _, st := range stores {
+		for i, d := range docs {
+			id, err := st.Ingest("user", d.Clone())
+			if err != nil {
+				t.Fatalf("%s: ingest doc %d: %v", st.Name(), i, err)
+			}
+			if id != int64(i+1) {
+				t.Fatalf("%s: doc %d got id %d", st.Name(), i, id)
+			}
+		}
+	}
+
+	for label, q := range queries() {
+		// Oracle answer from the DOM evaluator.
+		var want []int64
+		for i, d := range docs {
+			if baseline.DocMatches(schema, d, q) {
+				want = append(want, int64(i+1))
+			}
+		}
+		for _, st := range stores {
+			got, err := st.Evaluate(q)
+			if err != nil {
+				t.Errorf("%s: %s: %v", st.Name(), label, err)
+				continue
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("%s: %s: got %v, want %v", st.Name(), label, got, want)
+			}
+		}
+		if want == nil {
+			t.Errorf("query %s matches nothing; weak test", label)
+		}
+	}
+}
+
+// TestCrossStoreFetchRoundTrip requires every store to reproduce the
+// ingested documents structurally.
+func TestCrossStoreFetchRoundTrip(t *testing.T) {
+	stores := allStores(t)
+	docs := corpus(t)
+	for _, st := range stores {
+		for _, d := range docs {
+			if _, err := st.Ingest("user", d.Clone()); err != nil {
+				t.Fatalf("%s: %v", st.Name(), err)
+			}
+		}
+		for i, d := range docs {
+			resp, err := st.Fetch([]int64{int64(i + 1)})
+			if err != nil {
+				t.Fatalf("%s: fetch %d: %v", st.Name(), i+1, err)
+			}
+			if len(resp) != 1 {
+				t.Fatalf("%s: fetch %d returned %d docs", st.Name(), i+1, len(resp))
+			}
+			got, err := xmldoc.ParseString(resp[0].XML)
+			if err != nil {
+				t.Fatalf("%s: doc %d not well-formed: %v", st.Name(), i+1, err)
+			}
+			if !xmldoc.Equal(d, got) {
+				t.Errorf("%s: doc %d differs: %s", st.Name(), i+1, xmldoc.Diff(d, got))
+			}
+		}
+	}
+}
+
+func TestStorageBytesPositiveAndOrdered(t *testing.T) {
+	stores := allStores(t)
+	docs := corpus(t)
+	for _, st := range stores {
+		for _, d := range docs {
+			if _, err := st.Ingest("user", d.Clone()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st.StorageBytes() <= 0 {
+			t.Errorf("%s: StorageBytes = %d", st.Name(), st.StorageBytes())
+		}
+	}
+}
+
+func TestInliningFragmentation(t *testing.T) {
+	inl, err := inlining.New(xmlschema.MustLEAD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags := inl.FragmentNames()
+	// The repeating keyword groups, their repeating keys, the dynamic
+	// container and its recursive node each force a fragment.
+	want := map[string]bool{"LEADresource": true, "theme": true, "themekey": true,
+		"place": true, "stratum": true, "temporal": true, "detailed": true,
+		"attr": true, "overview": true, "procstep": true}
+	got := map[string]bool{}
+	for _, f := range frags {
+		got[f] = true
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("missing fragment %q in %v", w, frags)
+		}
+	}
+	if len(frags) < len(want) {
+		t.Errorf("fragments = %v", frags)
+	}
+}
+
+func TestEdgeTableRowCounts(t *testing.T) {
+	edge, err := edgetable.New(xmlschema.MustLEAD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmldoc.ParseString(xmlschema.Figure3Document)
+	if _, err := edge.Ingest("u", doc); err != nil {
+		t.Fatal(err)
+	}
+	// One edge row per element.
+	if got, want := edge.DB.MustTable("edges").Len(), doc.CountNodes(); got != want {
+		t.Errorf("edge rows = %d, want %d", got, want)
+	}
+}
+
+func TestNativeXMLIndexAndPathQuery(t *testing.T) {
+	schema := xmlschema.MustLEAD()
+	st := nativexml.New(schema, "themekey")
+	docs := corpus(t)
+	for _, d := range docs {
+		if _, err := st.Ingest("u", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Indexed equality narrows candidates but answers stay correct.
+	q := &catalog.Query{}
+	q.Attr("theme", "").AddElem("themekey", "", relstore.OpEq, relstore.Str("radar_reflectivity"))
+	ids, err := st.Evaluate(q)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("indexed query = %v, %v", ids, err)
+	}
+	// XPath interface.
+	hits := st.SelectPath(xpath.MustCompile("//attr[attrlabl='dx'][attrv=1000]"))
+	if len(hits) != 2 { // Figure 3 doc and the multi-detailed doc
+		t.Errorf("SelectPath hits = %v", hits)
+	}
+}

@@ -1,0 +1,77 @@
+package clobonly
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := New(xmlschema.MustLEAD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFetchReturnsStoredBytesUnchanged(t *testing.T) {
+	s := newStore(t)
+	doc, _ := xmldoc.ParseString(xmlschema.Figure3Document)
+	id, err := s.Ingest("u", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Fetch([]int64{id})
+	if err != nil || len(resp) != 1 {
+		t.Fatalf("%v %d", err, len(resp))
+	}
+	if resp[0].XML != doc.String() {
+		t.Error("CLOB store must return the exact stored serialization")
+	}
+}
+
+func TestEvaluateScansAndParses(t *testing.T) {
+	s := newStore(t)
+	for i := 0; i < 5; i++ {
+		doc, _ := xmldoc.ParseString(xmlschema.Figure3Document)
+		if i != 2 {
+			for _, a := range doc.FindAll("attr") {
+				if a.ChildText("attrlabl") == "dx" {
+					a.Child("attrv").Text = "999"
+				}
+			}
+		}
+		if _, err := s.Ingest("u", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := &catalog.Query{}
+	q.Attr("grid", "ARPS").AddElem("dx", "ARPS", relstore.OpEq, relstore.Int(1000))
+	ids, err := s.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if _, err := s.Evaluate(&catalog.Query{}); err == nil {
+		t.Error("empty query should fail")
+	}
+}
+
+func TestCorruptClobSurfacesError(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.DB.MustTable("docs").Insert(relstore.Row{relstore.Int(1), relstore.Str("<broken")}); err != nil {
+		t.Fatal(err)
+	}
+	q := &catalog.Query{}
+	q.Attr("theme", "")
+	if _, err := s.Evaluate(q); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("err = %v", err)
+	}
+}

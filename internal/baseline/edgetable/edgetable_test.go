@@ -1,0 +1,135 @@
+package edgetable
+
+import (
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := New(xmlschema.MustLEAD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func ingest(t *testing.T, s *Store, xml string) int64 {
+	t.Helper()
+	doc, err := xmldoc.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Ingest("u", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestIngestAssignsSequentialDocIDs(t *testing.T) {
+	s := newStore(t)
+	if id := ingest(t, s, xmlschema.Figure3Document); id != 1 {
+		t.Errorf("first id = %d", id)
+	}
+	if id := ingest(t, s, xmlschema.Figure3Document); id != 2 {
+		t.Errorf("second id = %d", id)
+	}
+}
+
+func TestEdgeRowsCarryValuesAndNumericShadow(t *testing.T) {
+	s := newStore(t)
+	ingest(t, s, xmlschema.Figure3Document)
+	edges := s.DB.MustTable("edges")
+	// dx's attrv row: sval "1000.000", nval 1000.
+	ids, err := edges.LookupEqual("edges_by_tag_sval", relstore.Str("attrv"), relstore.Str("1000.000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("attrv rows = %d", len(ids))
+	}
+	r := edges.Get(ids[0])
+	if r[6].IsNull() || r[6].F != 1000 {
+		t.Errorf("nval = %v", r[6])
+	}
+	// Interior rows have NULL sval.
+	ids, _ = edges.LookupEqual("edges_by_tag", relstore.Str("enttyp"))
+	if len(ids) != 1 || !edges.Get(ids[0])[5].IsNull() {
+		t.Error("interior node should have NULL sval")
+	}
+}
+
+func TestStructuralQueryScopedBelowParent(t *testing.T) {
+	s := newStore(t)
+	// Two docs; only one has the bounding box west of -100.
+	ingest(t, s, `<LEADresource><resourceID>a</resourceID><data><geospatial><spdom>
+	  <bounding><westbc>-103</westbc></bounding></spdom></geospatial></data></LEADresource>`)
+	ingest(t, s, `<LEADresource><resourceID>b</resourceID><data><geospatial><spdom>
+	  <bounding><westbc>-95</westbc></bounding></spdom></geospatial></data></LEADresource>`)
+	q := &catalog.Query{}
+	sp := q.Attr("spdom", "")
+	box := &catalog.AttrCriteria{Name: "bounding"}
+	box.AddElem("westbc", "", relstore.OpLe, relstore.Int(-100))
+	sp.AddSub(box)
+	ids, err := s.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestDynamicQuerySelfJoinChain(t *testing.T) {
+	s := newStore(t)
+	ingest(t, s, xmlschema.Figure3Document)
+	// Same name, wrong source must not match.
+	q := &catalog.Query{}
+	q.Attr("grid", "WRF")
+	if ids, err := s.Evaluate(q); err != nil || len(ids) != 0 {
+		t.Fatalf("wrong-source = %v, %v", ids, err)
+	}
+	q = &catalog.Query{}
+	q.Attr("grid", "ARPS").AddElem("dx", "ARPS", relstore.OpEq, relstore.Int(1000))
+	if ids, err := s.Evaluate(q); err != nil || len(ids) != 1 {
+		t.Fatalf("grid dx = %v, %v", ids, err)
+	}
+}
+
+func TestFetchPreservesSiblingOrder(t *testing.T) {
+	s := newStore(t)
+	const xml = `<LEADresource><resourceID>r</resourceID><data><idinfo><keywords>
+	  <theme><themekt>A</themekt><themekey>k1</themekey><themekey>k2</themekey><themekey>k3</themekey></theme>
+	  <theme><themekt>B</themekt><themekey>k4</themekey></theme>
+	</keywords></idinfo></data></LEADresource>`
+	id := ingest(t, s, xml)
+	resp, err := s.Fetch([]int64{id})
+	if err != nil || len(resp) != 1 {
+		t.Fatalf("%v %d", err, len(resp))
+	}
+	got, err := xmldoc.ParseString(resp[0].XML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := xmldoc.ParseString(xml)
+	if !xmldoc.Equal(want, got) {
+		t.Errorf("order lost: %s", xmldoc.Diff(want, got))
+	}
+}
+
+func TestFetchUnknownAndEmptyQuery(t *testing.T) {
+	s := newStore(t)
+	ingest(t, s, xmlschema.Figure3Document)
+	resp, err := s.Fetch([]int64{42})
+	if err != nil || len(resp) != 0 {
+		t.Errorf("unknown fetch = %v, %v", resp, err)
+	}
+	if _, err := s.Evaluate(&catalog.Query{}); err == nil {
+		t.Error("empty query should fail")
+	}
+}

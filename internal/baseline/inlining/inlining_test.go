@@ -1,0 +1,182 @@
+package inlining
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := New(xmlschema.MustLEAD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func ingest(t *testing.T, s *Store, xml string) int64 {
+	t.Helper()
+	doc, err := xmldoc.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Ingest("u", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestPhysicalTreeSynthesizesDynamicRegion(t *testing.T) {
+	phys := buildPhysical(xmlschema.MustLEAD().Root)
+	var detailed *physNode
+	var walk func(*physNode)
+	walk = func(n *physNode) {
+		if n.tag == "detailed" {
+			detailed = n
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(phys)
+	if detailed == nil || len(detailed.children) != 2 {
+		t.Fatalf("detailed = %+v", detailed)
+	}
+	if detailed.children[0].tag != "enttyp" || !detailed.children[1].selfRec {
+		t.Errorf("synth children = %s, %s", detailed.children[0].tag, detailed.children[1].tag)
+	}
+}
+
+func TestFragmentationSplitsAtCardinalityNotAttributes(t *testing.T) {
+	s := newStore(t)
+	names := s.FragmentNames()
+	joined := strings.Join(names, ",")
+	// Single-occurrence attributes (citation, status, spdom) inline into
+	// the root fragment — inlining ignores attribute annotations.
+	for _, not := range []string{"citation", "status", "spdom", "bounding"} {
+		if strings.Contains(joined, not) {
+			t.Errorf("%s should be inlined, fragments = %v", not, names)
+		}
+	}
+	// Set-valued and recursive nodes split.
+	for _, want := range []string{"theme", "themekey", "detailed", "attr"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing fragment %s in %v", want, names)
+		}
+	}
+}
+
+func TestRootFragmentColumnsCoverInlinedPaths(t *testing.T) {
+	s := newStore(t)
+	root := s.DB.MustTable("LEADresource")
+	found := 0
+	for _, c := range root.Schema.Columns {
+		switch c.Name {
+		case "resourceID", "data_idinfo_citation_origin", "data_geospatial_spdom_bounding_westbc":
+			found++
+		}
+	}
+	if found != 3 {
+		t.Errorf("inlined columns missing, have %v", root.Schema.Columns)
+	}
+}
+
+func TestInlinedAttributePresenceSemantics(t *testing.T) {
+	s := newStore(t)
+	// Document WITHOUT a citation; the root row still exists.
+	ingest(t, s, `<LEADresource><resourceID>r</resourceID><data><idinfo>
+	  <status><progress>Complete</progress><update>None</update></status>
+	</idinfo></data></LEADresource>`)
+	q := &catalog.Query{}
+	q.Attr("citation", "")
+	ids, err := s.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("absent inlined attribute matched: %v", ids)
+	}
+	q = &catalog.Query{}
+	q.Attr("status", "")
+	if ids, _ = s.Evaluate(q); len(ids) != 1 {
+		t.Fatalf("present inlined attribute missed: %v", ids)
+	}
+}
+
+func TestRepeatingLeafQueriesThroughValueFragment(t *testing.T) {
+	s := newStore(t)
+	ingest(t, s, `<LEADresource><resourceID>r</resourceID><data><idinfo><keywords>
+	  <theme><themekt>CF</themekt><themekey>alpha</themekey><themekey>beta</themekey></theme>
+	</keywords></idinfo></data></LEADresource>`)
+	for _, key := range []string{"alpha", "beta"} {
+		q := &catalog.Query{}
+		q.Attr("theme", "").AddElem("themekey", "", relstore.OpEq, relstore.Str(key))
+		ids, err := s.Evaluate(q)
+		if err != nil || len(ids) != 1 {
+			t.Fatalf("themekey=%s: %v, %v", key, ids, err)
+		}
+	}
+	q := &catalog.Query{}
+	q.Attr("theme", "").AddElem("themekey", "", relstore.OpEq, relstore.Str("gamma"))
+	if ids, _ := s.Evaluate(q); len(ids) != 0 {
+		t.Fatalf("missing key matched: %v", ids)
+	}
+}
+
+func TestRecursiveFragmentRoundTrip(t *testing.T) {
+	s := newStore(t)
+	const xml = `<LEADresource><resourceID>r</resourceID><data><geospatial><eainfo><detailed>
+	  <enttyp><enttypl>grid</enttypl><enttypds>ARPS</enttypds></enttyp>
+	  <attr><attrlabl>a</attrlabl><attrdefs>S</attrdefs>
+	    <attr><attrlabl>b</attrlabl><attrdefs>S</attrdefs>
+	      <attr><attrlabl>c</attrlabl><attrdefs>S</attrdefs><attrv>1</attrv></attr>
+	    </attr>
+	  </attr>
+	  <attr><attrlabl>d</attrlabl><attrdefs>S</attrdefs><attrv>2</attrv></attr>
+	</detailed></eainfo></geospatial></data></LEADresource>`
+	id := ingest(t, s, xml)
+	resp, err := s.Fetch([]int64{id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := xmldoc.ParseString(xml)
+	got, err := xmldoc.ParseString(resp[0].XML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmldoc.Equal(want, got) {
+		t.Errorf("recursive round trip: %s", xmldoc.Diff(want, got))
+	}
+}
+
+func TestDynamicDepthQueryJoinsPerLevel(t *testing.T) {
+	s := newStore(t)
+	ingest(t, s, xmlschema.Figure3Document)
+	q := &catalog.Query{}
+	g := q.Attr("grid", "ARPS")
+	sub := &catalog.AttrCriteria{Name: "grid-stretching", Source: "ARPS"}
+	sub.AddElem("dzmin", "ARPS", relstore.OpEq, relstore.Int(100))
+	g.AddSub(sub)
+	ids, err := s.Evaluate(q)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("nested = %v, %v", ids, err)
+	}
+	// Wrong nested value.
+	sub.Elems[0].Value = relstore.Int(999)
+	if ids, _ := s.Evaluate(q); len(ids) != 0 {
+		t.Fatalf("wrong nested value matched: %v", ids)
+	}
+}
+
+func TestIngestRejectsWrongRoot(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Ingest("u", xmldoc.NewNode("other")); err == nil {
+		t.Error("wrong root should fail")
+	}
+}

@@ -1,0 +1,162 @@
+// Package inlining implements the shared-inlining baseline
+// (Shanmugasundaram et al. [14], as characterized in the paper's §2/§6):
+// the schema is partitioned into relational fragments split at set-valued
+// and recursive elements, single-occurrence leaves inline as columns of
+// their nearest fragment, queries join fragments level by level, and
+// documents are reconstructed by re-joining the fragments.
+//
+// The dynamic metadata region (the LEAD "detailed" subtree) has no
+// explicit element declarations in the annotated schema, so the physical
+// mapping synthesizes them from the container's DynamicSpec: an entity
+// wrapper with name/source leaves and a recursive, repeating node
+// element — precisely the shape that fragments badly under inlining,
+// which is the paper's argument.
+package inlining
+
+import (
+	"strings"
+
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+// physNode is one element of the physical (inlining-visible) schema tree.
+type physNode struct {
+	tag      string
+	children []*physNode
+	repeats  bool
+	selfRec  bool // the node recurs into itself (dynamic node element)
+}
+
+func (p *physNode) leaf() bool { return len(p.children) == 0 && !p.selfRec }
+
+// buildPhysical expands the annotated schema into the physical tree,
+// synthesizing the dynamic container's interior from its spec.
+func buildPhysical(n *xmlschema.Node) *physNode {
+	p := &physNode{tag: n.Tag, repeats: n.Repeats}
+	if n.IsDynamic {
+		spec := n.Dynamic
+		entity := &physNode{tag: spec.EntityTag, children: []*physNode{
+			{tag: spec.NameTag},
+			{tag: spec.SourceTag},
+		}}
+		node := &physNode{tag: spec.NodeTag, repeats: true, selfRec: true, children: []*physNode{
+			{tag: spec.NodeNameTag},
+			{tag: spec.NodeSourceTag},
+			{tag: spec.ValueTag},
+		}}
+		p.children = []*physNode{entity, node}
+		return p
+	}
+	for _, c := range n.Children {
+		p.children = append(p.children, buildPhysical(c))
+	}
+	return p
+}
+
+// fragment is one relational fragment: a table holding rows for every
+// instance of its root element, with single-occurrence leaf descendants
+// inlined as columns.
+type fragment struct {
+	name           string // unique table name
+	parent         *fragment
+	pathFromParent []string // tags from parent's root (exclusive) to this root (inclusive)
+	node           *physNode
+	valueFrag      bool // repeating leaf: one "value" column
+	recursive      bool
+
+	// cols maps a relative leaf path ("a/b/c") to the position of its
+	// string column; the numeric shadow is at position+1.
+	cols map[string]int
+	// colOrder lists relative paths in schema order (for reconstruction).
+	colOrder []string
+	// children in schema order, each reachable at childPath[i].
+	children  []*fragment
+	childPath []string // relative path of each child's root, "a/b/frag"
+}
+
+// fixed column positions in every fragment table.
+const (
+	cDocID = iota
+	cFragID
+	cParentTable
+	cParentID
+	cOrd
+	cFirstData
+)
+
+// buildFragments partitions the physical tree into fragments.
+func buildFragments(root *physNode) []*fragment {
+	var all []*fragment
+	names := map[string]int{}
+	uniqueName := func(tag string) string {
+		names[tag]++
+		if names[tag] == 1 {
+			return tag
+		}
+		return tag + strings.Repeat("_", names[tag]-1)
+	}
+	var newFragment func(n *physNode, parent *fragment, pathFromParent []string) *fragment
+	var fill func(f *fragment, n *physNode, rel []string)
+	fill = func(f *fragment, n *physNode, rel []string) {
+		for _, c := range n.children {
+			crel := append(append([]string{}, rel...), c.tag)
+			switch {
+			case c.selfRec:
+				child := newFragment(c, f, crel)
+				child.recursive = true
+				f.children = append(f.children, child)
+				f.childPath = append(f.childPath, strings.Join(crel, "/"))
+			case c.repeats && c.leaf():
+				child := newFragment(c, f, crel)
+				child.valueFrag = true
+				child.cols["value"] = cFirstData
+				child.colOrder = []string{"value"}
+				f.children = append(f.children, child)
+				f.childPath = append(f.childPath, strings.Join(crel, "/"))
+			case c.repeats:
+				child := newFragment(c, f, crel)
+				fill(child, c, nil)
+				f.children = append(f.children, child)
+				f.childPath = append(f.childPath, strings.Join(crel, "/"))
+			case c.leaf():
+				key := strings.Join(crel, "/")
+				f.cols[key] = cFirstData + 2*len(f.colOrder)
+				f.colOrder = append(f.colOrder, key)
+			default:
+				fill(f, c, crel)
+			}
+		}
+	}
+	newFragment = func(n *physNode, parent *fragment, pathFromParent []string) *fragment {
+		f := &fragment{
+			name:           uniqueName(n.tag),
+			parent:         parent,
+			pathFromParent: pathFromParent,
+			node:           n,
+			cols:           map[string]int{},
+		}
+		all = append(all, f)
+		return f
+	}
+	rootFrag := newFragment(root, nil, nil)
+	fill(rootFrag, root, nil)
+	// The recursive fragment's own interior: leaves inline, the self
+	// reference becomes a child fragment pointing back at itself.
+	for _, f := range all {
+		if !f.recursive {
+			continue
+		}
+		for _, c := range f.node.children {
+			if c.tag == f.node.tag {
+				continue
+			}
+			key := c.tag
+			f.cols[key] = cFirstData + 2*len(f.colOrder)
+			f.colOrder = append(f.colOrder, key)
+		}
+		// Self-recursion: the fragment is its own child.
+		f.children = append(f.children, f)
+		f.childPath = append(f.childPath, f.node.tag)
+	}
+	return all
+}

@@ -1,0 +1,24 @@
+package baseline
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+// isNumericKind reports whether the predicate's value is a typed number
+// (the hybrid catalog routes those through the nval column).
+func isNumericKind(p catalog.ElemPred) bool {
+	return p.Value.K == relstore.KInt || p.Value.K == relstore.KFloat
+}
+
+func parseFloat(s string) (float64, bool) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return f, err == nil
+}
+
+func floatVal(f float64) relstore.Value { return relstore.Float(f) }
+
+func strVal(s string) relstore.Value { return relstore.Str(s) }

@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"database/sql"
+	"fmt"
+	"runtime"
+	"strconv"
+	"time"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/sqldriver"
+	"github.com/gridmeta/hybridcat/internal/workload"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+)
+
+// A1InvertedList ablates the sub-attribute inverted list: the full list
+// (any-depth links, one join) vs. direct-parent links only (recursive
+// level-by-level chase).
+func A1InvertedList(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "A1",
+		Title:   "sub-attribute inverted list ON vs OFF (recursive fallback)",
+		Claim:   "§4: the inverted list lets containment queries avoid recursion",
+		Columns: []string{"depth", "inverted-list", "recursive", "speedup"},
+	}
+	cfg := workload.Default()
+	cfg.Docs = o.scale(300)
+	cfg.NestDepth = 6
+	cfg.ParamsPerAttr = 14
+	g := workload.New(cfg)
+	corpus := g.Corpus()
+
+	build := func(disable bool) (*catalog.Catalog, error) {
+		c, err := catalog.Open(g.Schema, catalog.Options{DisableInvertedList: disable})
+		if err != nil {
+			return nil, err
+		}
+		if err := g.RegisterDefinitions(c); err != nil {
+			return nil, err
+		}
+		for _, d := range corpus {
+			if _, err := c.Ingest("bench", d); err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
+	}
+	withList, err := build(false)
+	if err != nil {
+		return nil, err
+	}
+	withoutList, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+	for depth := 1; depth <= 6; depth++ {
+		qi := 0
+		on, err := median(o.runs(), func() error {
+			qi++
+			_, err := withList.Evaluate(g.NestedQuery(qi, qi, depth))
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		qi = 0
+		off, err := median(o.runs(), func() error {
+			qi++
+			_, err := withoutList.Evaluate(g.NestedQuery(qi, qi, depth))
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(depth, on, off, ratio(int64(off), int64(on)))
+	}
+	t.Notes = append(t.Notes, "expected shape: inverted list ~flat; recursive fallback grows with depth")
+	return t, nil
+}
+
+// A2ClobGranularity ablates CLOB granularity: per-attribute CLOBs
+// (hybrid) vs one whole-document CLOB, on selective retrieval and
+// storage.
+func A2ClobGranularity(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "A2",
+		Title:   "CLOB granularity: per-attribute vs whole-document",
+		Claim:   "§2: per-attribute CLOBs keep responses buildable by set operations without reparsing documents",
+		Columns: []string{"metric", "per-attribute (hybrid)", "whole-doc (clob)"},
+	}
+	cfg := workload.Default()
+	cfg.Docs = o.scale(300)
+	g := workload.New(cfg)
+	corpus := g.Corpus()
+	hybrid, _, err := loadStore(KindHybrid, g, corpus)
+	if err != nil {
+		return nil, err
+	}
+	clob, _, err := loadStore(KindClob, g, corpus)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, 50)
+	for i := range ids {
+		ids[i] = int64(i + 1)
+	}
+	hFetch, err := median(o.runs(), func() error { _, err := hybrid.Fetch(ids); return err })
+	if err != nil {
+		return nil, err
+	}
+	cFetch, err := median(o.runs(), func() error { _, err := clob.Fetch(ids); return err })
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("fetch 50 docs", hFetch, cFetch)
+	qi := 0
+	hQry, err := median(o.runs(), func() error {
+		qi++
+		_, err := hybrid.Evaluate(g.PointQuery(qi, qi, qi))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	qi = 0
+	cQry, err := median(o.runs(), func() error {
+		qi++
+		_, err := clob.Evaluate(g.PointQuery(qi, qi, qi))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("point query", hQry, cQry)
+	t.AddRow("storage bytes", hybrid.StorageBytes(), clob.StorageBytes())
+	t.Notes = append(t.Notes, "expected shape: whole-doc CLOB fetches marginally faster (one string) but queries orders slower (parse every doc); hybrid pays bounded extra storage")
+	return t, nil
+}
+
+// A3TypedColumns ablates the dual string/numeric element columns: range
+// queries through the typed nval index vs a scan that parses strings.
+func A3TypedColumns(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "A3",
+		Title:   "typed numeric column vs string-scan for range predicates",
+		Claim:   "shredding values into typed columns makes range criteria indexable",
+		Columns: []string{"selectivity", "nval-index", "string-scan", "speedup"},
+	}
+	cfg := workload.Default()
+	cfg.Docs = o.scale(600)
+	g := workload.New(cfg)
+	c, err := catalog.Open(g.Schema, catalog.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := g.RegisterDefinitions(c); err != nil {
+		return nil, err
+	}
+	for _, d := range g.Corpus() {
+		if _, err := c.Ingest("bench", d); err != nil {
+			return nil, err
+		}
+	}
+	elemT := c.DB.MustTable(catalog.TElemData)
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		q := g.RangeQuery(0, 0, frac)
+		indexed, err := median(o.runs(), func() error {
+			_, err := c.Evaluate(q)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		// String-scan simulation: no numeric column — every elem_data row
+		// is scanned and its string value parsed before comparing.
+		hi := float64(cfg.ValueCardinality) * 250 * frac
+		scan, err := median(o.runs(), func() error {
+			count := 0
+			elemT.Scan(func(_ int64, r relstore.Row) bool {
+				if f, perr := strconv.ParseFloat(r[5].S, 64); perr == nil && f < hi {
+					count++
+				}
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", frac*100), indexed, scan, ratio(int64(scan), int64(indexed)))
+	}
+	t.Notes = append(t.Notes, "expected shape: typed index wins at low selectivity; the gap narrows as the range widens")
+	return t, nil
+}
+
+// A4SQLOverhead measures the cost of driving the same relational
+// operations through the database/sql layer instead of the engine API.
+func A4SQLOverhead(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "A4",
+		Title:   "engine API vs database/sql driver overhead",
+		Claim:   "substrate check: the SQL surface adds parse/convert overhead but identical results",
+		Columns: []string{"operation", "engine-api", "database/sql", "overhead"},
+	}
+	cfg := workload.Default()
+	cfg.Docs = o.scale(300)
+	g := workload.New(cfg)
+	c, err := catalog.Open(g.Schema, catalog.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := g.RegisterDefinitions(c); err != nil {
+		return nil, err
+	}
+	for _, d := range g.Corpus() {
+		if _, err := c.Ingest("bench", d); err != nil {
+			return nil, err
+		}
+	}
+	dsn := fmt.Sprintf("bench-a4-%d", time.Now().UnixNano())
+	sqldriver.Register(dsn, c.DB)
+	defer sqldriver.Unregister(dsn)
+	db, err := sql.Open(sqldriver.DriverName, dsn)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	// Same aggregate both ways: elements per attribute definition.
+	elemT := c.DB.MustTable(catalog.TElemData)
+	engine, err := median(o.runs(), func() error {
+		it := relstore.GroupBy(relstore.ScanTable(elemT), []int{1}, []relstore.AggSpec{
+			{Func: relstore.AggCount, Name: "n"},
+		})
+		relstore.Collect(it)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	viaSQL, err := median(o.runs(), func() error {
+		rows, err := db.Query("SELECT attr_id, COUNT(*) AS n FROM elem_data GROUP BY attr_id")
+		if err != nil {
+			return err
+		}
+		defer rows.Close()
+		for rows.Next() {
+			var id, n int64
+			if err := rows.Scan(&id, &n); err != nil {
+				return err
+			}
+		}
+		return rows.Err()
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("group-by count", engine, viaSQL, ratio(int64(viaSQL), int64(engine)))
+
+	// Point lookup both ways.
+	enginePt, err := median(o.runs(), func() error {
+		_, err := elemT.LookupEqual("elem_data_by_object", relstore.Int(1))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	sqlPt, err := median(o.runs(), func() error {
+		rows, err := db.Query("SELECT elem_id FROM elem_data WHERE object_id = ?", int64(1))
+		if err != nil {
+			return err
+		}
+		defer rows.Close()
+		for rows.Next() {
+			var id int64
+			if err := rows.Scan(&id); err != nil {
+				return err
+			}
+		}
+		return rows.Err()
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("point lookup", enginePt, sqlPt, ratio(int64(sqlPt), int64(enginePt)))
+	t.Notes = append(t.Notes, "the planner serves single-table predicates through indexes; the remaining overhead is per-call parse/plan plus driver value conversion, which is why the catalog pipeline drives the engine API directly")
+	return t, nil
+}
+
+// A5ParallelIngest measures batch-ingest phase scaling: the shred phase
+// (CPU-bound tree walks, serialization, validation) parallelizes across
+// workers, while index-maintaining row insertion stays serialized for
+// consistency and bounds the end-to-end gain (Amdahl).
+func A5ParallelIngest(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "A5",
+		Title:   "batch ingest: shred-phase scaling vs end-to-end",
+		Claim:   "shredding parallelizes; the serialized insert phase is the end-to-end floor",
+		Columns: []string{"workers", "shred-phase", "shred-speedup", "end-to-end", "e2e-speedup"},
+	}
+	cfg := workload.Default()
+	cfg.Docs = o.scale(400)
+	cfg.ThemesPerDoc = 10
+	cfg.KeysPerTheme = 8
+	cfg.DynamicAttrsPerDoc = 6
+	cfg.ParamsPerAttr = 20
+	cfg.NestDepth = 3
+	g := workload.New(cfg)
+	docs := g.Corpus()
+
+	shredSweep := func(workers int) (time.Duration, error) {
+		c, err := catalog.Open(g.Schema, catalog.Options{})
+		if err != nil {
+			return 0, err
+		}
+		if err := g.RegisterDefinitions(c); err != nil {
+			return 0, err
+		}
+		sh := core.NewShredder(c.Schema, c.Reg)
+		start := time.Now()
+		next := make(chan int, len(docs))
+		for i := range docs {
+			next <- i
+		}
+		close(next)
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range next {
+					if _, err := sh.Shred(docs[i], core.Options{Owner: "bench"}); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}()
+		}
+		for w := 0; w < workers; w++ {
+			if err := <-errs; err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	var shredBase, e2eBase time.Duration
+	for _, workers := range []int{1, 2, 4, 8} {
+		shred, err := shredSweep(workers)
+		if err != nil {
+			return nil, err
+		}
+		c, err := catalog.Open(g.Schema, catalog.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := g.RegisterDefinitions(c); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := c.IngestBatch("bench", docs, workers); err != nil {
+			return nil, err
+		}
+		e2e := time.Since(start)
+		if workers == 1 {
+			shredBase, e2eBase = shred, e2e
+		}
+		t.AddRow(workers, shred, ratio(int64(shredBase), int64(shred)),
+			e2e, ratio(int64(e2eBase), int64(e2e)))
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: shred phase scales with available cores; end-to-end is bounded by the serialized index-maintaining insert phase",
+		fmt.Sprintf("GOMAXPROCS=%d on this machine — with a single CPU no parallel speedup is observable", runtime.GOMAXPROCS(0)))
+	return t, nil
+}
+
+// ingestDoc is a tiny helper kept for symmetry with bench_test.go.
+func ingestDoc(c *catalog.Catalog, d *xmldoc.Node) error {
+	_, err := c.Ingest("bench", d)
+	return err
+}

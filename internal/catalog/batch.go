@@ -1,0 +1,99 @@
+package catalog
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+)
+
+// IngestBatch shreds documents concurrently and inserts the results in
+// document order, returning the assigned object IDs. Shredding is the
+// CPU-bound phase (tree walks, serialization, validation) and
+// parallelizes across workers; row insertion stays serialized under the
+// catalog lock for multi-table consistency.
+//
+// The batch is all-or-nothing: if any document fails validation, nothing
+// is stored and the error names the failing document index. workers <= 0
+// uses GOMAXPROCS.
+func (c *Catalog) IngestBatch(owner string, docs []*xmldoc.Node, workers int) ([]int64, error) {
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+
+	// Phase 1: parallel shredding.
+	results := make([]*core.ShredResult, len(docs))
+	errs := make([]error, len(docs))
+	var wg sync.WaitGroup
+	next := make(chan int, len(docs))
+	for i := range docs {
+		next <- i
+	}
+	close(next)
+	opts := core.Options{Owner: owner, AutoRegister: c.opts.AutoRegister, Lenient: c.opts.Lenient}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = c.shredder.Shred(docs[i], opts)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("catalog: batch document %d: %w", i, err)
+		}
+	}
+	if c.opts.AutoRegister {
+		if err := c.syncDefTables(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: ordered insertion.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	objT := c.DB.MustTable(TObjects)
+	ids := make([]int64, 0, len(docs))
+	created := c.clock().UTC().Format(time.RFC3339)
+	for i, doc := range docs {
+		id := objT.NextAutoID()
+		name := doc.Tag
+		if rid := doc.Child("resourceID"); rid != nil {
+			name = rid.Text
+		}
+		if _, err := objT.Insert(relstore.Row{
+			relstore.Int(id), relstore.Str(name), relstore.Str(owner), relstore.Str(created),
+			relstore.Bool(false),
+		}); err != nil {
+			c.rollbackBatchLocked(ids, id)
+			return nil, err
+		}
+		if err := c.insertShred(id, results[i]); err != nil {
+			c.rollbackBatchLocked(ids, id)
+			return nil, fmt.Errorf("catalog: batch document %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// rollbackBatchLocked undoes a partially applied batch.
+func (c *Catalog) rollbackBatchLocked(done []int64, current int64) {
+	for _, id := range done {
+		c.removeObjectLocked(id)
+	}
+	c.removeObjectLocked(current)
+}

@@ -1,0 +1,148 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+func batchDocs(t *testing.T, n int) []*xmldoc.Node {
+	t.Helper()
+	docs := make([]*xmldoc.Node, n)
+	for i := range docs {
+		doc, err := xmldoc.ParseString(fig3Variant(t, strings.Repeat("1", 1+i%4)+"000"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = doc
+	}
+	return docs
+}
+
+func TestIngestBatchMatchesSerialIngest(t *testing.T) {
+	docs := batchDocs(t, 24)
+
+	serial := newLEADCatalog(t, Options{})
+	for _, d := range docs {
+		if _, err := serial.Ingest("u", d.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := newLEADCatalog(t, Options{})
+	ids, err := batch.IngestBatch("u", docs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(docs) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i, id := range ids {
+		if id != int64(i+1) {
+			t.Fatalf("batch ids not ordered: %v", ids)
+		}
+	}
+	// Same table contents drive the same query answers and documents.
+	for _, tbl := range []string{TObjects, TAttrData, TElemData, TSubAttrs, TClobs} {
+		if a, b := serial.DB.MustTable(tbl).Len(), batch.DB.MustTable(tbl).Len(); a != b {
+			t.Errorf("%s rows: serial %d vs batch %d", tbl, a, b)
+		}
+	}
+	q := &Query{}
+	q.Attr("grid", "ARPS").AddElem("dx", "ARPS", relstore.OpEq, relstore.Int(11000))
+	a, _ := serial.Evaluate(q)
+	b, _ := batch.Evaluate(q)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("query: serial %v vs batch %v", a, b)
+	}
+	d1, err := serial.FetchDocument(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := batch.FetchDocument(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmldoc.Equal(d1, d2) {
+		t.Error("batch-ingested document differs")
+	}
+}
+
+func TestIngestBatchAllOrNothing(t *testing.T) {
+	c := newLEADCatalog(t, Options{})
+	docs := batchDocs(t, 5)
+	bad, _ := xmldoc.ParseString(fig3Variant(t, "not-numeric"))
+	docs[3] = bad
+	_, err := c.IngestBatch("u", docs, 3)
+	if err == nil || !strings.Contains(err.Error(), "document 3") {
+		t.Fatalf("err = %v", err)
+	}
+	if c.ObjectCount() != 0 {
+		t.Errorf("failed batch left %d objects", c.ObjectCount())
+	}
+	for _, tbl := range []string{TAttrData, TElemData, TClobs} {
+		if n := c.DB.MustTable(tbl).Len(); n != 0 {
+			t.Errorf("%s retains %d rows", tbl, n)
+		}
+	}
+}
+
+func TestIngestBatchEdgeCases(t *testing.T) {
+	c := newLEADCatalog(t, Options{})
+	if ids, err := c.IngestBatch("u", nil, 4); err != nil || ids != nil {
+		t.Errorf("empty batch = %v, %v", ids, err)
+	}
+	// workers > docs and workers <= 0 both work.
+	docs := batchDocs(t, 3)
+	if _, err := c.IngestBatch("u", docs[:2], 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.IngestBatch("u", docs[2:], -1); err != nil {
+		t.Fatal(err)
+	}
+	if c.ObjectCount() != 3 {
+		t.Errorf("objects = %d", c.ObjectCount())
+	}
+}
+
+// TestIngestBatchAutoRegisterRace exercises concurrent auto-registration
+// of identical dynamic definitions across workers.
+func TestIngestBatchAutoRegisterRace(t *testing.T) {
+	c, err := Open(xmlschema.MustLEAD(), Options{AutoRegister: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]*xmldoc.Node, 32)
+	for i := range docs {
+		doc, err := xmldoc.ParseString(xmlschema.Figure3Document)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = doc
+	}
+	ids, err := c.IngestBatch("u", docs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 32 {
+		t.Fatalf("ids = %d", len(ids))
+	}
+	// Exactly one grid definition despite 32 racing registrations.
+	count := 0
+	for _, d := range c.Reg.Attrs() {
+		if d.Name == "grid" && d.Source == "ARPS" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("grid registered %d times", count)
+	}
+	q := &Query{}
+	q.Attr("grid", "ARPS")
+	hits, err := c.Evaluate(q)
+	if err != nil || len(hits) != 32 {
+		t.Fatalf("query = %d hits, %v", len(hits), err)
+	}
+}

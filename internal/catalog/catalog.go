@@ -1,0 +1,580 @@
+// Package catalog ties the hybrid core to the relational engine: it owns
+// the catalog's relational schema (attribute/element data, sub-attribute
+// inverted lists, per-attribute CLOBs, and the schema-level global
+// ordering tables), the Figure-4 set-based query pipeline, and the §5
+// set-based response builder.
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+// Table names of the hybrid catalog's relational schema.
+const (
+	TObjects       = "objects"
+	TAttrData      = "attr_data"
+	TElemData      = "elem_data"
+	TSubAttrs      = "sub_attrs"
+	TClobs         = "clobs"
+	TAttrDef       = "attr_def"
+	TElemDef       = "elem_def"
+	TSchemaNodes   = "schema_nodes"
+	TNodeAncestors = "node_ancestors"
+)
+
+// Options configures a catalog instance.
+type Options struct {
+	// AutoRegister creates definitions for unknown dynamic attributes at
+	// ingest instead of leaving them CLOB-only.
+	AutoRegister bool
+	// Lenient ignores unknown structural elements instead of rejecting
+	// the document.
+	Lenient bool
+	// DisableInvertedList drops sub-attribute inverted-list maintenance
+	// and forces queries onto a recursive fallback; for the A1 ablation
+	// only.
+	DisableInvertedList bool
+}
+
+// Catalog is a hybrid XML-relational metadata catalog over one community
+// schema.
+type Catalog struct {
+	Schema *xmlschema.Schema
+	Reg    *core.Registry
+	DB     *relstore.Database
+
+	shredder *core.Shredder
+	opts     Options
+
+	mu    sync.Mutex // serializes multi-table ingest/delete
+	clock func() time.Time
+}
+
+// Open builds a catalog for a finalized schema: it creates the relational
+// schema, seeds the definition tables from the registry, and loads the
+// global ordering tables.
+func Open(schema *xmlschema.Schema, opts Options) (*Catalog, error) {
+	reg, err := core.NewRegistry(schema)
+	if err != nil {
+		return nil, err
+	}
+	c := &Catalog{
+		Schema:   schema,
+		Reg:      reg,
+		DB:       relstore.NewDatabase(),
+		shredder: core.NewShredder(schema, reg),
+		opts:     opts,
+		clock:    time.Now,
+	}
+	if err := c.createTables(); err != nil {
+		return nil, err
+	}
+	if err := c.initCollections(); err != nil {
+		return nil, err
+	}
+	if err := c.loadSchemaTables(); err != nil {
+		return nil, err
+	}
+	if err := c.syncDefTables(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func col(name string, k relstore.Kind, notNull bool) relstore.Column {
+	return relstore.Column{Name: name, Type: k, NotNull: notNull}
+}
+
+func (c *Catalog) createTables() error {
+	type tdef struct {
+		name string
+		cols []relstore.Column
+	}
+	tables := []tdef{
+		{TObjects, []relstore.Column{
+			col("object_id", relstore.KInt, true),
+			col("name", relstore.KString, false),
+			col("owner", relstore.KString, false),
+			col("created", relstore.KString, false),
+			col("published", relstore.KBool, false),
+		}},
+		{TAttrData, []relstore.Column{
+			col("object_id", relstore.KInt, true),
+			col("attr_id", relstore.KInt, true),
+			col("seq_id", relstore.KInt, true),
+			col("clob_seq", relstore.KInt, false),
+		}},
+		{TElemData, []relstore.Column{
+			col("object_id", relstore.KInt, true),
+			col("attr_id", relstore.KInt, true),
+			col("seq_id", relstore.KInt, true),
+			col("elem_id", relstore.KInt, true),
+			col("elem_seq", relstore.KInt, true),
+			col("sval", relstore.KString, false),
+			col("nval", relstore.KFloat, false),
+		}},
+		{TSubAttrs, []relstore.Column{
+			col("object_id", relstore.KInt, true),
+			col("child_attr_id", relstore.KInt, true),
+			col("child_seq", relstore.KInt, true),
+			col("anc_attr_id", relstore.KInt, true),
+			col("anc_seq", relstore.KInt, true),
+			col("depth", relstore.KInt, true),
+		}},
+		{TClobs, []relstore.Column{
+			col("object_id", relstore.KInt, true),
+			col("node_order", relstore.KInt, true),
+			col("clob_seq", relstore.KInt, true),
+			col("attr_id", relstore.KInt, false),
+			col("seq_id", relstore.KInt, false),
+			col("clob", relstore.KString, true),
+		}},
+		{TAttrDef, []relstore.Column{
+			col("attr_id", relstore.KInt, true),
+			col("name", relstore.KString, true),
+			col("source", relstore.KString, false),
+			col("parent_attr_id", relstore.KInt, false),
+			col("schema_order", relstore.KInt, false),
+			col("queryable", relstore.KBool, false),
+			col("dynamic", relstore.KBool, false),
+			col("owner", relstore.KString, false),
+		}},
+		{TElemDef, []relstore.Column{
+			col("elem_id", relstore.KInt, true),
+			col("attr_id", relstore.KInt, true),
+			col("name", relstore.KString, true),
+			col("source", relstore.KString, false),
+			col("dtype", relstore.KString, false),
+			col("owner", relstore.KString, false),
+		}},
+		{TSchemaNodes, []relstore.Column{
+			col("node_order", relstore.KInt, true),
+			col("tag", relstore.KString, true),
+			col("parent_order", relstore.KInt, false),
+			col("last_child_order", relstore.KInt, true),
+			col("depth", relstore.KInt, true),
+			col("is_attr", relstore.KBool, false),
+		}},
+		{TNodeAncestors, []relstore.Column{
+			col("node_order", relstore.KInt, true),
+			col("anc_order", relstore.KInt, true),
+		}},
+	}
+	for _, td := range tables {
+		if _, err := c.DB.CreateTable(td.name, td.cols...); err != nil {
+			return err
+		}
+	}
+	type idef struct {
+		table, name string
+		kind        relstore.IndexKind
+		unique      bool
+		cols        []string
+	}
+	indexes := []idef{
+		{TObjects, "objects_pk", relstore.BTreeIndex, true, []string{"object_id"}},
+		{TAttrData, "attr_data_by_attr", relstore.HashIndex, false, []string{"attr_id"}},
+		{TAttrData, "attr_data_by_object", relstore.HashIndex, false, []string{"object_id"}},
+		{TElemData, "elem_data_by_sval", relstore.BTreeIndex, false, []string{"elem_id", "sval"}},
+		{TElemData, "elem_data_by_nval", relstore.BTreeIndex, false, []string{"elem_id", "nval"}},
+		{TElemData, "elem_data_by_object", relstore.HashIndex, false, []string{"object_id"}},
+		{TSubAttrs, "sub_attrs_by_child", relstore.HashIndex, false, []string{"child_attr_id"}},
+		{TSubAttrs, "sub_attrs_by_object", relstore.HashIndex, false, []string{"object_id"}},
+		{TClobs, "clobs_by_object", relstore.BTreeIndex, false, []string{"object_id", "node_order", "clob_seq"}},
+		{TAttrDef, "attr_def_pk", relstore.BTreeIndex, true, []string{"attr_id"}},
+		{TElemDef, "elem_def_pk", relstore.BTreeIndex, true, []string{"elem_id"}},
+		{TSchemaNodes, "schema_nodes_pk", relstore.BTreeIndex, true, []string{"node_order"}},
+		{TNodeAncestors, "node_ancestors_by_node", relstore.HashIndex, false, []string{"node_order"}},
+	}
+	for _, id := range indexes {
+		if _, err := c.DB.MustTable(id.table).CreateIndex(id.name, id.kind, id.unique, id.cols...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadSchemaTables fills schema_nodes and node_ancestors from the
+// finalized schema's global ordering (Figure 2).
+func (c *Catalog) loadSchemaTables() error {
+	nodes := c.DB.MustTable(TSchemaNodes)
+	ancs := c.DB.MustTable(TNodeAncestors)
+	for _, n := range c.Schema.Ordered {
+		parent := 0
+		if n.Parent != nil {
+			parent = n.Parent.Order
+		}
+		_, err := nodes.Insert(relstore.Row{
+			relstore.Int(int64(n.Order)), relstore.Str(n.Tag),
+			relstore.Int(int64(parent)), relstore.Int(int64(n.LastChild)),
+			relstore.Int(int64(n.Depth)), relstore.Bool(n.IsAttribute),
+		})
+		if err != nil {
+			return err
+		}
+		for _, a := range c.Schema.Ancestors(n.Order) {
+			if _, err := ancs.Insert(relstore.Row{relstore.Int(int64(n.Order)), relstore.Int(int64(a))}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// syncDefTables mirrors the registry into attr_def/elem_def. Called at
+// Open and after dynamic registration so the definition tables stay
+// queryable through SQL.
+func (c *Catalog) syncDefTables() error {
+	attrT := c.DB.MustTable(TAttrDef)
+	elemT := c.DB.MustTable(TElemDef)
+	have := make(map[int64]bool)
+	attrT.Scan(func(_ int64, r relstore.Row) bool {
+		have[r[0].I] = true
+		return true
+	})
+	for _, d := range c.Reg.Attrs() {
+		if have[d.ID] {
+			continue
+		}
+		_, err := attrT.Insert(relstore.Row{
+			relstore.Int(d.ID), relstore.Str(d.Name), relstore.Str(d.Source),
+			relstore.Int(d.ParentID), relstore.Int(int64(d.SchemaOrder)),
+			relstore.Bool(d.Queryable), relstore.Bool(d.Dynamic), relstore.Str(d.Owner),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	haveE := make(map[int64]bool)
+	elemT.Scan(func(_ int64, r relstore.Row) bool {
+		haveE[r[0].I] = true
+		return true
+	})
+	for _, d := range c.Reg.Elems() {
+		if haveE[d.ID] {
+			continue
+		}
+		_, err := elemT.Insert(relstore.Row{
+			relstore.Int(d.ID), relstore.Int(d.AttrID), relstore.Str(d.Name),
+			relstore.Str(d.Source), relstore.Str(d.Type.String()), relstore.Str(d.Owner),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterAttr registers a dynamic attribute definition and mirrors it
+// into the definition tables. parentID 0 registers a top-level dynamic
+// attribute located at the schema's first dynamic container.
+func (c *Catalog) RegisterAttr(name, source string, parentID int64, owner string) (*core.AttrDef, error) {
+	order := 0
+	for _, a := range c.Schema.Attributes {
+		if a.IsDynamic {
+			order = a.Order
+			break
+		}
+	}
+	if order == 0 {
+		return nil, fmt.Errorf("catalog: schema %s has no dynamic attribute container", c.Schema.Name)
+	}
+	def, err := c.Reg.RegisterAttr(name, source, parentID, order, owner)
+	if err != nil {
+		return nil, err
+	}
+	return def, c.syncDefTables()
+}
+
+// RegisterElem registers a dynamic element definition under an attribute.
+func (c *Catalog) RegisterElem(name, source string, attrID int64, dt core.DataType, owner string) (*core.ElemDef, error) {
+	def, err := c.Reg.RegisterElem(name, source, attrID, dt, owner)
+	if err != nil {
+		return nil, err
+	}
+	return def, c.syncDefTables()
+}
+
+// Ingest shreds a document and stores it for the given owner, returning
+// the new object ID. On validation failure nothing is stored.
+func (c *Catalog) Ingest(owner string, doc *xmldoc.Node) (int64, error) {
+	res, err := c.shredder.Shred(doc, core.Options{
+		Owner:        owner,
+		AutoRegister: c.opts.AutoRegister,
+		Lenient:      c.opts.Lenient,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if c.opts.AutoRegister {
+		if err := c.syncDefTables(); err != nil {
+			return 0, err
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	objT := c.DB.MustTable(TObjects)
+	id := objT.NextAutoID()
+	name := doc.Tag
+	if rid := doc.Child("resourceID"); rid != nil {
+		name = rid.Text
+	}
+	if _, err := objT.Insert(relstore.Row{
+		relstore.Int(id), relstore.Str(name), relstore.Str(owner),
+		relstore.Str(c.clock().UTC().Format(time.RFC3339)), relstore.Bool(false),
+	}); err != nil {
+		return 0, err
+	}
+	if err := c.insertShred(id, res); err != nil {
+		c.removeObjectLocked(id)
+		return 0, fmt.Errorf("catalog: ingest of object %d failed: %w", id, err)
+	}
+	return id, nil
+}
+
+// IngestXML parses and ingests a document held in a string.
+func (c *Catalog) IngestXML(owner, xml string) (int64, error) {
+	doc, err := xmldoc.ParseString(xml)
+	if err != nil {
+		return 0, err
+	}
+	return c.Ingest(owner, doc)
+}
+
+func (c *Catalog) insertShred(id int64, res *core.ShredResult) error {
+	oid := relstore.Int(id)
+	attrT := c.DB.MustTable(TAttrData)
+	for _, a := range res.Attrs {
+		if _, err := attrT.Insert(relstore.Row{oid, relstore.Int(a.AttrID), relstore.Int(int64(a.Seq)), relstore.Null()}); err != nil {
+			return err
+		}
+	}
+	elemT := c.DB.MustTable(TElemData)
+	for _, e := range res.Elems {
+		nval := relstore.Null()
+		if e.HasNum {
+			nval = relstore.Float(e.Num)
+		}
+		_, err := elemT.Insert(relstore.Row{
+			oid, relstore.Int(e.AttrID), relstore.Int(int64(e.AttrSeq)),
+			relstore.Int(e.ElemID), relstore.Int(int64(e.ElemSeq)),
+			relstore.Str(e.Value), nval,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	subT := c.DB.MustTable(TSubAttrs)
+	for _, sa := range res.SubAttrs {
+		// With the inverted list disabled (A1 ablation) only direct-parent
+		// links are kept; queries then chase parents recursively.
+		if c.opts.DisableInvertedList && sa.Depth != 1 {
+			continue
+		}
+		_, err := subT.Insert(relstore.Row{
+			oid, relstore.Int(sa.ChildAttrID), relstore.Int(int64(sa.ChildSeq)),
+			relstore.Int(sa.AncAttrID), relstore.Int(int64(sa.AncSeq)),
+			relstore.Int(int64(sa.Depth)),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	clobT := c.DB.MustTable(TClobs)
+	for _, cl := range res.Clobs {
+		attrID := relstore.Null()
+		seq := relstore.Null()
+		if cl.AttrID != 0 {
+			attrID = relstore.Int(cl.AttrID)
+			seq = relstore.Int(int64(cl.AttrSeq))
+		}
+		_, err := clobT.Insert(relstore.Row{
+			oid, relstore.Int(int64(cl.NodeOrder)), relstore.Int(int64(cl.ClobSeq)),
+			attrID, seq, relstore.Str(cl.XML),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddAttribute appends one metadata attribute instance to an existing
+// object (§5): the fragment is shredded with sequence counters continuing
+// from the object's current state. The schema-level global ordering makes
+// this O(rows inserted) — no per-document renumbering (the E7
+// experiment's point).
+func (c *Catalog) AddAttribute(objectID int64, owner string, frag *xmldoc.Node) error {
+	decl := c.Schema.AttributeByTag(frag.Tag)
+	if decl == nil {
+		return fmt.Errorf("catalog: <%s> is not a metadata attribute of schema %s", frag.Tag, c.Schema.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids, err := c.DB.MustTable(TObjects).LookupEqual("objects_pk", relstore.Int(objectID))
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("catalog: no object %d", objectID)
+	}
+	// Current same-sibling counters for the object.
+	clobSeq := map[int]int{}
+	clobT := c.DB.MustTable(TClobs)
+	rowIDs, err := clobT.LookupRange("clobs_by_object",
+		relstore.RangeBound{Vals: []relstore.Value{relstore.Int(objectID)}, Inclusive: true, Set: true},
+		relstore.RangeBound{Vals: []relstore.Value{relstore.Int(objectID)}, Inclusive: true, Set: true})
+	if err != nil {
+		return err
+	}
+	for _, rid := range rowIDs {
+		if r := clobT.Get(rid); r != nil {
+			if int(r[2].I) > clobSeq[int(r[1].I)] {
+				clobSeq[int(r[1].I)] = int(r[2].I)
+			}
+		}
+	}
+	attrSeq := map[int64]int{}
+	attrT := c.DB.MustTable(TAttrData)
+	aids, err := attrT.LookupEqual("attr_data_by_object", relstore.Int(objectID))
+	if err != nil {
+		return err
+	}
+	for _, rid := range aids {
+		if r := attrT.Get(rid); r != nil {
+			if int(r[2].I) > attrSeq[r[1].I] {
+				attrSeq[r[1].I] = int(r[2].I)
+			}
+		}
+	}
+	res, err := c.shredder.ShredAttribute(frag, decl, core.Options{
+		Owner:        owner,
+		AutoRegister: c.opts.AutoRegister,
+		Lenient:      c.opts.Lenient,
+	}, clobSeq, attrSeq)
+	if err != nil {
+		return err
+	}
+	return c.insertShred(objectID, res)
+}
+
+// Delete removes an object and all its rows, reporting whether it
+// existed.
+func (c *Catalog) Delete(id int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids, _ := c.DB.MustTable(TObjects).LookupEqual("objects_pk", relstore.Int(id))
+	if len(ids) == 0 {
+		return false
+	}
+	c.removeObjectLocked(id)
+	return true
+}
+
+func (c *Catalog) removeObjectLocked(id int64) {
+	for table, index := range map[string]string{
+		TObjects:  "objects_pk",
+		TAttrData: "attr_data_by_object",
+		TElemData: "elem_data_by_object",
+		TSubAttrs: "sub_attrs_by_object",
+		TMembers:  "members_by_object",
+	} {
+		t := c.DB.MustTable(table)
+		ids, _ := t.LookupEqual(index, relstore.Int(id))
+		for _, rid := range ids {
+			t.Delete(rid)
+		}
+	}
+	clobT := c.DB.MustTable(TClobs)
+	ids, _ := clobT.LookupRange("clobs_by_object",
+		relstore.RangeBound{Vals: []relstore.Value{relstore.Int(id)}, Inclusive: true, Set: true},
+		relstore.RangeBound{Vals: []relstore.Value{relstore.Int(id)}, Inclusive: true, Set: true})
+	for _, rid := range ids {
+		clobT.Delete(rid)
+	}
+}
+
+// ObjectCount returns the number of cataloged objects.
+func (c *Catalog) ObjectCount() int { return c.DB.MustTable(TObjects).Len() }
+
+// StorageBytes reports the catalog's resident data size (E5).
+func (c *Catalog) StorageBytes() int64 { return c.DB.StorageBytes() }
+
+// ObjectInfo describes one cataloged object.
+type ObjectInfo struct {
+	ID        int64
+	Name      string
+	Owner     string
+	Created   string
+	Published bool
+}
+
+// Objects lists cataloged objects in ID order.
+func (c *Catalog) Objects() []ObjectInfo {
+	var out []ObjectInfo
+	it := relstore.Sort(relstore.ScanTable(c.DB.MustTable(TObjects)), relstore.SortSpec{Col: 0})
+	for {
+		r, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ObjectInfo{ID: r[0].I, Name: r[1].S, Owner: r[2].S, Created: r[3].S, Published: r[4].AsBool()})
+	}
+}
+
+// SetPublished publishes or unpublishes an object. Unpublished objects
+// are visible only to their owner's queries (§1: the catalog must
+// "ensure the privacy of unpublished data and results").
+func (c *Catalog) SetPublished(id int64, published bool) error {
+	objT := c.DB.MustTable(TObjects)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids, err := objT.LookupEqual("objects_pk", relstore.Int(id))
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("catalog: no object %d", id)
+	}
+	r := relstore.CloneRow(objT.Get(ids[0]))
+	r[4] = relstore.Bool(published)
+	return objT.Update(ids[0], r)
+}
+
+// visibleTo reports whether the object may appear in results for the
+// given querying user: owners see their own objects, everyone sees
+// published ones, and the empty user is the catalog-internal superuser.
+func (c *Catalog) visibleTo(user string, objectID int64) bool {
+	if user == "" {
+		return true
+	}
+	objT := c.DB.MustTable(TObjects)
+	ids, _ := objT.LookupEqual("objects_pk", relstore.Int(objectID))
+	if len(ids) == 0 {
+		return false
+	}
+	r := objT.Get(ids[0])
+	return r[2].S == user || r[4].AsBool()
+}
+
+// filterVisible keeps the object IDs visible to the user.
+func (c *Catalog) filterVisible(user string, ids []int64) []int64 {
+	if user == "" {
+		return ids
+	}
+	out := ids[:0]
+	for _, id := range ids {
+		if c.visibleTo(user, id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+// Collections implement the paper's aggregations (§1: scientists query
+// for "objects (files or aggregations)") and the containment-viewpoint
+// context queries of §7: objects are organized into a per-user hierarchy
+// (project → experiment → collection in myLEAD), a query can be scoped to
+// a collection subtree, and the broader-context direction — which
+// experiments contain matching objects — is answered by the same
+// membership tables.
+
+// Collection table names.
+const (
+	TCollections = "collections"
+	TMembers     = "collection_members"
+)
+
+// CollectionInfo describes one collection.
+type CollectionInfo struct {
+	ID       int64
+	Name     string
+	Owner    string
+	ParentID int64 // 0 = root collection
+}
+
+// initCollections creates the collection tables; called from Open.
+func (c *Catalog) initCollections() error {
+	if _, err := c.DB.CreateTable(TCollections,
+		col("coll_id", relstore.KInt, true),
+		col("name", relstore.KString, true),
+		col("owner", relstore.KString, false),
+		col("parent_coll_id", relstore.KInt, false),
+	); err != nil {
+		return err
+	}
+	collT := c.DB.MustTable(TCollections)
+	if _, err := collT.CreateIndex("collections_pk", relstore.BTreeIndex, true, "coll_id"); err != nil {
+		return err
+	}
+	if _, err := collT.CreateIndex("collections_by_parent", relstore.HashIndex, false, "parent_coll_id"); err != nil {
+		return err
+	}
+	if _, err := c.DB.CreateTable(TMembers,
+		col("coll_id", relstore.KInt, true),
+		col("object_id", relstore.KInt, true),
+	); err != nil {
+		return err
+	}
+	memT := c.DB.MustTable(TMembers)
+	if _, err := memT.CreateIndex("members_pk", relstore.BTreeIndex, true, "coll_id", "object_id"); err != nil {
+		return err
+	}
+	if _, err := memT.CreateIndex("members_by_object", relstore.HashIndex, false, "object_id"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CreateCollection creates a collection (aggregation). parentID 0 makes a
+// root collection; otherwise the parent must exist.
+func (c *Catalog) CreateCollection(name, owner string, parentID int64) (int64, error) {
+	if name == "" {
+		return 0, fmt.Errorf("catalog: collection needs a name")
+	}
+	collT := c.DB.MustTable(TCollections)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if parentID != 0 {
+		ids, err := collT.LookupEqual("collections_pk", relstore.Int(parentID))
+		if err != nil {
+			return 0, err
+		}
+		if len(ids) == 0 {
+			return 0, fmt.Errorf("catalog: no collection %d", parentID)
+		}
+	}
+	id := collT.NextAutoID()
+	parent := relstore.Null()
+	if parentID != 0 {
+		parent = relstore.Int(parentID)
+	}
+	if _, err := collT.Insert(relstore.Row{relstore.Int(id), relstore.Str(name), relstore.Str(owner), parent}); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// AddToCollection places an object into a collection. Membership is
+// idempotent; an object may belong to several collections.
+func (c *Catalog) AddToCollection(collID, objectID int64) error {
+	collT := c.DB.MustTable(TCollections)
+	ids, err := collT.LookupEqual("collections_pk", relstore.Int(collID))
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("catalog: no collection %d", collID)
+	}
+	objIDs, err := c.DB.MustTable(TObjects).LookupEqual("objects_pk", relstore.Int(objectID))
+	if err != nil {
+		return err
+	}
+	if len(objIDs) == 0 {
+		return fmt.Errorf("catalog: no object %d", objectID)
+	}
+	memT := c.DB.MustTable(TMembers)
+	existing, err := memT.LookupEqual("members_pk", relstore.Int(collID), relstore.Int(objectID))
+	if err != nil {
+		return err
+	}
+	if len(existing) > 0 {
+		return nil
+	}
+	_, err = memT.Insert(relstore.Row{relstore.Int(collID), relstore.Int(objectID)})
+	return err
+}
+
+// RemoveFromCollection removes a membership, reporting whether it
+// existed.
+func (c *Catalog) RemoveFromCollection(collID, objectID int64) bool {
+	memT := c.DB.MustTable(TMembers)
+	ids, _ := memT.LookupEqual("members_pk", relstore.Int(collID), relstore.Int(objectID))
+	removed := false
+	for _, rid := range ids {
+		removed = memT.Delete(rid) || removed
+	}
+	return removed
+}
+
+// Collections lists all collections in ID order.
+func (c *Catalog) Collections() []CollectionInfo {
+	var out []CollectionInfo
+	c.DB.MustTable(TCollections).Scan(func(_ int64, r relstore.Row) bool {
+		info := CollectionInfo{ID: r[0].I, Name: r[1].S, Owner: r[2].S}
+		if !r[3].IsNull() {
+			info.ParentID = r[3].I
+		}
+		out = append(out, info)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// subtreeCollections returns collID and all transitive child collection
+// IDs.
+func (c *Catalog) subtreeCollections(collID int64) ([]int64, error) {
+	collT := c.DB.MustTable(TCollections)
+	ids, err := collT.LookupEqual("collections_pk", relstore.Int(collID))
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("catalog: no collection %d", collID)
+	}
+	out := []int64{collID}
+	frontier := []int64{collID}
+	for len(frontier) > 0 {
+		var next []int64
+		for _, id := range frontier {
+			childRows, err := collT.LookupEqual("collections_by_parent", relstore.Int(id))
+			if err != nil {
+				return nil, err
+			}
+			for _, rid := range childRows {
+				if r := collT.Get(rid); r != nil {
+					next = append(next, r[0].I)
+				}
+			}
+		}
+		out = append(out, next...)
+		frontier = next
+	}
+	return out, nil
+}
+
+// CollectionObjects returns the object IDs in the collection subtree,
+// ascending and de-duplicated.
+func (c *Catalog) CollectionObjects(collID int64) ([]int64, error) {
+	colls, err := c.subtreeCollections(collID)
+	if err != nil {
+		return nil, err
+	}
+	memT := c.DB.MustTable(TMembers)
+	seen := map[int64]bool{}
+	var out []int64
+	for _, cid := range colls {
+		rows, err := memT.LookupRange("members_pk",
+			relstore.RangeBound{Vals: []relstore.Value{relstore.Int(cid)}, Inclusive: true, Set: true},
+			relstore.RangeBound{Vals: []relstore.Value{relstore.Int(cid)}, Inclusive: true, Set: true})
+		if err != nil {
+			return nil, err
+		}
+		for _, rid := range rows {
+			if r := memT.Get(rid); r != nil && !seen[r[1].I] {
+				seen[r[1].I] = true
+				out = append(out, r[1].I)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// EvaluateInContext runs the query scoped to a collection subtree — the
+// containment viewpoint: only objects aggregated under the collection
+// can match.
+func (c *Catalog) EvaluateInContext(collID int64, q *Query) ([]int64, error) {
+	scope, err := c.CollectionObjects(collID)
+	if err != nil {
+		return nil, err
+	}
+	if len(scope) == 0 {
+		return nil, nil
+	}
+	ids, err := c.Evaluate(q)
+	if err != nil {
+		return nil, err
+	}
+	inScope := make(map[int64]bool, len(scope))
+	for _, id := range scope {
+		inScope[id] = true
+	}
+	var out []int64
+	for _, id := range ids {
+		if inScope[id] {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// CollectionsContaining answers the broader-context direction the
+// paper's §7 calls out: which collections (directly or through their
+// subtree) contain at least one object matching the query.
+func (c *Catalog) CollectionsContaining(q *Query) ([]int64, error) {
+	ids, err := c.Evaluate(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	matched := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		matched[id] = true
+	}
+	// Direct memberships of matching objects.
+	memT := c.DB.MustTable(TMembers)
+	direct := map[int64]bool{}
+	for _, id := range ids {
+		rows, err := memT.LookupEqual("members_by_object", relstore.Int(id))
+		if err != nil {
+			return nil, err
+		}
+		for _, rid := range rows {
+			if r := memT.Get(rid); r != nil {
+				direct[r[0].I] = true
+			}
+		}
+	}
+	// Ancestors of those collections also contain the objects.
+	collT := c.DB.MustTable(TCollections)
+	parentOf := map[int64]int64{}
+	collT.Scan(func(_ int64, r relstore.Row) bool {
+		if !r[3].IsNull() {
+			parentOf[r[0].I] = r[3].I
+		}
+		return true
+	})
+	all := map[int64]bool{}
+	for cid := range direct {
+		for id := cid; id != 0; id = parentOf[id] {
+			if all[id] {
+				break
+			}
+			all[id] = true
+		}
+	}
+	out := make([]int64, 0, len(all))
+	for id := range all {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

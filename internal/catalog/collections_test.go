@@ -1,0 +1,191 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+// collFixture builds a catalog with a project/experiment hierarchy:
+//
+//	project (p)
+//	├── exp-a: objects with dx 500, 1000
+//	└── exp-b: objects with dx 1000, 2000
+//	loose object (dx 1000) in no collection
+func collFixture(t *testing.T) (c *Catalog, p, expA, expB int64, objs []int64) {
+	t.Helper()
+	c = newLEADCatalog(t, Options{})
+	var err error
+	p, err = c.CreateCollection("spring06", "alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expA, err = c.CreateCollection("exp-a", "alice", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expB, err = c.CreateCollection("exp-b", "alice", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range []struct {
+		dx   string
+		coll int64
+	}{
+		{"500", expA}, {"1000", expA}, {"1000", expB}, {"2000", expB}, {"1000", 0},
+	} {
+		id, err := c.IngestXML("alice", fig3Variant(t, spec.dx))
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		objs = append(objs, id)
+		if spec.coll != 0 {
+			if err := c.AddToCollection(spec.coll, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return c, p, expA, expB, objs
+}
+
+func TestCollectionLifecycle(t *testing.T) {
+	c := newLEADCatalog(t, Options{})
+	if _, err := c.CreateCollection("", "u", 0); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := c.CreateCollection("x", "u", 999); err == nil {
+		t.Error("missing parent should fail")
+	}
+	p, err := c.CreateCollection("p", "u", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := c.CreateCollection("c", "u", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := c.Collections()
+	if len(infos) != 2 || infos[0].ID != p || infos[1].ParentID != p {
+		t.Fatalf("collections = %+v", infos)
+	}
+	// Membership validation.
+	if err := c.AddToCollection(child, 42); err == nil {
+		t.Error("missing object should fail")
+	}
+	id := ingestFig3(t, c)
+	if err := c.AddToCollection(999, id); err == nil {
+		t.Error("missing collection should fail")
+	}
+	if err := c.AddToCollection(child, id); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := c.AddToCollection(child, id); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.CollectionObjects(child)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("objects = %v, %v", got, err)
+	}
+	if !c.RemoveFromCollection(child, id) || c.RemoveFromCollection(child, id) {
+		t.Error("remove semantics wrong")
+	}
+}
+
+func TestCollectionObjectsTransitive(t *testing.T) {
+	c, p, expA, expB, objs := collFixture(t)
+	all, err := c.CollectionObjects(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 { // everything except the loose object
+		t.Fatalf("project objects = %v", all)
+	}
+	a, _ := c.CollectionObjects(expA)
+	if fmt.Sprint(a) != fmt.Sprint(objs[:2]) {
+		t.Fatalf("exp-a = %v", a)
+	}
+	b, _ := c.CollectionObjects(expB)
+	if len(b) != 2 {
+		t.Fatalf("exp-b = %v", b)
+	}
+	if _, err := c.CollectionObjects(12345); err == nil {
+		t.Error("missing collection should fail")
+	}
+}
+
+func TestEvaluateInContext(t *testing.T) {
+	c, p, expA, expB, objs := collFixture(t)
+	q := &Query{}
+	q.Attr("grid", "ARPS").AddElem("dx", "ARPS", relstore.OpEq, relstore.Int(1000))
+
+	// Whole catalog: three matches (exp-a, exp-b, loose).
+	ids, err := c.Evaluate(q)
+	if err != nil || len(ids) != 3 {
+		t.Fatalf("global = %v, %v", ids, err)
+	}
+	// Project scope: excludes the loose object.
+	ids, err = c.EvaluateInContext(p, q)
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("project = %v, %v", ids, err)
+	}
+	// Experiment scopes.
+	ids, _ = c.EvaluateInContext(expA, q)
+	if len(ids) != 1 || ids[0] != objs[1] {
+		t.Fatalf("exp-a = %v", ids)
+	}
+	ids, _ = c.EvaluateInContext(expB, q)
+	if len(ids) != 1 || ids[0] != objs[2] {
+		t.Fatalf("exp-b = %v", ids)
+	}
+	// Empty collection scope.
+	empty, _ := c.CreateCollection("empty", "alice", 0)
+	ids, err = c.EvaluateInContext(empty, q)
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("empty = %v, %v", ids, err)
+	}
+}
+
+func TestCollectionsContaining(t *testing.T) {
+	c, p, expA, expB, _ := collFixture(t)
+	// dx=500 lives only in exp-a (and therefore the project).
+	q := &Query{}
+	q.Attr("grid", "ARPS").AddElem("dx", "ARPS", relstore.OpEq, relstore.Int(500))
+	colls, err := c.CollectionsContaining(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(colls) != fmt.Sprint([]int64{p, expA}) {
+		t.Fatalf("colls = %v, want [%d %d]", colls, p, expA)
+	}
+	// dx=1000 is in both experiments.
+	q = &Query{}
+	q.Attr("grid", "ARPS").AddElem("dx", "ARPS", relstore.OpEq, relstore.Int(1000))
+	colls, _ = c.CollectionsContaining(q)
+	if fmt.Sprint(colls) != fmt.Sprint([]int64{p, expA, expB}) {
+		t.Fatalf("colls = %v", colls)
+	}
+	// No matches -> no collections.
+	q = &Query{}
+	q.Attr("grid", "ARPS").AddElem("dx", "ARPS", relstore.OpEq, relstore.Int(77777))
+	colls, err = c.CollectionsContaining(q)
+	if err != nil || colls != nil {
+		t.Fatalf("no-match = %v, %v", colls, err)
+	}
+}
+
+func TestDeleteObjectRemovesMemberships(t *testing.T) {
+	c, p, expA, _, objs := collFixture(t)
+	if !c.Delete(objs[0]) {
+		t.Fatal("delete failed")
+	}
+	a, _ := c.CollectionObjects(expA)
+	if len(a) != 1 {
+		t.Fatalf("exp-a after delete = %v", a)
+	}
+	all, _ := c.CollectionObjects(p)
+	if len(all) != 3 {
+		t.Fatalf("project after delete = %v", all)
+	}
+}

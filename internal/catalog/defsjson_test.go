@@ -1,0 +1,115 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+const fig3Defs = `[
+  {"kind":"attribute","name":"grid","source":"ARPS"},
+  {"kind":"attribute","name":"grid-stretching","source":"ARPS","parent":"grid"},
+  {"kind":"element","name":"dx","source":"ARPS","parent":"grid","type":"float"},
+  {"kind":"element","name":"dz","source":"ARPS","parent":"grid","type":"float"},
+  {"kind":"element","name":"dzmin","source":"ARPS","parent":"grid-stretching","type":"float"},
+  {"kind":"element","name":"reference-height","source":"ARPS","parent":"grid-stretching","type":"float"}
+]`
+
+func TestLoadDefinitionsJSON(t *testing.T) {
+	c, err := Open(xmlschema.MustLEAD(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadDefinitionsJSON([]byte(fig3Defs)); err != nil {
+		t.Fatal(err)
+	}
+	// The loaded definitions support the worked query end to end.
+	if _, err := c.IngestXML("u", xmlschema.Figure3Document); err != nil {
+		t.Fatal(err)
+	}
+	q := &Query{}
+	g := q.Attr("grid", "ARPS")
+	g.AddElem("dx", "ARPS", relstore.OpEq, relstore.Int(1000))
+	sub := &AttrCriteria{Name: "grid-stretching", Source: "ARPS"}
+	sub.AddElem("dzmin", "ARPS", relstore.OpEq, relstore.Int(100))
+	g.AddSub(sub)
+	ids, err := c.Evaluate(q)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("query = %v, %v", ids, err)
+	}
+}
+
+func TestDefinitionsJSONRoundTrip(t *testing.T) {
+	c, err := Open(xmlschema.MustLEAD(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadDefinitionsJSON([]byte(fig3Defs)); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := c.DumpDefinitionsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dump loads into a fresh catalog and dumps identically.
+	c2, _ := Open(xmlschema.MustLEAD(), Options{})
+	if err := c2.LoadDefinitionsJSON(dump); err != nil {
+		t.Fatal(err)
+	}
+	dump2, _ := c2.DumpDefinitionsJSON()
+	if string(dump) != string(dump2) {
+		t.Errorf("round trip differs:\n%s\nvs\n%s", dump, dump2)
+	}
+	// Structural definitions are not dumped.
+	if strings.Contains(string(dump), `"theme"`) {
+		t.Error("dump should carry dynamic definitions only")
+	}
+}
+
+func TestLoadDefinitionsJSONErrors(t *testing.T) {
+	c, _ := Open(xmlschema.MustLEAD(), Options{})
+	bad := []string{
+		`not json`,
+		`[{"kind":"mystery","name":"x"}]`,
+		`[{"kind":"attribute","name":"a","parent":"ghost"}]`,
+		`[{"kind":"element","name":"e","parent":"ghost","type":"int"}]`,
+		`[{"kind":"attribute","name":"a","source":"s"},
+		  {"kind":"element","name":"e","parent":"a","type":"complex128"}]`,
+	}
+	for _, s := range bad {
+		if err := c.LoadDefinitionsJSON([]byte(s)); err == nil {
+			t.Errorf("LoadDefinitionsJSON(%s) should fail", s)
+		}
+	}
+}
+
+func TestSearchPage(t *testing.T) {
+	c := newLEADCatalog(t, Options{})
+	for i := 0; i < 7; i++ {
+		if _, err := c.IngestXML("u", fig3Variant(t, "1000")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := &Query{}
+	q.Attr("grid", "ARPS").AddElem("dx", "ARPS", relstore.OpEq, relstore.Int(1000))
+
+	resp, total, err := c.SearchPage(q, 0, 3)
+	if err != nil || total != 7 || len(resp) != 3 || resp[0].ObjectID != 1 {
+		t.Fatalf("page0 = %d results, total %d, %v", len(resp), total, err)
+	}
+	resp, total, _ = c.SearchPage(q, 6, 3)
+	if total != 7 || len(resp) != 1 || resp[0].ObjectID != 7 {
+		t.Fatalf("last page = %d results, total %d", len(resp), total)
+	}
+	resp, total, _ = c.SearchPage(q, 10, 3)
+	if total != 7 || len(resp) != 0 {
+		t.Fatalf("past-end page = %d results", len(resp))
+	}
+	// limit <= 0 means everything.
+	resp, _, _ = c.SearchPage(q, 2, 0)
+	if len(resp) != 5 {
+		t.Fatalf("unlimited tail = %d results", len(resp))
+	}
+}

@@ -1,0 +1,172 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+// JSON wire format for queries, used by the HTTP service and the CLI:
+//
+//	{
+//	  "owner": "alice",
+//	  "attrs": [{
+//	    "name": "grid", "source": "ARPS",
+//	    "elems": [{"name": "dx", "source": "ARPS", "op": ">=", "value": 1000}],
+//	    "subs":  [{"name": "grid-stretching", "source": "ARPS",
+//	               "elems": [{"name": "dzmin", "source": "ARPS", "op": "=", "value": 100}]}]
+//	  }]
+//	}
+//
+// Values may be JSON numbers (typed numeric comparison), strings, or
+// booleans.
+
+type jsonQuery struct {
+	Owner string     `json:"owner,omitempty"`
+	Attrs []jsonAttr `json:"attrs"`
+}
+
+type jsonAttr struct {
+	Name   string     `json:"name"`
+	Source string     `json:"source,omitempty"`
+	Elems  []jsonElem `json:"elems,omitempty"`
+	Subs   []jsonAttr `json:"subs,omitempty"`
+}
+
+type jsonElem struct {
+	Name   string            `json:"name"`
+	Source string            `json:"source,omitempty"`
+	Op     string            `json:"op"`
+	Value  json.RawMessage   `json:"value,omitempty"`
+	Values []json.RawMessage `json:"values,omitempty"` // OneOf (op must be "=")
+}
+
+// ParseQueryJSON decodes the JSON wire format into a Query.
+func ParseQueryJSON(data []byte) (*Query, error) {
+	var jq jsonQuery
+	if err := json.Unmarshal(data, &jq); err != nil {
+		return nil, fmt.Errorf("catalog: bad query JSON: %w", err)
+	}
+	if len(jq.Attrs) == 0 {
+		return nil, fmt.Errorf("catalog: query JSON has no attrs")
+	}
+	q := &Query{Owner: jq.Owner}
+	for _, ja := range jq.Attrs {
+		crit, err := jsonToCriteria(ja)
+		if err != nil {
+			return nil, err
+		}
+		q.Attrs = append(q.Attrs, crit)
+	}
+	return q, nil
+}
+
+func jsonToCriteria(ja jsonAttr) (*AttrCriteria, error) {
+	if ja.Name == "" {
+		return nil, fmt.Errorf("catalog: query attr missing name")
+	}
+	crit := &AttrCriteria{Name: ja.Name, Source: ja.Source}
+	for _, je := range ja.Elems {
+		op, err := relstore.ParseCmpOp(je.Op)
+		if err != nil {
+			return nil, err
+		}
+		pred := ElemPred{Name: je.Name, Source: je.Source, Op: op}
+		if len(je.Values) > 0 {
+			if op != relstore.OpEq {
+				return nil, fmt.Errorf("catalog: element %s: values requires op \"=\"", je.Name)
+			}
+			for _, raw := range je.Values {
+				v, err := jsonValue(raw)
+				if err != nil {
+					return nil, fmt.Errorf("catalog: element %s: %w", je.Name, err)
+				}
+				pred.OneOf = append(pred.OneOf, v)
+			}
+		} else {
+			v, err := jsonValue(je.Value)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: element %s: %w", je.Name, err)
+			}
+			pred.Value = v
+		}
+		crit.Elems = append(crit.Elems, pred)
+	}
+	for _, js := range ja.Subs {
+		sub, err := jsonToCriteria(js)
+		if err != nil {
+			return nil, err
+		}
+		crit.Subs = append(crit.Subs, sub)
+	}
+	return crit, nil
+}
+
+func jsonValue(raw json.RawMessage) (relstore.Value, error) {
+	if len(raw) == 0 {
+		return relstore.Value{}, fmt.Errorf("missing value")
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return relstore.Value{}, err
+	}
+	switch x := v.(type) {
+	case float64:
+		if x == float64(int64(x)) {
+			return relstore.Int(int64(x)), nil
+		}
+		return relstore.Float(x), nil
+	case string:
+		return relstore.Str(x), nil
+	case bool:
+		return relstore.Bool(x), nil
+	case nil:
+		return relstore.Null(), nil
+	}
+	return relstore.Value{}, fmt.Errorf("unsupported value %s", raw)
+}
+
+// MarshalQueryJSON renders a Query in the wire format (for logging and
+// client tooling).
+func MarshalQueryJSON(q *Query) ([]byte, error) {
+	jq := jsonQuery{Owner: q.Owner}
+	for _, a := range q.Attrs {
+		jq.Attrs = append(jq.Attrs, criteriaToJSON(a))
+	}
+	return json.MarshalIndent(jq, "", "  ")
+}
+
+func marshalValue(v relstore.Value) json.RawMessage {
+	var raw json.RawMessage
+	switch v.K {
+	case relstore.KInt:
+		raw, _ = json.Marshal(v.I)
+	case relstore.KFloat:
+		raw, _ = json.Marshal(v.F)
+	case relstore.KBool:
+		raw, _ = json.Marshal(v.I != 0)
+	default:
+		raw, _ = json.Marshal(v.AsString())
+	}
+	return raw
+}
+
+func criteriaToJSON(a *AttrCriteria) jsonAttr {
+	ja := jsonAttr{Name: a.Name, Source: a.Source}
+	for _, e := range a.Elems {
+		je := jsonElem{Name: e.Name, Source: e.Source, Op: e.Op.String()}
+		if len(e.OneOf) > 0 {
+			for _, v := range e.OneOf {
+				je.Values = append(je.Values, marshalValue(v))
+			}
+		} else {
+			je.Value = marshalValue(e.Value)
+		}
+		ja.Elems = append(ja.Elems, je)
+	}
+	for _, s := range a.Subs {
+		ja.Subs = append(ja.Subs, criteriaToJSON(s))
+	}
+	return ja
+}

@@ -1,0 +1,87 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+func TestParseQueryJSON(t *testing.T) {
+	data := []byte(`{
+	  "owner": "alice",
+	  "attrs": [{
+	    "name": "grid", "source": "ARPS",
+	    "elems": [{"name": "dx", "source": "ARPS", "op": ">=", "value": 1000},
+	              {"name": "note", "op": "=", "value": "coarse"}],
+	    "subs": [{"name": "grid-stretching", "source": "ARPS",
+	              "elems": [{"name": "dzmin", "source": "ARPS", "op": "=", "value": 100.5}]}]
+	  }, {"name": "theme", "elems": [{"name": "themekt", "op": "=", "value": "CF"}]}]
+	}`)
+	q, err := ParseQueryJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Owner != "alice" || len(q.Attrs) != 2 {
+		t.Fatalf("query = %+v", q)
+	}
+	g := q.Attrs[0]
+	if g.Name != "grid" || len(g.Elems) != 2 || len(g.Subs) != 1 {
+		t.Fatalf("grid = %+v", g)
+	}
+	if g.Elems[0].Op != relstore.OpGe || g.Elems[0].Value.K != relstore.KInt || g.Elems[0].Value.I != 1000 {
+		t.Errorf("dx pred = %+v", g.Elems[0])
+	}
+	if g.Elems[1].Value.K != relstore.KString {
+		t.Errorf("note pred = %+v", g.Elems[1])
+	}
+	if g.Subs[0].Elems[0].Value.K != relstore.KFloat {
+		t.Errorf("dzmin pred = %+v", g.Subs[0].Elems[0])
+	}
+}
+
+func TestParseQueryJSONErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`{}`,
+		`{"attrs": []}`,
+		`{"attrs": [{"source": "x"}]}`,
+		`{"attrs": [{"name": "a", "elems": [{"name": "e", "op": "~~", "value": 1}]}]}`,
+		`{"attrs": [{"name": "a", "elems": [{"name": "e", "op": "="}]}]}`,
+		`{"attrs": [{"name": "a", "elems": [{"name": "e", "op": "=", "value": [1,2]}]}]}`,
+	}
+	for _, s := range bad {
+		if _, err := ParseQueryJSON([]byte(s)); err == nil {
+			t.Errorf("ParseQueryJSON(%s) should fail", s)
+		}
+	}
+}
+
+func TestQueryJSONRoundTrip(t *testing.T) {
+	q := &Query{Owner: "bob"}
+	g := q.Attr("grid", "ARPS")
+	g.AddElem("dx", "ARPS", relstore.OpEq, relstore.Int(1000))
+	g.AddElem("label", "", relstore.OpNe, relstore.Str("x"))
+	sub := &AttrCriteria{Name: "s", Source: "ARPS"}
+	sub.AddElem("v", "ARPS", relstore.OpLt, relstore.Float(2.5))
+	g.AddSub(sub)
+
+	data, err := MarshalQueryJSON(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"dx"`) {
+		t.Errorf("marshal output: %s", data)
+	}
+	back, err := ParseQueryJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := MarshalQueryJSON(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(d2) {
+		t.Errorf("round trip differs:\n%s\nvs\n%s", data, d2)
+	}
+}

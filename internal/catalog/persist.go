@@ -1,0 +1,133 @@
+package catalog
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+// Snapshot persistence: Save serializes the catalog's definitions and
+// data rows; Load rebuilds a catalog over the same schema. The schema
+// itself is code (or DSL) and travels separately — Load verifies the
+// provided schema matches by name and ordering signature, then replays
+// the rows through the normal insert path so all indexes rebuild.
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// dataTables are the tables whose rows a snapshot carries; definition and
+// schema tables are re-derived at load.
+var dataTables = []string{TObjects, TAttrData, TElemData, TSubAttrs, TClobs, TCollections, TMembers}
+
+type snapshot struct {
+	Version    int
+	SchemaName string
+	SchemaSig  string
+	Attrs      []core.AttrDef
+	Elems      []core.ElemDef
+	Tables     map[string][]relstore.Row
+}
+
+// schemaSig fingerprints the global ordering so Load rejects a
+// mismatched schema.
+func schemaSig(s *xmlschema.Schema) string {
+	sig := ""
+	for _, n := range s.Ordered {
+		sig += fmt.Sprintf("%s/%d/%d;", n.Tag, n.Order, n.LastChild)
+	}
+	return sig
+}
+
+// Save writes a snapshot of the catalog (definitions plus all object,
+// shredded, CLOB, and collection rows).
+func (c *Catalog) Save(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := snapshot{
+		Version:    snapshotVersion,
+		SchemaName: c.Schema.Name,
+		SchemaSig:  schemaSig(c.Schema),
+		Tables:     make(map[string][]relstore.Row, len(dataTables)),
+	}
+	for _, d := range c.Reg.Attrs() {
+		snap.Attrs = append(snap.Attrs, *d)
+	}
+	for _, d := range c.Reg.Elems() {
+		snap.Elems = append(snap.Elems, *d)
+	}
+	for _, name := range dataTables {
+		t := c.DB.MustTable(name)
+		rows := make([]relstore.Row, 0, t.Len())
+		t.Scan(func(_ int64, r relstore.Row) bool {
+			rows = append(rows, r)
+			return true
+		})
+		snap.Tables[name] = rows
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load rebuilds a catalog from a snapshot over the given schema. The
+// schema must match the one the snapshot was written against.
+func Load(schema *xmlschema.Schema, opts Options, r io.Reader) (*Catalog, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("catalog: corrupt snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("catalog: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if snap.SchemaName != schema.Name || snap.SchemaSig != schemaSig(schema) {
+		return nil, fmt.Errorf("catalog: snapshot was written against schema %q with a different ordering", snap.SchemaName)
+	}
+	c, err := Open(schema, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Reg.Restore(snap.Attrs, snap.Elems); err != nil {
+		return nil, err
+	}
+	// Refresh the mirrored definition tables (Open seeded structural
+	// rows; drop and re-mirror so IDs match the restored registry).
+	for _, name := range []string{TAttrDef, TElemDef} {
+		t := c.DB.MustTable(name)
+		var ids []int64
+		t.Scan(func(id int64, _ relstore.Row) bool {
+			ids = append(ids, id)
+			return true
+		})
+		for _, id := range ids {
+			t.Delete(id)
+		}
+	}
+	if err := c.syncDefTables(); err != nil {
+		return nil, err
+	}
+	// Replay data rows through the normal insert path so every index
+	// rebuilds, and advance the auto-ID counters past restored IDs.
+	for _, name := range dataTables {
+		t := c.DB.MustTable(name)
+		for _, row := range snap.Tables[name] {
+			if _, err := t.Insert(row); err != nil {
+				return nil, fmt.Errorf("catalog: restoring %s: %w", name, err)
+			}
+		}
+	}
+	maxID := func(name string, col int) int64 {
+		var m int64
+		c.DB.MustTable(name).Scan(func(_ int64, r relstore.Row) bool {
+			if r[col].I > m {
+				m = r[col].I
+			}
+			return true
+		})
+		return m
+	}
+	c.DB.MustTable(TObjects).EnsureAutoID(maxID(TObjects, 0))
+	c.DB.MustTable(TCollections).EnsureAutoID(maxID(TCollections, 0))
+	return c, nil
+}

@@ -1,0 +1,152 @@
+package catalog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c, p, expA, _, objs := collFixture(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := Load(xmlschema.MustLEAD(), Options{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same objects.
+	if loaded.ObjectCount() != c.ObjectCount() {
+		t.Fatalf("objects = %d, want %d", loaded.ObjectCount(), c.ObjectCount())
+	}
+	// Queries answer identically.
+	q := &Query{}
+	q.Attr("grid", "ARPS").AddElem("dx", "ARPS", relstore.OpEq, relstore.Int(1000))
+	a, err := c.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("query after load: %v vs %v", a, b)
+	}
+	// Documents reconstruct identically.
+	d1, err := c.FetchDocument(objs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := loaded.FetchDocument(objs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmldoc.Equal(d1, d2) {
+		t.Fatalf("documents differ after load: %s", xmldoc.Diff(d1, d2))
+	}
+	// Collections survive.
+	got, err := loaded.EvaluateInContext(expA, q)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("context query after load: %v, %v", got, err)
+	}
+	_ = p
+}
+
+func TestLoadedCatalogAcceptsNewWork(t *testing.T) {
+	c, _, _, _, _ := collFixture(t)
+	before := c.ObjectCount()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(xmlschema.MustLEAD(), Options{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New ingests continue past the restored IDs.
+	id, err := loaded.IngestXML("alice", fig3Variant(t, "4242"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != int64(before+1) {
+		t.Errorf("new id = %d, want %d", id, before+1)
+	}
+	// New dynamic definitions register past restored definition IDs.
+	def, err := loaded.RegisterAttr("fresh", "WRF", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Reg.AttrByID(def.ID) == nil {
+		t.Error("fresh definition missing")
+	}
+	// New collection IDs don't collide.
+	cid, err := loaded.CreateCollection("post-load", "alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.AddToCollection(cid, id); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := loaded.CollectionObjects(cid)
+	if len(got) != 1 || got[0] != id {
+		t.Fatalf("post-load collection = %v", got)
+	}
+}
+
+func TestLoadRejectsMismatchedSchemaAndGarbage(t *testing.T) {
+	c := newLEADCatalog(t, Options{})
+	ingestFig3(t, c)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A different schema must be rejected.
+	other, err := xmlschema.ParseDSL("other", "root\n  a *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(other, Options{}, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("mismatched schema should fail")
+	}
+	// Garbage input.
+	if _, err := Load(xmlschema.MustLEAD(), Options{}, strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Truncated snapshot.
+	if _, err := Load(xmlschema.MustLEAD(), Options{}, bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated snapshot should fail")
+	}
+}
+
+func TestUserPrivateDefsSurviveSnapshot(t *testing.T) {
+	c := newLEADCatalog(t, Options{})
+	alice, err := c.RegisterAttr("tuning", "WRF", 0, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RegisterElem("nudge", "WRF", alice.ID, 2 /* DTFloat */, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(xmlschema.MustLEAD(), Options{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.Reg.LookupAttr("tuning", "WRF", 0, "alice")
+	if got == nil || got.ID != alice.ID || got.Owner != "alice" {
+		t.Fatalf("private def after load = %+v", got)
+	}
+	if loaded.Reg.LookupAttr("tuning", "WRF", 0, "bob") != nil {
+		t.Error("private def leaked to other users after load")
+	}
+}

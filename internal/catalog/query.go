@@ -1,0 +1,446 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+// ErrUnknownDefinition is wrapped by query resolution failures: a
+// criterion names an attribute or element with no catalog definition.
+var ErrUnknownDefinition = errors.New("catalog: unknown definition")
+
+// ElemPred is one element criterion inside an attribute criterion: the
+// element's (name, source) identity, a comparison operator, and the value.
+// Numeric values compare against the typed nval column; strings against
+// sval.
+//
+// OneOf, when non-empty, replaces Value for equality predicates: the
+// element satisfies the criterion when it equals any listed value. This
+// is the hook the paper's §3 mentions for connecting definitions "to an
+// ontology for enhanced search" — ontology expansion rewrites an equality
+// on a broad term into OneOf over its narrower terms (see the ontology
+// package).
+type ElemPred struct {
+	Name   string
+	Source string
+	Op     relstore.CmpOp
+	Value  relstore.Value
+	OneOf  []relstore.Value
+}
+
+// AttrCriteria is one node of the unordered attribute-criteria tree (§4):
+// an attribute identity, required element predicates, and required
+// sub-attribute criteria. A criteria node matches an attribute instance
+// that satisfies every element predicate and contains (at any depth, via
+// the inverted list) a satisfying instance of every sub-criterion.
+type AttrCriteria struct {
+	Name   string
+	Source string
+	Elems  []ElemPred
+	Subs   []*AttrCriteria
+}
+
+// AddElem appends an element predicate and returns the criteria node for
+// chaining; it mirrors the myLEAD Java API's MyAttr.addElement.
+func (a *AttrCriteria) AddElem(name, source string, op relstore.CmpOp, value relstore.Value) *AttrCriteria {
+	a.Elems = append(a.Elems, ElemPred{Name: name, Source: source, Op: op, Value: value})
+	return a
+}
+
+// AddSub appends a sub-attribute criterion (MyAttr.addAttribute).
+func (a *AttrCriteria) AddSub(sub *AttrCriteria) *AttrCriteria {
+	a.Subs = append(a.Subs, sub)
+	return a
+}
+
+// Query is an unordered query over metadata attributes (§4): an object
+// matches when it contains a satisfying instance of every top-level
+// criterion. Owner scopes resolution to the user's private definitions
+// and restricts results to objects the user may see — their own plus
+// published ones (§1's privacy requirement). The empty Owner is the
+// catalog-internal superuser and sees everything.
+type Query struct {
+	Owner string
+	Attrs []*AttrCriteria
+}
+
+// Attr creates a top-level criterion and adds it to the query.
+func (q *Query) Attr(name, source string) *AttrCriteria {
+	a := &AttrCriteria{Name: name, Source: source}
+	q.Attrs = append(q.Attrs, a)
+	return a
+}
+
+// qNode is one resolved criteria node, numbered in DFS order.
+type qNode struct {
+	id       int
+	parent   *qNode
+	def      *core.AttrDef
+	elems    []qElem
+	children []*qNode
+}
+
+type qElem struct {
+	def  *core.ElemDef
+	pred ElemPred
+}
+
+// resolve shreds the query into numbered nodes (the paper's "queries are
+// first shredded" step), resolving every identity against the registry.
+func (c *Catalog) resolve(q *Query) ([]*qNode, []*qNode, error) {
+	var all, tops []*qNode
+	var build func(crit *AttrCriteria, parent *qNode) (*qNode, error)
+	build = func(crit *AttrCriteria, parent *qNode) (*qNode, error) {
+		parentID := int64(0)
+		if parent != nil {
+			parentID = parent.def.ID
+		}
+		def := c.Reg.LookupAttr(crit.Name, crit.Source, parentID, q.Owner)
+		if def == nil {
+			return nil, fmt.Errorf("%w: attribute %q (source %q)", ErrUnknownDefinition, crit.Name, crit.Source)
+		}
+		if !def.Queryable {
+			return nil, fmt.Errorf("catalog: attribute %q (source %q) is not queryable", crit.Name, crit.Source)
+		}
+		n := &qNode{id: len(all) + 1, parent: parent, def: def}
+		all = append(all, n)
+		for _, ep := range crit.Elems {
+			edef := c.Reg.LookupElem(ep.Name, ep.Source, def.ID, q.Owner)
+			if edef == nil {
+				return nil, fmt.Errorf("%w: element %q (source %q) in attribute %q", ErrUnknownDefinition, ep.Name, ep.Source, crit.Name)
+			}
+			n.elems = append(n.elems, qElem{def: edef, pred: ep})
+		}
+		for _, sub := range crit.Subs {
+			child, err := build(sub, n)
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, child)
+		}
+		return n, nil
+	}
+	for _, crit := range q.Attrs {
+		top, err := build(crit, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		tops = append(tops, top)
+	}
+	return all, tops, nil
+}
+
+// Evaluate runs the Figure-4 pipeline and returns the matching object
+// IDs, ascending.
+func (c *Catalog) Evaluate(q *Query) ([]int64, error) {
+	if len(q.Attrs) == 0 {
+		return nil, fmt.Errorf("catalog: query has no attribute criteria")
+	}
+	all, tops, err := c.resolve(q)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 1+2 (Figure 4 left column): per criteria node, the attribute
+	// instances directly satisfying its element predicates, computed with
+	// index probes + group-by counting.
+	satisfied := make(map[int]relstore.Iterator, len(all))
+	for _, n := range all {
+		it, err := c.directSatisfied(n)
+		if err != nil {
+			return nil, err
+		}
+		satisfied[n.id] = it
+	}
+
+	// Stage 3 (Figure 4 right column): containment rollup, children
+	// before parents. all is in DFS preorder, so reverse order visits
+	// children first.
+	for i := len(all) - 1; i >= 0; i-- {
+		n := all[i]
+		if len(n.children) == 0 {
+			continue
+		}
+		rolled, err := c.containmentRollup(n, satisfied)
+		if err != nil {
+			return nil, err
+		}
+		satisfied[n.id] = rolled
+	}
+
+	// Stage 4: objects containing a satisfying instance of every
+	// top-level criterion.
+	var tagged []relstore.Iterator
+	for _, top := range tops {
+		tagged = append(tagged, relstore.Project(
+			tagIter(satisfied[top.id], int64(top.id)),
+			[]int{0, 2}, []string{"object_id", "q_id"},
+		))
+	}
+	counts := relstore.GroupBy(relstore.Union(tagged...), []int{0}, []relstore.AggSpec{
+		{Func: relstore.AggCountDistinct, Col: 1, Name: "n_tops"},
+	})
+	need := int64(len(tops))
+	hits := relstore.Filter(counts, func(r relstore.Row) bool { return r[1].I == need })
+
+	var ids []int64
+	for {
+		r, ok := hits.Next()
+		if !ok {
+			break
+		}
+		ids = append(ids, r[0].I)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return c.filterVisible(q.Owner, ids), nil
+}
+
+// directSatisfied computes the instances of n's attribute definition that
+// satisfy all of n's element predicates: rows [object_id, seq_id].
+func (c *Catalog) directSatisfied(n *qNode) (relstore.Iterator, error) {
+	if len(n.elems) == 0 {
+		// No element criteria: every instance of the definition.
+		attrT := c.DB.MustTable(TAttrData)
+		ids, err := attrT.LookupEqual("attr_data_by_attr", relstore.Int(n.def.ID))
+		if err != nil {
+			return nil, err
+		}
+		return relstore.Project(relstore.ScanRowIDs(attrT, ids), []int{0, 2}, []string{"object_id", "seq_id"}), nil
+	}
+	// One probe per element predicate, each tagged with its criterion
+	// index; instances satisfying all predicates have a full distinct
+	// count (the paper's required-element-count check).
+	var parts []relstore.Iterator
+	for k, qe := range n.elems {
+		probe, err := c.probeElem(qe)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, tagIter(probe, int64(k)))
+	}
+	counted := relstore.GroupBy(relstore.Union(parts...), []int{0, 1}, []relstore.AggSpec{
+		{Func: relstore.AggCountDistinct, Col: 2, Name: "n_elems"},
+	})
+	need := int64(len(n.elems))
+	ok := relstore.Filter(counted, func(r relstore.Row) bool { return r[2].I == need })
+	return relstore.Project(ok, []int{0, 1}, []string{"object_id", "seq_id"}), nil
+}
+
+// probeElem returns rows [object_id, seq_id] of attribute instances with
+// an element row matching the predicate, using the typed B-tree indexes.
+// OneOf predicates union one equality probe per accepted value.
+func (c *Catalog) probeElem(qe qElem) (relstore.Iterator, error) {
+	if len(qe.pred.OneOf) > 0 {
+		if qe.pred.Op != relstore.OpEq {
+			return nil, fmt.Errorf("catalog: OneOf requires an equality predicate")
+		}
+		var parts []relstore.Iterator
+		for _, v := range qe.pred.OneOf {
+			single := qe
+			single.pred.OneOf = nil
+			single.pred.Value = v
+			it, err := c.probeElem(single)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, it)
+		}
+		return relstore.Distinct(relstore.Union(parts...)), nil
+	}
+	elemT := c.DB.MustTable(TElemData)
+	eid := relstore.Int(qe.def.ID)
+	var ids []int64
+	var err error
+	var post func(relstore.Row) bool
+
+	numeric := false
+	if f, ok := qe.pred.Value.AsFloat(); ok && (qe.pred.Value.K == relstore.KInt || qe.pred.Value.K == relstore.KFloat) {
+		numeric = true
+		nv := relstore.Float(f)
+		switch qe.pred.Op {
+		case relstore.OpEq:
+			ids, err = elemT.LookupEqual("elem_data_by_nval", eid, nv)
+		case relstore.OpLt:
+			ids, err = elemT.LookupRange("elem_data_by_nval",
+				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
+				relstore.RangeBound{Vals: []relstore.Value{eid, nv}, Inclusive: false, Set: true})
+			post = notNullNval
+		case relstore.OpLe:
+			ids, err = elemT.LookupRange("elem_data_by_nval",
+				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
+				relstore.RangeBound{Vals: []relstore.Value{eid, nv}, Inclusive: true, Set: true})
+			post = notNullNval
+		case relstore.OpGt:
+			ids, err = elemT.LookupRange("elem_data_by_nval",
+				relstore.RangeBound{Vals: []relstore.Value{eid, nv}, Inclusive: false, Set: true},
+				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
+		case relstore.OpGe:
+			ids, err = elemT.LookupRange("elem_data_by_nval",
+				relstore.RangeBound{Vals: []relstore.Value{eid, nv}, Inclusive: true, Set: true},
+				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
+		case relstore.OpNe:
+			// Inequality: scan the definition's rows and filter.
+			ids, err = elemT.LookupRange("elem_data_by_nval",
+				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
+				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
+			post = func(r relstore.Row) bool { return !r[6].IsNull() && r[6].F != f }
+		}
+	}
+	if !numeric {
+		sv := relstore.Str(qe.pred.Value.AsString())
+		switch qe.pred.Op {
+		case relstore.OpEq:
+			ids, err = elemT.LookupEqual("elem_data_by_sval", eid, sv)
+		case relstore.OpNe:
+			ids, err = elemT.LookupRange("elem_data_by_sval",
+				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
+				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
+			post = func(r relstore.Row) bool { return r[5].S != sv.S }
+		case relstore.OpLt:
+			ids, err = elemT.LookupRange("elem_data_by_sval",
+				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
+				relstore.RangeBound{Vals: []relstore.Value{eid, sv}, Inclusive: false, Set: true})
+		case relstore.OpLe:
+			ids, err = elemT.LookupRange("elem_data_by_sval",
+				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
+				relstore.RangeBound{Vals: []relstore.Value{eid, sv}, Inclusive: true, Set: true})
+		case relstore.OpGt:
+			ids, err = elemT.LookupRange("elem_data_by_sval",
+				relstore.RangeBound{Vals: []relstore.Value{eid, sv}, Inclusive: false, Set: true},
+				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
+		case relstore.OpGe:
+			ids, err = elemT.LookupRange("elem_data_by_sval",
+				relstore.RangeBound{Vals: []relstore.Value{eid, sv}, Inclusive: true, Set: true},
+				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	it := relstore.ScanRowIDs(elemT, ids)
+	if post != nil {
+		it = relstore.Filter(it, post)
+	}
+	return relstore.Project(it, []int{0, 2}, []string{"object_id", "seq_id"}), nil
+}
+
+func notNullNval(r relstore.Row) bool { return !r[6].IsNull() }
+
+// containmentRollup narrows n's directly-satisfied instances to those
+// containing a satisfied instance of every child criterion, via the
+// sub-attribute inverted list — set-based, no recursion over the data
+// (§4). With the inverted list disabled (A1 ablation) it falls back to
+// recursive parent-chasing over direct-parent links, which the ablation
+// benchmark contrasts.
+func (c *Catalog) containmentRollup(n *qNode, satisfied map[int]relstore.Iterator) (relstore.Iterator, error) {
+	if c.opts.DisableInvertedList {
+		return c.recursiveRollup(n, satisfied)
+	}
+	subT := c.DB.MustTable(TSubAttrs)
+	var parts []relstore.Iterator
+	for _, child := range n.children {
+		// Inverted-list rows of the child's definition, narrowed to
+		// ancestors of n's definition.
+		ids, err := subT.LookupEqual("sub_attrs_by_child", relstore.Int(child.def.ID))
+		if err != nil {
+			return nil, err
+		}
+		links := relstore.Filter(relstore.ScanRowIDs(subT, ids), func(r relstore.Row) bool {
+			return r[3].I == n.def.ID
+		})
+		// Join with the child's satisfied instances on (object, child
+		// instance) to get the ancestor instances covering this child.
+		joined := relstore.HashJoin(links, satisfied[child.id], []int{0, 2}, []int{0, 1}, relstore.SemiJoin)
+		anc := relstore.Project(joined, []int{0, 4}, []string{"object_id", "seq_id"})
+		parts = append(parts, tagIter(relstore.Distinct(anc), int64(child.id)))
+	}
+	counted := relstore.GroupBy(relstore.Union(parts...), []int{0, 1}, []relstore.AggSpec{
+		{Func: relstore.AggCountDistinct, Col: 2, Name: "n_children"},
+	})
+	need := int64(len(n.children))
+	covered := relstore.Filter(counted, func(r relstore.Row) bool { return r[2].I == need })
+	coveredProj := relstore.Project(covered, []int{0, 1}, []string{"object_id", "seq_id"})
+	// Intersect with the node's own directly-satisfied instances.
+	return relstore.HashJoin(satisfied[n.id], coveredProj, []int{0, 1}, []int{0, 1}, relstore.SemiJoin), nil
+}
+
+// recursiveRollup is the non-inverted-list fallback (A1 ablation): with
+// only direct-parent (depth-1) links stored, the ancestor instances of
+// each satisfied child must be found by chasing parents level by level —
+// the per-level self-joins that hinder the edge-table approach (§6).
+func (c *Catalog) recursiveRollup(n *qNode, satisfied map[int]relstore.Iterator) (relstore.Iterator, error) {
+	subT := c.DB.MustTable(TSubAttrs)
+	type inst struct{ object, attrID, seq int64 }
+	var parts []relstore.Iterator
+	for _, child := range n.children {
+		var frontier []inst
+		for _, r := range relstore.Collect(satisfied[child.id]) {
+			frontier = append(frontier, inst{r[0].I, child.def.ID, r[1].I})
+		}
+		seen := make(map[inst]bool)
+		var anc []relstore.Row
+		for len(frontier) > 0 {
+			var next []inst
+			for _, f := range frontier {
+				// Depth-1 rows with this instance as the child.
+				ids, err := subT.LookupEqual("sub_attrs_by_child", relstore.Int(f.attrID))
+				if err != nil {
+					return nil, err
+				}
+				for _, rid := range ids {
+					r := subT.Get(rid)
+					// r: object, child_attr, child_seq, anc_attr, anc_seq, depth
+					if r == nil || r[5].I != 1 || r[0].I != f.object || r[2].I != f.seq {
+						continue
+					}
+					parent := inst{r[0].I, r[3].I, r[4].I}
+					if seen[parent] {
+						continue
+					}
+					seen[parent] = true
+					if parent.attrID == n.def.ID {
+						anc = append(anc, relstore.Row{r[0], r[4]})
+					}
+					next = append(next, parent)
+				}
+			}
+			frontier = next
+		}
+		parts = append(parts, tagIter(relstore.NewSliceIter([]string{"object_id", "seq_id"}, anc), int64(child.id)))
+	}
+	counted := relstore.GroupBy(relstore.Union(parts...), []int{0, 1}, []relstore.AggSpec{
+		{Func: relstore.AggCountDistinct, Col: 2, Name: "n_children"},
+	})
+	need := int64(len(n.children))
+	covered := relstore.Filter(counted, func(r relstore.Row) bool { return r[2].I == need })
+	coveredProj := relstore.Project(covered, []int{0, 1}, []string{"object_id", "seq_id"})
+	return relstore.HashJoin(satisfied[n.id], coveredProj, []int{0, 1}, []int{0, 1}, relstore.SemiJoin), nil
+}
+
+// tagIter appends a constant tag column to every row.
+func tagIter(in relstore.Iterator, tag int64) relstore.Iterator {
+	cols := append(append([]string{}, in.Columns()...), "tag")
+	return &taggedIter{in: in, cols: cols, tag: relstore.Int(tag)}
+}
+
+type taggedIter struct {
+	in   relstore.Iterator
+	cols []string
+	tag  relstore.Value
+}
+
+func (t *taggedIter) Columns() []string { return t.cols }
+
+func (t *taggedIter) Next() (relstore.Row, bool) {
+	r, ok := t.in.Next()
+	if !ok {
+		return nil, false
+	}
+	out := make(relstore.Row, 0, len(r)+1)
+	out = append(out, r...)
+	return append(out, t.tag), true
+}

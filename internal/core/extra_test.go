@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+func TestShredAttributeContinuesSequences(t *testing.T) {
+	s, reg := newFig3Shredder(t)
+	schema := s.Schema
+	theme := schema.AttributeByTag("theme")
+	frag, _ := xmldoc.ParseString("<theme><themekt>CF</themekt><themekey>added</themekey></theme>")
+
+	// Simulate an object that already has two theme instances.
+	themeDef := reg.LookupAttr("theme", "", 0, "")
+	res, err := s.ShredAttribute(frag, theme, Options{},
+		map[int]int{theme.Order: 2}, map[int64]int{themeDef.ID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clobs) != 1 || res.Clobs[0].ClobSeq != 3 {
+		t.Fatalf("clob seq = %+v", res.Clobs)
+	}
+	if len(res.Attrs) != 1 || res.Attrs[0].Seq != 3 {
+		t.Fatalf("attr seq = %+v", res.Attrs)
+	}
+
+	// Wrong declaration kinds fail.
+	if _, err := s.ShredAttribute(frag, schema.Root, Options{}, nil, nil); err == nil {
+		t.Error("non-attribute decl should fail")
+	}
+	other, _ := xmldoc.ParseString("<place><placekt>x</placekt></place>")
+	if _, err := s.ShredAttribute(other, theme, Options{}, nil, nil); err == nil {
+		t.Error("mismatched fragment tag should fail")
+	}
+	// Validation problems surface.
+	bad, _ := xmldoc.ParseString("<theme><mystery>x</mystery></theme>")
+	if _, err := s.ShredAttribute(bad, theme, Options{}, nil, nil); err == nil {
+		t.Error("unknown element should fail in strict mode")
+	}
+}
+
+func TestRegistryRestore(t *testing.T) {
+	r := newLEADRegistry(t)
+	grid, err := r.RegisterAttr("grid", "ARPS", 0, 19, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RegisterElem("dx", "ARPS", grid.ID, DTFloat, ""); err != nil {
+		t.Fatal(err)
+	}
+	attrs := make([]AttrDef, 0)
+	for _, d := range r.Attrs() {
+		attrs = append(attrs, *d)
+	}
+	elems := make([]ElemDef, 0)
+	for _, d := range r.Elems() {
+		elems = append(elems, *d)
+	}
+
+	fresh := newLEADRegistry(t)
+	if err := fresh.Restore(attrs, elems); err != nil {
+		t.Fatal(err)
+	}
+	got := fresh.LookupAttr("grid", "ARPS", 0, "")
+	if got == nil || got.ID != grid.ID {
+		t.Fatalf("restored grid = %+v", got)
+	}
+	// Counters resume above restored IDs.
+	next, err := fresh.RegisterAttr("later", "X", 0, 19, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID <= grid.ID {
+		t.Errorf("post-restore ID %d <= %d", next.ID, grid.ID)
+	}
+	// Bad restores fail.
+	if err := fresh.Restore([]AttrDef{{ID: 0, Name: "x"}}, nil); err == nil {
+		t.Error("zero ID should fail")
+	}
+	if err := fresh.Restore([]AttrDef{{ID: 1, Name: "a"}, {ID: 1, Name: "b"}}, nil); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+	if err := fresh.Restore([]AttrDef{{ID: 1, Name: "a"}, {ID: 2, Name: "a"}}, nil); err == nil {
+		t.Error("duplicate identity should fail")
+	}
+	if err := fresh.Restore([]AttrDef{{ID: 1, Name: "a"}},
+		[]ElemDef{{ID: 1, AttrID: 99, Name: "e"}}); err == nil {
+		t.Error("dangling element should fail")
+	}
+}
+
+func TestEnsureConcurrent(t *testing.T) {
+	r := newLEADRegistry(t)
+	var wg sync.WaitGroup
+	ids := make([]int64, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			def, err := r.EnsureAttr("racy", "SRC", 0, 19, "")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = def.ID
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 16; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("EnsureAttr returned different IDs: %v", ids)
+		}
+	}
+	// EnsureElem the same.
+	var ewg sync.WaitGroup
+	eids := make([]int64, 8)
+	for i := 0; i < 8; i++ {
+		ewg.Add(1)
+		go func(i int) {
+			defer ewg.Done()
+			def, err := r.EnsureElem("p", "SRC", ids[0], DTString, "")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			eids[i] = def.ID
+		}(i)
+	}
+	ewg.Wait()
+	for i := 1; i < 8; i++ {
+		if eids[i] != eids[0] {
+			t.Fatalf("EnsureElem returned different IDs: %v", eids)
+		}
+	}
+	// Ensure prefers a user-private definition when one exists.
+	priv, err := r.RegisterAttr("racy", "SRC", 0, 19, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.EnsureAttr("racy", "SRC", 0, 19, "alice")
+	if err != nil || got.ID != priv.ID {
+		t.Errorf("EnsureAttr(alice) = %+v, %v", got, err)
+	}
+}
+
+func TestAttrDefTopLevelAndValidationErrorText(t *testing.T) {
+	d := &AttrDef{ID: 1}
+	if !d.TopLevel() {
+		t.Error("ParentID 0 should be top level")
+	}
+	d.ParentID = 5
+	if d.TopLevel() {
+		t.Error("ParentID != 0 should not be top level")
+	}
+	err := &ValidationError{Problems: []string{"a", "b"}}
+	if !strings.Contains(err.Error(), "a; b") {
+		t.Errorf("error text = %q", err.Error())
+	}
+	_ = xmlschema.MustLEAD()
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+// Registry holds the catalog's metadata attribute and element
+// definitions. Structural definitions are derived from the annotated
+// schema at construction; dynamic definitions are registered at admin
+// level (visible to everyone) or user level (private, §3). The registry
+// is safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	attrs      map[int64]*AttrDef
+	elems      map[int64]*ElemDef
+	attrByKey  map[attrKey]int64
+	elemByKey  map[elemKey]int64
+	nextAttrID int64
+	nextElemID int64
+}
+
+// attrKey identifies an attribute definition: name and source, the parent
+// definition (0 for top level), and the owner scope.
+type attrKey struct {
+	name, source string
+	parentID     int64
+	owner        string
+}
+
+// elemKey identifies an element definition within its attribute.
+type elemKey struct {
+	name, source string
+	attrID       int64
+	owner        string
+}
+
+// NewRegistry builds a registry seeded with the structural definitions of
+// the schema: one attribute definition per annotated attribute node, one
+// definition per interior sub-attribute node inside it, and one element
+// definition per leaf (all admin-owned, type string).
+func NewRegistry(schema *xmlschema.Schema) (*Registry, error) {
+	r := &Registry{
+		attrs:     make(map[int64]*AttrDef),
+		elems:     make(map[int64]*ElemDef),
+		attrByKey: make(map[attrKey]int64),
+		elemByKey: make(map[elemKey]int64),
+	}
+	for _, node := range schema.Attributes {
+		if node.IsDynamic {
+			// Dynamic containers own no structural definitions; dynamic
+			// attribute definitions are registered with the container's
+			// schema order as their location.
+			continue
+		}
+		def, err := r.addAttr(node.Tag, "", 0, node.Order, node.Queryable, false, "")
+		if err != nil {
+			return nil, err
+		}
+		if err := r.seedStructural(node, def); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// seedStructural registers the sub-attribute and element definitions
+// inside one structural attribute subtree.
+func (r *Registry) seedStructural(node *xmlschema.Node, owner *AttrDef) error {
+	if len(node.Children) == 0 {
+		// The attribute is its own element (e.g. resourceID).
+		_, err := r.addElem(node.Tag, "", owner.ID, DTString, "")
+		return err
+	}
+	for _, c := range node.Children {
+		if len(c.Children) == 0 {
+			if _, err := r.addElem(c.Tag, "", owner.ID, DTString, ""); err != nil {
+				return err
+			}
+			continue
+		}
+		sub, err := r.addAttr(c.Tag, "", owner.ID, owner.SchemaOrder, owner.Queryable, false, "")
+		if err != nil {
+			return err
+		}
+		if err := r.seedStructural(c, sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Registry) addAttr(name, source string, parentID int64, schemaOrder int, queryable, dynamic bool, owner string) (*AttrDef, error) {
+	key := attrKey{name, source, parentID, owner}
+	if _, dup := r.attrByKey[key]; dup {
+		return nil, fmt.Errorf("core: attribute %q (source %q) already defined", name, source)
+	}
+	r.nextAttrID++
+	def := &AttrDef{
+		ID: r.nextAttrID, Name: name, Source: source, ParentID: parentID,
+		SchemaOrder: schemaOrder, Queryable: queryable, Dynamic: dynamic, Owner: owner,
+	}
+	r.attrs[def.ID] = def
+	r.attrByKey[key] = def.ID
+	return def, nil
+}
+
+func (r *Registry) addElem(name, source string, attrID int64, dt DataType, owner string) (*ElemDef, error) {
+	key := elemKey{name, source, attrID, owner}
+	if _, dup := r.elemByKey[key]; dup {
+		return nil, fmt.Errorf("core: element %q (source %q) already defined in attribute %d", name, source, attrID)
+	}
+	r.nextElemID++
+	def := &ElemDef{ID: r.nextElemID, AttrID: attrID, Name: name, Source: source, Type: dt, Owner: owner}
+	r.elems[def.ID] = def
+	r.elemByKey[key] = def.ID
+	return def, nil
+}
+
+// RegisterAttr registers a dynamic attribute definition. parentID is 0
+// for a top-level dynamic attribute (one resolved from a dynamic
+// container's entity identity), or the ID of the parent definition for a
+// sub-attribute. schemaOrder must be the global order of the dynamic
+// container whose documents carry it. owner is empty for admin-level
+// definitions.
+func (r *Registry) RegisterAttr(name, source string, parentID int64, schemaOrder int, owner string) (*AttrDef, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if parentID != 0 {
+		if _, ok := r.attrs[parentID]; !ok {
+			return nil, fmt.Errorf("core: parent attribute %d not defined", parentID)
+		}
+	}
+	return r.addAttr(name, source, parentID, schemaOrder, true, true, owner)
+}
+
+// RegisterElem registers a dynamic element definition under an attribute
+// definition, with a data type enforced on insert.
+func (r *Registry) RegisterElem(name, source string, attrID int64, dt DataType, owner string) (*ElemDef, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.attrs[attrID]; !ok {
+		return nil, fmt.Errorf("core: attribute %d not defined", attrID)
+	}
+	return r.addElem(name, source, attrID, dt, owner)
+}
+
+// EnsureAttr atomically looks up or registers an admin-level dynamic
+// attribute definition; used by auto-registering shreds, which may race
+// on the same identity.
+func (r *Registry) EnsureAttr(name, source string, parentID int64, schemaOrder int, user string) (*AttrDef, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if user != "" {
+		if id, ok := r.attrByKey[attrKey{name, source, parentID, user}]; ok {
+			return r.attrs[id], nil
+		}
+	}
+	if id, ok := r.attrByKey[attrKey{name, source, parentID, ""}]; ok {
+		return r.attrs[id], nil
+	}
+	return r.addAttr(name, source, parentID, schemaOrder, true, true, "")
+}
+
+// EnsureElem atomically looks up or registers an admin-level element
+// definition.
+func (r *Registry) EnsureElem(name, source string, attrID int64, dt DataType, user string) (*ElemDef, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if user != "" {
+		if id, ok := r.elemByKey[elemKey{name, source, attrID, user}]; ok {
+			return r.elems[id], nil
+		}
+	}
+	if id, ok := r.elemByKey[elemKey{name, source, attrID, ""}]; ok {
+		return r.elems[id], nil
+	}
+	return r.addElem(name, source, attrID, dt, "")
+}
+
+// LookupAttr resolves an attribute definition by identity, preferring a
+// user-private definition over an admin one.
+func (r *Registry) LookupAttr(name, source string, parentID int64, user string) *AttrDef {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if user != "" {
+		if id, ok := r.attrByKey[attrKey{name, source, parentID, user}]; ok {
+			return r.attrs[id]
+		}
+	}
+	if id, ok := r.attrByKey[attrKey{name, source, parentID, ""}]; ok {
+		return r.attrs[id]
+	}
+	return nil
+}
+
+// LookupElem resolves an element definition within an attribute,
+// preferring a user-private definition.
+func (r *Registry) LookupElem(name, source string, attrID int64, user string) *ElemDef {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if user != "" {
+		if id, ok := r.elemByKey[elemKey{name, source, attrID, user}]; ok {
+			return r.elems[id]
+		}
+	}
+	if id, ok := r.elemByKey[elemKey{name, source, attrID, ""}]; ok {
+		return r.elems[id]
+	}
+	return nil
+}
+
+// Restore replaces the registry's contents with the given definitions
+// (used when loading a catalog snapshot). Definitions are copied; the ID
+// counters resume above the highest restored IDs.
+func (r *Registry) Restore(attrs []AttrDef, elems []ElemDef) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.attrs = make(map[int64]*AttrDef, len(attrs))
+	r.elems = make(map[int64]*ElemDef, len(elems))
+	r.attrByKey = make(map[attrKey]int64, len(attrs))
+	r.elemByKey = make(map[elemKey]int64, len(elems))
+	r.nextAttrID, r.nextElemID = 0, 0
+	for i := range attrs {
+		d := attrs[i]
+		key := attrKey{d.Name, d.Source, d.ParentID, d.Owner}
+		if _, dup := r.attrByKey[key]; dup {
+			return fmt.Errorf("core: restore: duplicate attribute %q (source %q)", d.Name, d.Source)
+		}
+		if _, dup := r.attrs[d.ID]; dup || d.ID == 0 {
+			return fmt.Errorf("core: restore: bad attribute id %d", d.ID)
+		}
+		r.attrs[d.ID] = &d
+		r.attrByKey[key] = d.ID
+		if d.ID > r.nextAttrID {
+			r.nextAttrID = d.ID
+		}
+	}
+	for i := range elems {
+		d := elems[i]
+		if _, ok := r.attrs[d.AttrID]; !ok {
+			return fmt.Errorf("core: restore: element %q references missing attribute %d", d.Name, d.AttrID)
+		}
+		key := elemKey{d.Name, d.Source, d.AttrID, d.Owner}
+		if _, dup := r.elemByKey[key]; dup {
+			return fmt.Errorf("core: restore: duplicate element %q (source %q)", d.Name, d.Source)
+		}
+		if _, dup := r.elems[d.ID]; dup || d.ID == 0 {
+			return fmt.Errorf("core: restore: bad element id %d", d.ID)
+		}
+		r.elems[d.ID] = &d
+		r.elemByKey[key] = d.ID
+		if d.ID > r.nextElemID {
+			r.nextElemID = d.ID
+		}
+	}
+	return nil
+}
+
+// AttrByID returns the attribute definition with the given ID, or nil.
+func (r *Registry) AttrByID(id int64) *AttrDef {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.attrs[id]
+}
+
+// ElemByID returns the element definition with the given ID, or nil.
+func (r *Registry) ElemByID(id int64) *ElemDef {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.elems[id]
+}
+
+// Attrs returns all attribute definitions sorted by ID.
+func (r *Registry) Attrs() []*AttrDef {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*AttrDef, 0, len(r.attrs))
+	for _, d := range r.attrs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Elems returns all element definitions sorted by ID.
+func (r *Registry) Elems() []*ElemDef {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*ElemDef, 0, len(r.elems))
+	for _, d := range r.elems {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

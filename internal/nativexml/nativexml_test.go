@@ -1,0 +1,112 @@
+package nativexml
+
+import (
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+	"github.com/gridmeta/hybridcat/internal/xpath"
+)
+
+func fig3(t *testing.T) *xmldoc.Node {
+	t.Helper()
+	d, err := xmldoc.ParseString(xmlschema.Figure3Document)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestIngestClonesDocuments(t *testing.T) {
+	s := New(xmlschema.MustLEAD())
+	doc := fig3(t)
+	id, err := s.Ingest("u", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's tree must not affect the stored copy.
+	doc.FindAll("themekt")[0].Text = "MUTATED"
+	resp, err := s.Fetch([]int64{id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := xmldoc.ParseString(resp[0].XML)
+	if got.FindAll("themekt")[0].Text != "CF NetCDF" {
+		t.Error("store shares storage with caller document")
+	}
+}
+
+func TestIndexPreselectionMatchesFullScan(t *testing.T) {
+	indexed := New(xmlschema.MustLEAD(), "themekey")
+	plain := New(xmlschema.MustLEAD())
+	docs := []*xmldoc.Node{fig3(t)}
+	alt := fig3(t)
+	alt.FindAll("themekey")[0].Text = "unique_keyword"
+	docs = append(docs, alt)
+	for _, d := range docs {
+		if _, err := indexed.Ingest("u", d); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := plain.Ingest("u", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := &catalog.Query{}
+	q.Attr("theme", "").AddElem("themekey", "", relstore.OpEq, relstore.Str("unique_keyword"))
+	a, err := indexed.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plain.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Fatalf("indexed %v vs plain %v", a, b)
+	}
+	// Non-equality predicates bypass the index but still answer.
+	q = &catalog.Query{}
+	q.Attr("grid", "ARPS").AddElem("dx", "ARPS", relstore.OpGe, relstore.Int(500))
+	if ids, err := indexed.Evaluate(q); err != nil || len(ids) != 2 {
+		t.Fatalf("range through index store = %v, %v", ids, err)
+	}
+}
+
+func TestSelectPathAcrossCollection(t *testing.T) {
+	s := New(xmlschema.MustLEAD())
+	for i := 0; i < 3; i++ {
+		d := fig3(t)
+		if i == 1 {
+			for _, a := range d.FindAll("attr") {
+				if a.ChildText("attrlabl") == "dx" {
+					a.Child("attrv").Text = "250"
+				}
+			}
+		}
+		if _, err := s.Ingest("u", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := s.SelectPath(xpath.MustCompile("//attr[attrlabl='dx'][attrv=250]"))
+	if len(hits) != 1 || hits[0] != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestStorageAndEmptyQuery(t *testing.T) {
+	s := New(xmlschema.MustLEAD(), "themekey")
+	if _, err := s.Ingest("u", fig3(t)); err != nil {
+		t.Fatal(err)
+	}
+	if s.StorageBytes() <= 0 {
+		t.Error("storage should be positive")
+	}
+	if _, err := s.Evaluate(&catalog.Query{}); err == nil {
+		t.Error("empty query should fail")
+	}
+	if resp, _ := s.Fetch([]int64{99}); len(resp) != 0 {
+		t.Error("unknown fetch should be empty")
+	}
+}

@@ -1,0 +1,215 @@
+// Package ontology implements the enhancement the paper's §3 sketches:
+// "by validating dynamic metadata attributes on insert, the catalog
+// provides a consistent, but dynamic set of definitions for query
+// purposes that could also be connected to an ontology for enhanced
+// search capabilities."
+//
+// An Ontology is a broader/narrower term hierarchy (a CF-standard-name
+// or GCMD keyword tree, say). Expand rewrites equality predicates whose
+// value is a known term into OneOf predicates over the term's narrower
+// closure, so a query for "precipitation" also finds objects tagged with
+// "convective_precipitation_amount".
+package ontology
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+// Ontology is a forest of terms related by broader/narrower edges. Terms
+// are case-sensitive strings; each term has at most one broader term.
+type Ontology struct {
+	parent   map[string]string
+	children map[string][]string
+}
+
+// New returns an empty ontology.
+func New() *Ontology {
+	return &Ontology{parent: map[string]string{}, children: map[string][]string{}}
+}
+
+// Add inserts term with the given broader term ("" makes it a root).
+// Adding a term twice or creating a cycle fails.
+func (o *Ontology) Add(term, broader string) error {
+	if term == "" {
+		return fmt.Errorf("ontology: empty term")
+	}
+	if _, dup := o.parent[term]; dup {
+		return fmt.Errorf("ontology: term %q already defined", term)
+	}
+	if broader != "" {
+		if _, ok := o.parent[broader]; !ok {
+			return fmt.Errorf("ontology: broader term %q not defined", broader)
+		}
+		for b := broader; b != ""; b = o.parent[b] {
+			if b == term {
+				return fmt.Errorf("ontology: cycle through %q", term)
+			}
+		}
+	}
+	o.parent[term] = broader
+	if broader != "" {
+		o.children[broader] = append(o.children[broader], term)
+	}
+	return nil
+}
+
+// Has reports whether the term is defined.
+func (o *Ontology) Has(term string) bool {
+	_, ok := o.parent[term]
+	return ok
+}
+
+// Broader returns the term's broader term, or "".
+func (o *Ontology) Broader(term string) string { return o.parent[term] }
+
+// Narrower returns the term's direct narrower terms, sorted.
+func (o *Ontology) Narrower(term string) []string {
+	out := append([]string(nil), o.children[term]...)
+	sort.Strings(out)
+	return out
+}
+
+// Closure returns term and every transitively narrower term, sorted.
+// Unknown terms yield just themselves.
+func (o *Ontology) Closure(term string) []string {
+	seen := map[string]bool{term: true}
+	frontier := []string{term}
+	for len(frontier) > 0 {
+		var next []string
+		for _, t := range frontier {
+			for _, c := range o.children[t] {
+				if !seen[c] {
+					seen[c] = true
+					next = append(next, c)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of defined terms.
+func (o *Ontology) Len() int { return len(o.parent) }
+
+// Parse reads the indentation format (two spaces per level; '#' comments;
+// multiple roots allowed):
+//
+//	precipitation
+//	  convective_precipitation_amount
+//	  convective_precipitation_flux
+//	pressure
+//	  air_pressure_at_cloud_base
+func Parse(text string) (*Ontology, error) {
+	o := New()
+	type frame struct {
+		term  string
+		depth int
+	}
+	var stack []frame
+	sc := bufio.NewScanner(strings.NewReader(text))
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		trimmed := strings.TrimLeft(raw, " \t")
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		indent := 0
+		for _, r := range raw[:len(raw)-len(trimmed)] {
+			if r == '\t' {
+				indent += 2
+			} else {
+				indent++
+			}
+		}
+		if indent%2 != 0 {
+			return nil, fmt.Errorf("ontology: line %d: odd indentation", line)
+		}
+		depth := indent / 2
+		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
+			stack = stack[:len(stack)-1]
+		}
+		broader := ""
+		if depth > 0 {
+			if len(stack) == 0 || stack[len(stack)-1].depth != depth-1 {
+				return nil, fmt.Errorf("ontology: line %d: indentation jumps a level", line)
+			}
+			broader = stack[len(stack)-1].term
+		}
+		term := strings.TrimSpace(trimmed)
+		if err := o.Add(term, broader); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		stack = append(stack, frame{term, depth})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Expand returns a copy of q in which every string-equality element
+// predicate whose value is a defined term is widened to OneOf over the
+// term's narrower closure. Predicates with unknown values, non-equality
+// operators, or non-string values pass through unchanged. The input
+// query is not modified.
+func Expand(o *Ontology, q *catalog.Query) *catalog.Query {
+	out := &catalog.Query{Owner: q.Owner}
+	for _, a := range q.Attrs {
+		out.Attrs = append(out.Attrs, expandCriteria(o, a))
+	}
+	return out
+}
+
+func expandCriteria(o *Ontology, a *catalog.AttrCriteria) *catalog.AttrCriteria {
+	c := &catalog.AttrCriteria{Name: a.Name, Source: a.Source}
+	for _, p := range a.Elems {
+		np := p
+		if p.Op == relstore.OpEq && len(p.OneOf) == 0 && p.Value.K == relstore.KString && o.Has(p.Value.S) {
+			closure := o.Closure(p.Value.S)
+			if len(closure) > 1 {
+				np.OneOf = make([]relstore.Value, len(closure))
+				for i, t := range closure {
+					np.OneOf[i] = relstore.Str(t)
+				}
+				np.Value = relstore.Value{}
+			}
+		}
+		c.Elems = append(c.Elems, np)
+	}
+	for _, s := range a.Subs {
+		c.Subs = append(c.Subs, expandCriteria(o, s))
+	}
+	return c
+}
+
+// CFKeywords is a small CF-standard-name-flavored sample hierarchy used
+// by tests, examples, and the demo tooling.
+const CFKeywords = `
+precipitation
+  convective_precipitation_amount
+  convective_precipitation_flux
+  stratiform_precipitation_amount
+pressure
+  air_pressure_at_cloud_base
+  air_pressure_at_cloud_top
+  tendency_of_air_pressure
+wind
+  eastward_wind
+  northward_wind
+temperature
+  air_temperature
+`

@@ -1,0 +1,179 @@
+package ontology
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+func TestAddAndRelations(t *testing.T) {
+	o := New()
+	if err := o.Add("a", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Add("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Add("c", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Add("d", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if o.Broader("d") != "b" || o.Broader("a") != "" {
+		t.Error("Broader wrong")
+	}
+	if fmt.Sprint(o.Narrower("a")) != "[b c]" {
+		t.Errorf("Narrower = %v", o.Narrower("a"))
+	}
+	if fmt.Sprint(o.Closure("a")) != "[a b c d]" {
+		t.Errorf("Closure = %v", o.Closure("a"))
+	}
+	if fmt.Sprint(o.Closure("unknown")) != "[unknown]" {
+		t.Errorf("unknown closure = %v", o.Closure("unknown"))
+	}
+	if o.Len() != 4 || !o.Has("d") || o.Has("z") {
+		t.Error("Len/Has wrong")
+	}
+	// Errors.
+	if err := o.Add("b", ""); err == nil {
+		t.Error("duplicate should fail")
+	}
+	if err := o.Add("", "a"); err == nil {
+		t.Error("empty term should fail")
+	}
+	if err := o.Add("x", "nothere"); err == nil {
+		t.Error("unknown broader should fail")
+	}
+}
+
+func TestParse(t *testing.T) {
+	o, err := Parse(CFKeywords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Has("precipitation") || !o.Has("eastward_wind") {
+		t.Error("terms missing")
+	}
+	cl := o.Closure("precipitation")
+	if len(cl) != 4 {
+		t.Errorf("precipitation closure = %v", cl)
+	}
+	// Errors.
+	for name, text := range map[string]string{
+		"odd indent": "a\n b",
+		"level jump": "a\n    b",
+		"dup":        "a\na",
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("%s should fail", name)
+		}
+	}
+}
+
+// TestExpandAgainstCatalog runs an ontology-expanded keyword query
+// against a real catalog: a search for the broad term "precipitation"
+// finds objects tagged only with narrower terms.
+func TestExpandAgainstCatalog(t *testing.T) {
+	o, err := Parse(CFKeywords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := catalog.Open(xmlschema.MustLEAD(), catalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(key string) string {
+		return `<LEADresource><resourceID>` + key + `</resourceID><data><idinfo><keywords>
+		  <theme><themekt>CF</themekt><themekey>` + key + `</themekey></theme>
+		</keywords></idinfo></data></LEADresource>`
+	}
+	for _, key := range []string{"convective_precipitation_amount", "air_temperature", "stratiform_precipitation_amount"} {
+		if _, err := c.IngestXML("u", mk(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := &catalog.Query{}
+	q.Attr("theme", "").AddElem("themekey", "", relstore.OpEq, relstore.Str("precipitation"))
+
+	// Unexpanded: no object carries the broad term itself.
+	ids, err := c.Evaluate(q)
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("unexpanded = %v, %v", ids, err)
+	}
+	// Expanded: both precipitation-tagged objects match.
+	eq := Expand(o, q)
+	ids, err = c.Evaluate(eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ids) != "[1 3]" {
+		t.Fatalf("expanded = %v", ids)
+	}
+	// The original query is untouched.
+	if len(q.Attrs[0].Elems[0].OneOf) != 0 {
+		t.Error("Expand mutated the input query")
+	}
+	// Non-matching broad term still matches nothing.
+	q2 := &catalog.Query{}
+	q2.Attr("theme", "").AddElem("themekey", "", relstore.OpEq, relstore.Str("wind"))
+	if ids, _ := c.Evaluate(Expand(o, q2)); len(ids) != 0 {
+		t.Fatalf("wind expanded = %v", ids)
+	}
+}
+
+func TestExpandLeavesOtherPredicatesAlone(t *testing.T) {
+	o, _ := Parse(CFKeywords)
+	q := &catalog.Query{}
+	a := q.Attr("grid", "ARPS")
+	a.AddElem("dx", "ARPS", relstore.OpGe, relstore.Int(1000))          // numeric
+	a.AddElem("label", "", relstore.OpEq, relstore.Str("not-a-term"))   // unknown term
+	a.AddElem("kind", "", relstore.OpNe, relstore.Str("precipitation")) // non-equality
+	sub := &catalog.AttrCriteria{Name: "s", Source: "ARPS"}
+	sub.AddElem("key", "", relstore.OpEq, relstore.Str("pressure")) // known term in sub
+	a.AddSub(sub)
+	e := Expand(o, q)
+	ep := e.Attrs[0].Elems
+	if len(ep[0].OneOf) != 0 || len(ep[1].OneOf) != 0 || len(ep[2].OneOf) != 0 {
+		t.Errorf("non-expandable predicates were expanded: %+v", ep)
+	}
+	if got := len(e.Attrs[0].Subs[0].Elems[0].OneOf); got != 4 {
+		t.Errorf("sub expansion = %d values", got)
+	}
+}
+
+// TestExpandLeafTermNoChange: a term with no narrower terms stays a plain
+// equality (closure of size 1).
+func TestExpandLeafTermNoChange(t *testing.T) {
+	o, _ := Parse(CFKeywords)
+	q := &catalog.Query{}
+	q.Attr("theme", "").AddElem("themekey", "", relstore.OpEq, relstore.Str("air_temperature"))
+	e := Expand(o, q)
+	p := e.Attrs[0].Elems[0]
+	if len(p.OneOf) != 0 || p.Value.S != "air_temperature" {
+		t.Errorf("leaf term changed: %+v", p)
+	}
+}
+
+// TestOneOfThroughJSON checks the wire format round trip for expanded
+// queries.
+func TestOneOfThroughJSON(t *testing.T) {
+	o, _ := Parse(CFKeywords)
+	q := &catalog.Query{}
+	q.Attr("theme", "").AddElem("themekey", "", relstore.OpEq, relstore.Str("pressure"))
+	e := Expand(o, q)
+	data, err := catalog.MarshalQueryJSON(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := catalog.ParseQueryJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Attrs[0].Elems[0].OneOf) != 4 {
+		t.Errorf("round trip OneOf = %+v", back.Attrs[0].Elems[0])
+	}
+}

@@ -1,0 +1,344 @@
+package relstore
+
+import "bytes"
+
+// btree is a B+ tree mapping order-preserving encoded keys to row IDs.
+// Keys are unique: non-unique indexes append the row ID to the encoded
+// column key. Leaves are chained for range scans. Deletion rebalances by
+// borrowing from or merging with siblings, keeping every non-root node at
+// least half full.
+type btree struct {
+	root *bnode
+	size int
+}
+
+// maxKeys is the fan-out bound: nodes split when they exceed maxKeys
+// keys; minKeys is the occupancy floor deletion maintains for non-root
+// nodes.
+const (
+	maxKeys = 64
+	minKeys = maxKeys / 2
+)
+
+type bnode struct {
+	leaf     bool
+	keys     [][]byte
+	vals     []int64  // leaf only, parallel to keys
+	children []*bnode // internal only, len(children) == len(keys)+1
+	next     *bnode   // leaf chain
+}
+
+func newBtree() *btree {
+	return &btree{root: &bnode{leaf: true}}
+}
+
+// Len returns the number of entries.
+func (t *btree) Len() int { return t.size }
+
+// search returns the index of the first key in n >= key.
+func searchKeys(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under key.
+func (t *btree) Get(key []byte) (int64, bool) {
+	n := t.root
+	for !n.leaf {
+		i := searchKeys(n.keys, key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			i++ // separator equal to key: key lives in the right subtree
+		}
+		n = n.children[i]
+	}
+	i := searchKeys(n.keys, key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Insert stores val under key, replacing any existing entry.
+func (t *btree) Insert(key []byte, val int64) {
+	promoted, right, replaced := t.insert(t.root, key, val)
+	if !replaced {
+		t.size++
+	}
+	if right != nil {
+		t.root = &bnode{
+			keys:     [][]byte{promoted},
+			children: []*bnode{t.root, right},
+		}
+	}
+}
+
+// insert adds key to the subtree at n. When n splits it returns the
+// promoted separator and the new right sibling.
+func (t *btree) insert(n *bnode, key []byte, val int64) (promoted []byte, right *bnode, replaced bool) {
+	if n.leaf {
+		i := searchKeys(n.keys, key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			n.vals[i] = val
+			return nil, nil, true
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+	} else {
+		i := searchKeys(n.keys, key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			i++
+		}
+		p, r, rep := t.insert(n.children[i], key, val)
+		replaced = rep
+		if r != nil {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = p
+			n.children = append(n.children, nil)
+			copy(n.children[i+2:], n.children[i+1:])
+			n.children[i+1] = r
+		}
+	}
+	if len(n.keys) <= maxKeys {
+		return nil, nil, replaced
+	}
+	return t.split(n, replaced)
+}
+
+func (t *btree) split(n *bnode, replaced bool) ([]byte, *bnode, bool) {
+	mid := len(n.keys) / 2
+	if n.leaf {
+		r := &bnode{leaf: true, next: n.next}
+		r.keys = append(r.keys, n.keys[mid:]...)
+		r.vals = append(r.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.next = r
+		// For leaves the separator is the first key of the right node and
+		// stays in the leaf (B+ tree style).
+		return r.keys[0], r, replaced
+	}
+	r := &bnode{}
+	r.keys = append(r.keys, n.keys[mid+1:]...)
+	r.children = append(r.children, n.children[mid+1:]...)
+	promoted := n.keys[mid]
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return promoted, r, replaced
+}
+
+// Delete removes key, reporting whether it was present. Underfull nodes
+// rebalance on the way back up; a root left with a single child is
+// collapsed.
+func (t *btree) Delete(key []byte) bool {
+	deleted := t.del(t.root, key)
+	if !t.root.leaf && len(t.root.keys) == 0 {
+		t.root = t.root.children[0]
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *btree) del(n *bnode, key []byte) bool {
+	if n.leaf {
+		i := searchKeys(n.keys, key)
+		if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	i := searchKeys(n.keys, key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		i++
+	}
+	deleted := t.del(n.children[i], key)
+	if len(n.children[i].keys) < minKeys {
+		t.rebalance(n, i)
+	}
+	return deleted
+}
+
+// rebalance restores the occupancy floor of parent.children[i] by
+// borrowing from a sibling with spare keys, or merging with one.
+func (t *btree) rebalance(parent *bnode, i int) {
+	c := parent.children[i]
+	if i > 0 && len(parent.children[i-1].keys) > minKeys {
+		left := parent.children[i-1]
+		if c.leaf {
+			last := len(left.keys) - 1
+			c.keys = append([][]byte{left.keys[last]}, c.keys...)
+			c.vals = append([]int64{left.vals[last]}, c.vals...)
+			left.keys = left.keys[:last]
+			left.vals = left.vals[:last]
+			parent.keys[i-1] = c.keys[0]
+		} else {
+			last := len(left.keys) - 1
+			c.keys = append([][]byte{parent.keys[i-1]}, c.keys...)
+			c.children = append([]*bnode{left.children[last+1]}, c.children...)
+			parent.keys[i-1] = left.keys[last]
+			left.keys = left.keys[:last]
+			left.children = left.children[:last+1]
+		}
+		return
+	}
+	if i < len(parent.children)-1 && len(parent.children[i+1].keys) > minKeys {
+		right := parent.children[i+1]
+		if c.leaf {
+			c.keys = append(c.keys, right.keys[0])
+			c.vals = append(c.vals, right.vals[0])
+			right.keys = right.keys[1:]
+			right.vals = right.vals[1:]
+			parent.keys[i] = right.keys[0]
+		} else {
+			c.keys = append(c.keys, parent.keys[i])
+			c.children = append(c.children, right.children[0])
+			parent.keys[i] = right.keys[0]
+			right.keys = right.keys[1:]
+			right.children = right.children[1:]
+		}
+		return
+	}
+	// No sibling can spare a key: merge with one.
+	if i > 0 {
+		t.merge(parent, i-1)
+	} else {
+		t.merge(parent, i)
+	}
+}
+
+// merge folds parent.children[i+1] into parent.children[i].
+func (t *btree) merge(parent *bnode, i int) {
+	l, r := parent.children[i], parent.children[i+1]
+	if l.leaf {
+		l.keys = append(l.keys, r.keys...)
+		l.vals = append(l.vals, r.vals...)
+		l.next = r.next
+	} else {
+		l.keys = append(l.keys, parent.keys[i])
+		l.keys = append(l.keys, r.keys...)
+		l.children = append(l.children, r.children...)
+	}
+	parent.keys = append(parent.keys[:i], parent.keys[i+1:]...)
+	parent.children = append(parent.children[:i+1], parent.children[i+2:]...)
+}
+
+// Ascend visits entries with lo <= key < hi in key order. A nil lo starts
+// at the smallest key; a nil hi runs to the end. fn returning false stops
+// the scan.
+func (t *btree) Ascend(lo, hi []byte, fn func(key []byte, val int64) bool) {
+	n := t.root
+	for !n.leaf {
+		i := 0
+		if lo != nil {
+			i = searchKeys(n.keys, lo)
+			if i < len(n.keys) && bytes.Equal(n.keys[i], lo) {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+	i := 0
+	if lo != nil {
+		i = searchKeys(n.keys, lo)
+	}
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// AscendPrefix visits all entries whose key begins with prefix.
+func (t *btree) AscendPrefix(prefix []byte, fn func(key []byte, val int64) bool) {
+	if len(prefix) == 0 {
+		t.Ascend(nil, nil, fn)
+		return
+	}
+	t.Ascend(prefix, prefixEnd(prefix), fn)
+}
+
+// prefixEnd returns the smallest key greater than every key with the given
+// prefix, or nil when the prefix is all 0xFF.
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// checkInvariants validates ordering, uniform leaf depth, and the
+// occupancy floor of non-root nodes; used by tests.
+func (t *btree) checkInvariants() error {
+	var prev []byte
+	first := true
+	depth := -1
+	var walk func(n *bnode, d int) error
+	var errf error
+	walk = func(n *bnode, d int) error {
+		if d > 0 && len(n.keys) < minKeys {
+			return errInvariant("non-root node below minimum occupancy")
+		}
+		if n.leaf {
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return errInvariant("leaf depth not uniform")
+			}
+			for _, k := range n.keys {
+				if !first && bytes.Compare(prev, k) >= 0 {
+					return errInvariant("keys out of order")
+				}
+				prev, first = k, false
+			}
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return errInvariant("child count mismatch")
+		}
+		for i, c := range n.children {
+			if err := walk(c, d+1); err != nil {
+				return err
+			}
+			if i < len(n.keys) {
+				// keys in left subtree < separator <= keys in right subtree
+				if !first && bytes.Compare(prev, n.keys[i]) > 0 {
+					return errInvariant("separator below left subtree max")
+				}
+			}
+		}
+		return nil
+	}
+	errf = walk(t.root, 0)
+	return errf
+}
+
+type errInvariant string
+
+func (e errInvariant) Error() string { return "btree: " + string(e) }

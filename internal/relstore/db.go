@@ -1,0 +1,131 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Database is a named collection of tables. Temp tables share the
+// namespace but are tracked so DropTemp can clear them between queries,
+// mirroring the paper's use of temporary tables for shredded query
+// criteria (§4).
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	temp   map[string]bool
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table), temp: make(map[string]bool)}
+}
+
+// CreateTable creates a table from column definitions.
+func (db *Database) CreateTable(name string, cols ...Column) (*Table, error) {
+	return db.createTable(name, false, cols...)
+}
+
+// CreateTempTable creates a table that DropTemp will remove.
+func (db *Database) CreateTempTable(name string, cols ...Column) (*Table, error) {
+	return db.createTable(name, true, cols...)
+}
+
+func (db *Database) createTable(name string, temp bool, cols ...Column) (*Table, error) {
+	s, err := NewSchema(name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("relstore: table %q already exists", name)
+	}
+	t := NewTable(s)
+	db.tables[name] = t
+	if temp {
+		db.temp[name] = true
+	}
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (db *Database) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
+
+// MustTable returns the named table or panics; for internal schemas whose
+// creation is guaranteed at startup.
+func (db *Database) MustTable(name string) *Table {
+	t := db.Table(name)
+	if t == nil {
+		panic(fmt.Sprintf("relstore: missing table %q", name))
+	}
+	return t
+}
+
+// DropTable removes a table.
+func (db *Database) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("relstore: no table %q", name)
+	}
+	delete(db.tables, name)
+	delete(db.temp, name)
+	return nil
+}
+
+// DropTemp removes every temp table.
+func (db *Database) DropTemp() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for name := range db.temp {
+		delete(db.tables, name)
+		delete(db.temp, name)
+	}
+}
+
+// TableNames returns the sorted table names.
+func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StorageBytes estimates the resident bytes of all live rows across all
+// tables: value payloads plus per-row slice overhead. Used by the storage
+// experiment (E5).
+func (db *Database) StorageBytes() int64 {
+	db.mu.RLock()
+	names := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t)
+	}
+	db.mu.RUnlock()
+	var total int64
+	for _, t := range names {
+		t.Scan(func(_ int64, r Row) bool {
+			total += rowBytes(r)
+			return true
+		})
+	}
+	return total
+}
+
+func rowBytes(r Row) int64 {
+	// 16 bytes of slice header + per-value struct size approximation.
+	b := int64(16)
+	for _, v := range r {
+		b += 40 // Value struct
+		b += int64(len(v.S)) + int64(len(v.B))
+	}
+	return b
+}

@@ -1,0 +1,394 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a compiled scalar expression evaluated against a row. Column
+// references are resolved to positions at compile time, so Eval performs
+// no name lookups.
+type Expr interface {
+	Eval(r Row) Value
+	String() string
+}
+
+// ColRef reads a column by position.
+type ColRef struct {
+	Idx  int
+	Name string
+}
+
+// Eval implements Expr.
+func (c ColRef) Eval(r Row) Value { return r[c.Idx] }
+
+func (c ColRef) String() string { return c.Name }
+
+// Const is a literal value.
+type Const struct{ V Value }
+
+// Eval implements Expr.
+func (c Const) Eval(Row) Value { return c.V }
+
+func (c Const) String() string { return c.V.String() }
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var cmpNames = map[CmpOp]string{OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="}
+
+// ParseCmpOp parses a SQL comparison token.
+func ParseCmpOp(s string) (CmpOp, error) {
+	switch s {
+	case "=", "==":
+		return OpEq, nil
+	case "<>", "!=":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	}
+	return 0, fmt.Errorf("relstore: unknown comparison operator %q", s)
+}
+
+// String returns the SQL spelling of the operator.
+func (o CmpOp) String() string { return cmpNames[o] }
+
+// Holds reports whether "a o b" holds under the engine's total order, with
+// SQL NULL semantics: any comparison with NULL is false.
+func (o CmpOp) Holds(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	c := Compare(a, b)
+	switch o {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// Cmp compares two subexpressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eval implements Expr; NULL operands yield NULL (treated as false by
+// filters).
+func (c Cmp) Eval(r Row) Value {
+	l, rt := c.L.Eval(r), c.R.Eval(r)
+	if l.IsNull() || rt.IsNull() {
+		return Null()
+	}
+	return Bool(c.Op.Holds(l, rt))
+}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R)
+}
+
+// LogicOp enumerates boolean connectives.
+type LogicOp uint8
+
+// Boolean connectives.
+const (
+	OpAnd LogicOp = iota
+	OpOr
+	OpNot
+)
+
+// Logic combines boolean subexpressions with three-valued NULL logic.
+type Logic struct {
+	Op   LogicOp
+	Args []Expr
+}
+
+// Eval implements Expr.
+func (l Logic) Eval(r Row) Value {
+	switch l.Op {
+	case OpNot:
+		v := l.Args[0].Eval(r)
+		if v.IsNull() {
+			return Null()
+		}
+		return Bool(!v.AsBool())
+	case OpAnd:
+		sawNull := false
+		for _, a := range l.Args {
+			v := a.Eval(r)
+			if v.IsNull() {
+				sawNull = true
+			} else if !v.AsBool() {
+				return Bool(false)
+			}
+		}
+		if sawNull {
+			return Null()
+		}
+		return Bool(true)
+	case OpOr:
+		sawNull := false
+		for _, a := range l.Args {
+			v := a.Eval(r)
+			if v.IsNull() {
+				sawNull = true
+			} else if v.AsBool() {
+				return Bool(true)
+			}
+		}
+		if sawNull {
+			return Null()
+		}
+		return Bool(false)
+	}
+	return Null()
+}
+
+func (l Logic) String() string {
+	switch l.Op {
+	case OpNot:
+		return fmt.Sprintf("(NOT %s)", l.Args[0])
+	case OpAnd:
+		return logicJoin(l.Args, " AND ")
+	case OpOr:
+		return logicJoin(l.Args, " OR ")
+	}
+	return "?"
+}
+
+func logicJoin(args []Expr, sep string) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+var arithNames = map[ArithOp]string{OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%"}
+
+// Arith computes integer arithmetic when both operands are ints (except
+// division by zero, which yields NULL), and float arithmetic otherwise.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (a Arith) Eval(r Row) Value {
+	l, rt := a.L.Eval(r), a.R.Eval(r)
+	if l.IsNull() || rt.IsNull() {
+		return Null()
+	}
+	if l.K == KInt && rt.K == KInt {
+		switch a.Op {
+		case OpAdd:
+			return Int(l.I + rt.I)
+		case OpSub:
+			return Int(l.I - rt.I)
+		case OpMul:
+			return Int(l.I * rt.I)
+		case OpDiv:
+			if rt.I == 0 {
+				return Null()
+			}
+			return Int(l.I / rt.I)
+		case OpMod:
+			if rt.I == 0 {
+				return Null()
+			}
+			return Int(l.I % rt.I)
+		}
+	}
+	lf, ok1 := l.AsFloat()
+	rf, ok2 := rt.AsFloat()
+	if !ok1 || !ok2 {
+		return Null()
+	}
+	switch a.Op {
+	case OpAdd:
+		return Float(lf + rf)
+	case OpSub:
+		return Float(lf - rf)
+	case OpMul:
+		return Float(lf * rf)
+	case OpDiv:
+		if rf == 0 {
+			return Null()
+		}
+		return Float(lf / rf)
+	case OpMod:
+		if rf == 0 {
+			return Null()
+		}
+		return Float(float64(int64(lf) % int64(rf)))
+	}
+	return Null()
+}
+
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, arithNames[a.Op], a.R)
+}
+
+// IsNullExpr tests for (non-)NULL.
+type IsNullExpr struct {
+	Arg Expr
+	Neg bool // IS NOT NULL
+}
+
+// Eval implements Expr.
+func (e IsNullExpr) Eval(r Row) Value {
+	isNull := e.Arg.Eval(r).IsNull()
+	if e.Neg {
+		return Bool(!isNull)
+	}
+	return Bool(isNull)
+}
+
+func (e IsNullExpr) String() string {
+	if e.Neg {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.Arg)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.Arg)
+}
+
+// LikeExpr implements SQL LIKE with % and _ wildcards.
+type LikeExpr struct {
+	Arg     Expr
+	Pattern string
+}
+
+// Eval implements Expr.
+func (e LikeExpr) Eval(r Row) Value {
+	v := e.Arg.Eval(r)
+	if v.IsNull() {
+		return Null()
+	}
+	return Bool(likeMatch(v.AsString(), e.Pattern))
+}
+
+func (e LikeExpr) String() string {
+	return fmt.Sprintf("(%s LIKE %q)", e.Arg, e.Pattern)
+}
+
+// likeMatch matches s against a SQL LIKE pattern using an iterative
+// two-pointer algorithm (no backtracking blowup).
+func likeMatch(s, pattern string) bool {
+	var si, pi int
+	star, ss := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star, ss = pi, si
+			pi++
+		case star >= 0:
+			ss++
+			si = ss
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// FuncExpr applies a named scalar function.
+type FuncExpr struct {
+	Name string // upper-cased
+	Args []Expr
+}
+
+// Eval implements Expr.
+func (f FuncExpr) Eval(r Row) Value {
+	switch f.Name {
+	case "UPPER":
+		return Str(strings.ToUpper(f.Args[0].Eval(r).AsString()))
+	case "LOWER":
+		return Str(strings.ToLower(f.Args[0].Eval(r).AsString()))
+	case "LENGTH":
+		return Int(int64(len(f.Args[0].Eval(r).AsString())))
+	case "ABS":
+		v := f.Args[0].Eval(r)
+		switch v.K {
+		case KInt:
+			if v.I < 0 {
+				return Int(-v.I)
+			}
+			return v
+		case KFloat:
+			if v.F < 0 {
+				return Float(-v.F)
+			}
+			return v
+		}
+		return Null()
+	case "COALESCE":
+		for _, a := range f.Args {
+			if v := a.Eval(r); !v.IsNull() {
+				return v
+			}
+		}
+		return Null()
+	}
+	return Null()
+}
+
+func (f FuncExpr) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// PredOf converts a boolean expression into a filter predicate (NULL is
+// false).
+func PredOf(e Expr) func(Row) bool {
+	return func(r Row) bool {
+		v := e.Eval(r)
+		return !v.IsNull() && v.AsBool()
+	}
+}

@@ -1,0 +1,185 @@
+package relstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCmpOpHolds(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b Value
+		want bool
+	}{
+		{OpEq, Int(1), Int(1), true},
+		{OpEq, Int(1), Float(1.0), true},
+		{OpNe, Int(1), Int(2), true},
+		{OpLt, Str("a"), Str("b"), true},
+		{OpLe, Int(2), Int(2), true},
+		{OpGt, Float(2.5), Int(2), true},
+		{OpGe, Int(2), Int(3), false},
+		// NULL never compares.
+		{OpEq, Null(), Null(), false},
+		{OpNe, Null(), Int(1), false},
+	}
+	for _, c := range cases {
+		if got := c.op.Holds(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestParseCmpOp(t *testing.T) {
+	for s, want := range map[string]CmpOp{"=": OpEq, "==": OpEq, "<>": OpNe, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe} {
+		got, err := ParseCmpOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseCmpOp(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseCmpOp("~"); err == nil {
+		t.Error("ParseCmpOp(~) should fail")
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	row := Row{Int(10), Str("hello"), Float(2.5), Null()}
+	e := Cmp{Op: OpGt, L: ColRef{Idx: 0, Name: "a"}, R: Const{V: Int(5)}}
+	if v := e.Eval(row); !v.AsBool() {
+		t.Error("10 > 5 should hold")
+	}
+	and := Logic{Op: OpAnd, Args: []Expr{
+		Cmp{Op: OpEq, L: ColRef{Idx: 1}, R: Const{V: Str("hello")}},
+		Cmp{Op: OpLt, L: ColRef{Idx: 2}, R: Const{V: Float(3)}},
+	}}
+	if v := and.Eval(row); !v.AsBool() {
+		t.Error("AND should hold")
+	}
+	not := Logic{Op: OpNot, Args: []Expr{and}}
+	if v := not.Eval(row); v.AsBool() {
+		t.Error("NOT should invert")
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	row := Row{Null(), Int(1)}
+	nullCmp := Cmp{Op: OpEq, L: ColRef{Idx: 0}, R: Const{V: Int(1)}}
+	trueCmp := Cmp{Op: OpEq, L: ColRef{Idx: 1}, R: Const{V: Int(1)}}
+	falseCmp := Cmp{Op: OpEq, L: ColRef{Idx: 1}, R: Const{V: Int(2)}}
+
+	// NULL AND false = false; NULL AND true = NULL.
+	if v := (Logic{Op: OpAnd, Args: []Expr{nullCmp, falseCmp}}).Eval(row); v.IsNull() || v.AsBool() {
+		t.Errorf("NULL AND false = %v, want false", v)
+	}
+	if v := (Logic{Op: OpAnd, Args: []Expr{nullCmp, trueCmp}}).Eval(row); !v.IsNull() {
+		t.Errorf("NULL AND true = %v, want NULL", v)
+	}
+	// NULL OR true = true; NULL OR false = NULL.
+	if v := (Logic{Op: OpOr, Args: []Expr{nullCmp, trueCmp}}).Eval(row); v.IsNull() || !v.AsBool() {
+		t.Errorf("NULL OR true = %v, want true", v)
+	}
+	if v := (Logic{Op: OpOr, Args: []Expr{nullCmp, falseCmp}}).Eval(row); !v.IsNull() {
+		t.Errorf("NULL OR false = %v, want NULL", v)
+	}
+	// NOT NULL = NULL.
+	if v := (Logic{Op: OpNot, Args: []Expr{nullCmp}}).Eval(row); !v.IsNull() {
+		t.Errorf("NOT NULL = %v, want NULL", v)
+	}
+}
+
+func TestArith(t *testing.T) {
+	row := Row{Int(7), Int(2), Float(0.5)}
+	a, b, c := ColRef{Idx: 0}, ColRef{Idx: 1}, ColRef{Idx: 2}
+	cases := []struct {
+		e    Expr
+		want Value
+	}{
+		{Arith{OpAdd, a, b}, Int(9)},
+		{Arith{OpSub, a, b}, Int(5)},
+		{Arith{OpMul, a, b}, Int(14)},
+		{Arith{OpDiv, a, b}, Int(3)},
+		{Arith{OpMod, a, b}, Int(1)},
+		{Arith{OpAdd, a, c}, Float(7.5)},
+		{Arith{OpDiv, a, Const{V: Int(0)}}, Null()},
+		{Arith{OpAdd, a, Const{V: Null()}}, Null()},
+	}
+	for _, tc := range cases {
+		if got := tc.e.Eval(row); Compare(got, tc.want) != 0 || got.IsNull() != tc.want.IsNull() {
+			t.Errorf("%s = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestIsNullAndLike(t *testing.T) {
+	row := Row{Null(), Str("metadata catalog")}
+	if !(IsNullExpr{Arg: ColRef{Idx: 0}}).Eval(row).AsBool() {
+		t.Error("IS NULL failed")
+	}
+	if !(IsNullExpr{Arg: ColRef{Idx: 1}, Neg: true}).Eval(row).AsBool() {
+		t.Error("IS NOT NULL failed")
+	}
+	like := func(p string) bool {
+		return (LikeExpr{Arg: ColRef{Idx: 1}, Pattern: p}).Eval(row).AsBool()
+	}
+	if !like("meta%") || !like("%catalog") || !like("%data cat%") || !like("metadata catalog") {
+		t.Error("LIKE positive cases failed")
+	}
+	if like("meta") || like("x%") || like("%xyz%") {
+		t.Error("LIKE negative cases matched")
+	}
+	if !like("met_data%") || like("met__data%") {
+		t.Error("LIKE underscore handling wrong")
+	}
+	if v := (LikeExpr{Arg: ColRef{Idx: 0}, Pattern: "%"}).Eval(row); !v.IsNull() {
+		t.Error("NULL LIKE should be NULL")
+	}
+}
+
+func TestLikeMatchProperty(t *testing.T) {
+	// s LIKE s, s LIKE "%", s LIKE s+"%" always hold.
+	f := func(s string) bool {
+		if len(s) > 30 {
+			s = s[:30]
+		}
+		// Avoid wildcard bytes inside s for the self-match case.
+		clean := []byte(s)
+		for i, c := range clean {
+			if c == '%' || c == '_' {
+				clean[i] = 'a'
+			}
+		}
+		cs := string(clean)
+		return likeMatch(cs, cs) && likeMatch(cs, "%") && likeMatch(cs, cs+"%") && likeMatch(cs, "%"+cs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuncExpr(t *testing.T) {
+	row := Row{Str("MiXeD"), Int(-5), Null(), Float(-2.5)}
+	cases := []struct {
+		name string
+		args []Expr
+		want Value
+	}{
+		{"UPPER", []Expr{ColRef{Idx: 0}}, Str("MIXED")},
+		{"LOWER", []Expr{ColRef{Idx: 0}}, Str("mixed")},
+		{"LENGTH", []Expr{ColRef{Idx: 0}}, Int(5)},
+		{"ABS", []Expr{ColRef{Idx: 1}}, Int(5)},
+		{"ABS", []Expr{ColRef{Idx: 3}}, Float(2.5)},
+		{"COALESCE", []Expr{ColRef{Idx: 2}, ColRef{Idx: 1}}, Int(-5)},
+	}
+	for _, tc := range cases {
+		got := (FuncExpr{Name: tc.name, Args: tc.args}).Eval(row)
+		if Compare(got, tc.want) != 0 {
+			t.Errorf("%s = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPredOf(t *testing.T) {
+	p := PredOf(Cmp{Op: OpEq, L: ColRef{Idx: 0}, R: Const{V: Int(1)}})
+	if !p(Row{Int(1)}) || p(Row{Int(2)}) || p(Row{Null()}) {
+		t.Error("PredOf misbehaved")
+	}
+}

@@ -1,0 +1,360 @@
+package relstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// IndexKind selects the physical index structure.
+type IndexKind uint8
+
+const (
+	// HashIndex supports equality probes only.
+	HashIndex IndexKind = iota
+	// BTreeIndex supports equality and range scans in key order.
+	BTreeIndex
+)
+
+// Index is a secondary index over one or more columns of a table. Indexes
+// are maintained synchronously by Insert/Update/Delete under the table
+// lock.
+type Index struct {
+	Name   string
+	Cols   []int
+	Kind   IndexKind
+	Unique bool
+
+	hash map[string][]int64
+	tree *btree
+}
+
+func rowIDSuffix(key []byte, rowID int64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(rowID))
+	return append(key, buf[:]...)
+}
+
+func (ix *Index) add(key []byte, rowID int64) error {
+	switch ix.Kind {
+	case HashIndex:
+		k := string(key)
+		if ix.Unique && len(ix.hash[k]) > 0 {
+			return fmt.Errorf("relstore: unique index %s violated", ix.Name)
+		}
+		ix.hash[k] = append(ix.hash[k], rowID)
+	case BTreeIndex:
+		if ix.Unique {
+			if _, exists := ix.tree.Get(key); exists {
+				return fmt.Errorf("relstore: unique index %s violated", ix.Name)
+			}
+			ix.tree.Insert(append([]byte(nil), key...), rowID)
+		} else {
+			ix.tree.Insert(rowIDSuffix(append([]byte(nil), key...), rowID), rowID)
+		}
+	}
+	return nil
+}
+
+func (ix *Index) remove(key []byte, rowID int64) {
+	switch ix.Kind {
+	case HashIndex:
+		k := string(key)
+		ids := ix.hash[k]
+		for i, id := range ids {
+			if id == rowID {
+				ix.hash[k] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(ix.hash[k]) == 0 {
+			delete(ix.hash, k)
+		}
+	case BTreeIndex:
+		if ix.Unique {
+			ix.tree.Delete(key)
+		} else {
+			ix.tree.Delete(rowIDSuffix(append([]byte(nil), key...), rowID))
+		}
+	}
+}
+
+// Table is an in-memory heap of rows with secondary indexes. Row IDs are
+// stable for the life of the row and may be reused after deletion. A Table
+// is safe for concurrent use.
+type Table struct {
+	mu      sync.RWMutex
+	Schema  *Schema
+	rows    []Row // nil slot = deleted
+	free    []int64
+	live    int
+	indexes map[string]*Index
+	autoID  int64 // monotonically increasing helper for AUTO columns
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(s *Schema) *Table {
+	return &Table{Schema: s, indexes: make(map[string]*Index)}
+}
+
+// CreateIndex builds an index over the named columns, indexing existing
+// rows. It fails if the name is taken, a column is unknown, or a unique
+// constraint is already violated.
+func (t *Table) CreateIndex(name string, kind IndexKind, unique bool, cols ...string) (*Index, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.indexes[name]; dup {
+		return nil, fmt.Errorf("relstore: table %s: index %q already exists", t.Schema.Name, name)
+	}
+	idx, err := t.Schema.ColIndexes(cols...)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{Name: name, Cols: idx, Kind: kind, Unique: unique}
+	if kind == HashIndex {
+		ix.hash = make(map[string][]int64)
+	} else {
+		ix.tree = newBtree()
+	}
+	for id, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		if err := ix.add(KeyOfColumns(r, ix.Cols), int64(id)); err != nil {
+			return nil, err
+		}
+	}
+	t.indexes[name] = ix
+	return ix, nil
+}
+
+// Index returns the named index, or nil.
+func (t *Table) Index(name string) *Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.indexes[name]
+}
+
+// Indexes returns the table's indexes (unordered).
+func (t *Table) Indexes() []*Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Index, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		out = append(out, ix)
+	}
+	return out
+}
+
+// NextAutoID returns a monotonically increasing int64, 1-based; used for
+// synthetic primary keys.
+func (t *Table) NextAutoID() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.autoID++
+	return t.autoID
+}
+
+// EnsureAutoID advances the auto-ID counter to at least min, so IDs
+// assigned after restoring a snapshot never collide with restored rows.
+func (t *Table) EnsureAutoID(min int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.autoID < min {
+		t.autoID = min
+	}
+}
+
+// Insert validates the row against the schema, appends it, and maintains
+// all indexes. It returns the new row ID.
+func (t *Table) Insert(r Row) (int64, error) {
+	nr, err := t.Schema.CheckRow(r)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var id int64
+	if n := len(t.free); n > 0 {
+		id = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[id] = nr
+	} else {
+		id = int64(len(t.rows))
+		t.rows = append(t.rows, nr)
+	}
+	// Track the indexes actually updated: map iteration order is random,
+	// so rollback must replay exactly what was applied, not re-iterate.
+	added := make([]*Index, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		if err := ix.add(KeyOfColumns(nr, ix.Cols), id); err != nil {
+			for _, ix2 := range added {
+				ix2.remove(KeyOfColumns(nr, ix2.Cols), id)
+			}
+			t.rows[id] = nil
+			t.free = append(t.free, id)
+			return 0, err
+		}
+		added = append(added, ix)
+	}
+	t.live++
+	return id, nil
+}
+
+// Get returns the row stored under id, or nil if deleted/never existed.
+func (t *Table) Get(id int64) Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || id >= int64(len(t.rows)) {
+		return nil
+	}
+	return t.rows[id]
+}
+
+// Delete removes the row under id, reporting whether it existed.
+func (t *Table) Delete(id int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= int64(len(t.rows)) || t.rows[id] == nil {
+		return false
+	}
+	r := t.rows[id]
+	for _, ix := range t.indexes {
+		ix.remove(KeyOfColumns(r, ix.Cols), id)
+	}
+	t.rows[id] = nil
+	t.free = append(t.free, id)
+	t.live--
+	return true
+}
+
+// Update replaces the row under id, maintaining indexes.
+func (t *Table) Update(id int64, r Row) error {
+	nr, err := t.Schema.CheckRow(r)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= int64(len(t.rows)) || t.rows[id] == nil {
+		return fmt.Errorf("relstore: table %s: update of missing row %d", t.Schema.Name, id)
+	}
+	old := t.rows[id]
+	for _, ix := range t.indexes {
+		ix.remove(KeyOfColumns(old, ix.Cols), id)
+	}
+	added := make([]*Index, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		if err := ix.add(KeyOfColumns(nr, ix.Cols), id); err != nil {
+			// Roll back exactly the new entries applied, then restore the
+			// old ones (which cannot conflict: they coexisted before).
+			for _, ix2 := range added {
+				ix2.remove(KeyOfColumns(nr, ix2.Cols), id)
+			}
+			for _, ix2 := range t.indexes {
+				_ = ix2.add(KeyOfColumns(old, ix2.Cols), id)
+			}
+			return err
+		}
+		added = append(added, ix)
+	}
+	t.rows[id] = nr
+	return nil
+}
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// Scan calls fn for every live row in row-ID order until fn returns false.
+// The row must not be mutated.
+func (t *Table) Scan(fn func(id int64, r Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for id, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		if !fn(int64(id), r) {
+			return
+		}
+	}
+}
+
+// LookupEqual returns the row IDs whose indexed columns equal vals, using
+// the named index.
+func (t *Table) LookupEqual(indexName string, vals ...Value) ([]int64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix := t.indexes[indexName]
+	if ix == nil {
+		return nil, fmt.Errorf("relstore: table %s: no index %q", t.Schema.Name, indexName)
+	}
+	if len(vals) != len(ix.Cols) {
+		return nil, fmt.Errorf("relstore: index %s: got %d key values, want %d", indexName, len(vals), len(ix.Cols))
+	}
+	key := EncodeKey(vals...)
+	switch ix.Kind {
+	case HashIndex:
+		ids := ix.hash[string(key)]
+		return append([]int64(nil), ids...), nil
+	case BTreeIndex:
+		if ix.Unique {
+			if id, ok := ix.tree.Get(key); ok {
+				return []int64{id}, nil
+			}
+			return nil, nil
+		}
+		var out []int64
+		ix.tree.AscendPrefix(key, func(_ []byte, v int64) bool {
+			out = append(out, v)
+			return true
+		})
+		return out, nil
+	}
+	return nil, nil
+}
+
+// RangeBound describes one end of an index range scan.
+type RangeBound struct {
+	Vals      []Value // prefix of the index columns
+	Inclusive bool
+	Set       bool // false = unbounded
+}
+
+// LookupRange returns row IDs whose indexed key falls within [lo, hi] per
+// the bounds' inclusivity, in key order. Requires a B-tree index.
+func (t *Table) LookupRange(indexName string, lo, hi RangeBound) ([]int64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix := t.indexes[indexName]
+	if ix == nil {
+		return nil, fmt.Errorf("relstore: table %s: no index %q", t.Schema.Name, indexName)
+	}
+	if ix.Kind != BTreeIndex {
+		return nil, fmt.Errorf("relstore: index %s: range scan requires a B-tree index", indexName)
+	}
+	var loKey, hiKey []byte
+	if lo.Set {
+		loKey = EncodeKey(lo.Vals...)
+		if !lo.Inclusive {
+			// Skip every key with this exact prefix.
+			loKey = prefixEnd(loKey)
+		}
+	}
+	if hi.Set {
+		hiKey = EncodeKey(hi.Vals...)
+		if hi.Inclusive {
+			hiKey = prefixEnd(hiKey)
+		}
+	}
+	var out []int64
+	ix.tree.Ascend(loKey, hiKey, func(_ []byte, v int64) bool {
+		out = append(out, v)
+		return true
+	})
+	return out, nil
+}

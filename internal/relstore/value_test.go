@@ -1,0 +1,172 @@
+package relstore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v       Value
+		kind    Kind
+		str     string
+		boolean bool
+	}{
+		{Null(), KNull, "", false},
+		{Int(42), KInt, "42", true},
+		{Int(0), KInt, "0", false},
+		{Int(-7), KInt, "-7", true},
+		{Float(2.5), KFloat, "2.5", true},
+		{Float(0), KFloat, "0", false},
+		{Str("hello"), KString, "hello", true},
+		{Str(""), KString, "", false},
+		{Bytes([]byte{1, 2}), KBytes, "\x01\x02", true},
+		{Bool(true), KBool, "true", true},
+		{Bool(false), KBool, "false", false},
+	}
+	for _, c := range cases {
+		if c.v.K != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.K, c.kind)
+		}
+		if got := c.v.AsString(); got != c.str {
+			t.Errorf("%v: AsString = %q, want %q", c.v, got, c.str)
+		}
+		if got := c.v.AsBool(); got != c.boolean {
+			t.Errorf("%v: AsBool = %v, want %v", c.v, got, c.boolean)
+		}
+	}
+}
+
+func TestValueAsIntAsFloat(t *testing.T) {
+	if i, ok := Int(9).AsInt(); !ok || i != 9 {
+		t.Errorf("Int(9).AsInt = %d, %v", i, ok)
+	}
+	if i, ok := Float(9.9).AsInt(); !ok || i != 9 {
+		t.Errorf("Float(9.9).AsInt = %d, %v", i, ok)
+	}
+	if i, ok := Str("123").AsInt(); !ok || i != 123 {
+		t.Errorf("Str(123).AsInt = %d, %v", i, ok)
+	}
+	if _, ok := Str("abc").AsInt(); ok {
+		t.Error("Str(abc).AsInt should fail")
+	}
+	if f, ok := Str("2.5").AsFloat(); !ok || f != 2.5 {
+		t.Errorf("Str(2.5).AsFloat = %g, %v", f, ok)
+	}
+	if _, ok := Null().AsFloat(); ok {
+		t.Error("Null().AsFloat should fail")
+	}
+}
+
+func TestCompareTotalOrderAcrossKinds(t *testing.T) {
+	// NULL < bool < numbers < string < bytes.
+	ordered := []Value{
+		Null(), Bool(false), Bool(true),
+		Float(math.Inf(-1)), Int(-5), Float(-1.5), Int(0), Float(0.5),
+		Int(1), Int(2), Float(math.Inf(1)),
+		Str(""), Str("a"), Str("ab"), Str("b"),
+		Bytes(nil), Bytes([]byte{0}), Bytes([]byte{0, 1}), Bytes([]byte{1}),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareIntFloatMixed(t *testing.T) {
+	if Compare(Int(3), Float(3.0)) != 0 {
+		t.Error("Int(3) should equal Float(3.0)")
+	}
+	if Compare(Int(3), Float(3.5)) != -1 {
+		t.Error("Int(3) should sort below Float(3.5)")
+	}
+	if Compare(Float(2.9), Int(3)) != -1 {
+		t.Error("Float(2.9) should sort below Int(3)")
+	}
+	// NaN sorts first among numbers and equals itself.
+	if Compare(Float(math.NaN()), Float(math.NaN())) != 0 {
+		t.Error("NaN should equal NaN in the total order")
+	}
+	if Compare(Float(math.NaN()), Float(math.Inf(-1))) != -1 {
+		t.Error("NaN should sort before -Inf")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	v, err := Coerce(Str("42"), KInt)
+	if err != nil || v.I != 42 || v.K != KInt {
+		t.Errorf("Coerce(\"42\", Int) = %v, %v", v, err)
+	}
+	v, err = Coerce(Int(7), KFloat)
+	if err != nil || v.F != 7 {
+		t.Errorf("Coerce(7, Float) = %v, %v", v, err)
+	}
+	v, err = Coerce(Int(7), KString)
+	if err != nil || v.S != "7" {
+		t.Errorf("Coerce(7, String) = %v, %v", v, err)
+	}
+	if _, err = Coerce(Str("xyz"), KInt); err == nil {
+		t.Error("Coerce(xyz, Int) should fail")
+	}
+	// NULL coerces to anything.
+	v, err = Coerce(Null(), KInt)
+	if err != nil || !v.IsNull() {
+		t.Errorf("Coerce(NULL, Int) = %v, %v", v, err)
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64, fa, fb float64, sa, sb string) bool {
+		vals := []Value{Int(a), Int(b), Float(fa), Float(fb), Str(sa), Str(sb), Null()}
+		for _, x := range vals {
+			for _, y := range vals {
+				if Compare(x, y) != -Compare(y, x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	f := func(a, b, c int64, fa, fb, fc float64) bool {
+		vals := []Value{Int(a), Float(fb), Int(c), Float(fa), Int(b), Float(fc)}
+		for _, x := range vals {
+			for _, y := range vals {
+				for _, z := range vals {
+					if Compare(x, y) <= 0 && Compare(y, z) <= 0 && Compare(x, z) > 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneRowIndependence(t *testing.T) {
+	r := Row{Int(1), Str("x")}
+	c := CloneRow(r)
+	c[0] = Int(2)
+	if r[0].I != 1 {
+		t.Error("CloneRow should not alias the original")
+	}
+}

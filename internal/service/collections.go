@@ -1,0 +1,161 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/ontology"
+)
+
+// Ontology, when set, enables query expansion: requests with ?expand=1
+// widen keyword equality predicates through the term hierarchy.
+func (s *Server) SetOntology(o *ontology.Ontology) { s.ont = o }
+
+// registerCollectionRoutes adds the aggregation/context endpoints:
+//
+//	POST   /collections                      {"name","owner","parent_id"} -> {"id"}
+//	GET    /collections                      -> [{"id","name","owner","parent_id"}]
+//	PUT    /collections/{id}/objects/{oid}   add membership
+//	DELETE /collections/{id}/objects/{oid}   remove membership
+//	GET    /collections/{id}/objects         -> {"ids": [...]} (subtree)
+//	POST   /collections/containing           query JSON -> {"collection_ids": [...]}
+//
+// and extends POST /query with ?collection=N (containment scope) and
+// ?expand=1 (ontology expansion).
+func (s *Server) registerCollectionRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /collections", s.handleCreateCollection)
+	mux.HandleFunc("GET /collections", s.handleListCollections)
+	mux.HandleFunc("PUT /collections/{id}/objects/{oid}", s.handleMembership(true))
+	mux.HandleFunc("DELETE /collections/{id}/objects/{oid}", s.handleMembership(false))
+	mux.HandleFunc("GET /collections/{id}/objects", s.handleCollectionObjects)
+	mux.HandleFunc("POST /collections/containing", s.handleContaining)
+}
+
+type createCollectionReq struct {
+	Name     string `json:"name"`
+	Owner    string `json:"owner"`
+	ParentID int64  `json:"parent_id"`
+}
+
+func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) {
+	var req createCollectionReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.Cat.CreateCollection(req.Name, req.Owner, req.ParentID)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
+}
+
+func (s *Server) handleListCollections(w http.ResponseWriter, _ *http.Request) {
+	type coll struct {
+		ID       int64  `json:"id"`
+		Name     string `json:"name"`
+		Owner    string `json:"owner"`
+		ParentID int64  `json:"parent_id"`
+	}
+	infos := s.Cat.Collections()
+	out := make([]coll, 0, len(infos))
+	for _, c := range infos {
+		out = append(out, coll{c.ID, c.Name, c.Owner, c.ParentID})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func pathID(r *http.Request, name string) (int64, error) {
+	id, err := strconv.ParseInt(r.PathValue(name), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("service: bad %s: %w", name, err)
+	}
+	return id, nil
+}
+
+func (s *Server) handleMembership(add bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		cid, err := pathID(r, "id")
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		oid, err := pathID(r, "oid")
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if add {
+			if err := s.Cat.AddToCollection(cid, oid); err != nil {
+				writeErr(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"removed": s.Cat.RemoveFromCollection(cid, oid)})
+	}
+}
+
+func (s *Server) handleCollectionObjects(w http.ResponseWriter, r *http.Request) {
+	cid, err := pathID(r, "id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ids, err := s.Cat.CollectionObjects(cid)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if ids == nil {
+		ids = []int64{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]int64{"ids": ids})
+}
+
+func (s *Server) handleContaining(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.readQuery(w, r)
+	if !ok {
+		return
+	}
+	q = s.maybeExpand(r, q)
+	ids, err := s.Cat.CollectionsContaining(q)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, catalog.ErrUnknownDefinition) {
+			status = http.StatusBadRequest
+		}
+		writeErr(w, status, err)
+		return
+	}
+	if ids == nil {
+		ids = []int64{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]int64{"collection_ids": ids})
+}
+
+// maybeExpand applies ontology expansion when requested and configured.
+func (s *Server) maybeExpand(r *http.Request, q *catalog.Query) *catalog.Query {
+	if s.ont != nil && r.URL.Query().Get("expand") == "1" {
+		return ontology.Expand(s.ont, q)
+	}
+	return q
+}
+
+// evaluateScoped runs the query, optionally scoped to ?collection=N.
+func (s *Server) evaluateScoped(r *http.Request, q *catalog.Query) ([]int64, error) {
+	if cs := r.URL.Query().Get("collection"); cs != "" {
+		cid, err := strconv.ParseInt(cs, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("service: bad collection: %w", err)
+		}
+		return s.Cat.EvaluateInContext(cid, q)
+	}
+	return s.Cat.Evaluate(q)
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestPublishEndpointsAndScopedVisibility(t *testing.T) {
+	ts, cat := newTestServer(t)
+	if _, err := cat.IngestXML("alice", minimalDoc("private-data")); err != nil {
+		t.Fatal(err)
+	}
+
+	query := `{"owner":"bob","attrs":[{"name":"theme","elems":[{"name":"themekey","op":"=","value":"private-data"}]}]}`
+
+	// Bob cannot see alice's unpublished object.
+	code, body := post(t, ts.URL+"/query", "application/json", query)
+	if code != http.StatusOK || !strings.Contains(body, "[]") {
+		t.Fatalf("unpublished visible: %d %s", code, body)
+	}
+	// Publish over HTTP.
+	code, body = post(t, ts.URL+"/objects/1/publish", "application/json", "")
+	if code != http.StatusOK {
+		t.Fatalf("publish: %d %s", code, body)
+	}
+	code, body = post(t, ts.URL+"/query", "application/json", query)
+	if code != http.StatusOK || !strings.Contains(body, "[1]") {
+		t.Fatalf("published not visible: %d %s", code, body)
+	}
+	// Unpublish reverses.
+	if code, _ := post(t, ts.URL+"/objects/1/unpublish", "application/json", ""); code != http.StatusOK {
+		t.Fatalf("unpublish: %d", code)
+	}
+	code, body = post(t, ts.URL+"/query", "application/json", query)
+	if !strings.Contains(body, "[]") {
+		t.Fatalf("unpublish had no effect: %d %s", code, body)
+	}
+	// Errors.
+	if code, _ := post(t, ts.URL+"/objects/99/publish", "application/json", ""); code != http.StatusNotFound {
+		t.Errorf("missing object publish = %d", code)
+	}
+	if code, _ := post(t, ts.URL+"/objects/abc/publish", "application/json", ""); code != http.StatusBadRequest {
+		t.Errorf("bad id publish = %d", code)
+	}
+}
+
+func TestDefsEndpointAndSearchPagination(t *testing.T) {
+	ts, cat := newTestServer(t)
+	if err := cat.LoadDefinitionsJSON([]byte(`[
+	  {"kind":"attribute","name":"grid","source":"ARPS"},
+	  {"kind":"element","name":"dx","source":"ARPS","parent":"grid","type":"float"}
+	]`)); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, ts.URL+"/defs")
+	if code != http.StatusOK || !strings.Contains(body, `"grid"`) || !strings.Contains(body, `"dx"`) {
+		t.Fatalf("defs: %d %s", code, body)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := cat.IngestXML("u", minimalDoc("k")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := `{"attrs":[{"name":"theme","elems":[{"name":"themekey","op":"=","value":"k"}]}]}`
+	code, body = post(t, ts.URL+"/search?offset=1&limit=2", "application/json", query)
+	if code != http.StatusOK || !strings.Contains(body, `"total":5`) {
+		t.Fatalf("paged search: %d %s", code, body)
+	}
+	if got := strings.Count(body, `"xml"`); got != 2 {
+		t.Fatalf("page size = %d results: %s", got, body)
+	}
+}
+
+func minimalDoc(key string) string {
+	return `<LEADresource><resourceID>` + key + `</resourceID><data><idinfo><keywords>
+	  <theme><themekt>CF</themekt><themekey>` + key + `</themekey></theme>
+	</keywords></idinfo></data></LEADresource>`
+}

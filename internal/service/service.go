@@ -1,0 +1,283 @@
+// Package service exposes a catalog as an HTTP/XML grid service: ingest
+// schema-based metadata documents, register dynamic definitions, run
+// attribute queries (JSON wire format), and fetch reconstructed XML.
+// It stands in for the grid-service transport of the myLEAD server.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/ontology"
+)
+
+// Server wraps a catalog with HTTP handlers.
+type Server struct {
+	Cat *catalog.Catalog
+	ont *ontology.Ontology
+}
+
+// New wraps a catalog.
+func New(cat *catalog.Catalog) *Server { return &Server{Cat: cat} }
+
+// Handler returns the service mux:
+//
+//	POST /ingest?owner=U        XML document body -> {"id": N}
+//	POST /query                 query JSON -> {"ids": [...]}
+//	POST /search                query JSON -> {"results": [{"id", "xml"}]}
+//	GET  /objects               -> [{"id","name","owner","created"}]
+//	GET  /fetch?id=N            -> XML document
+//	GET  /schema                -> text ordering table (Figure 2)
+//	POST /define/attr           {"name","source","parent_id","owner"} -> definition
+//	POST /define/elem           {"name","source","attr_id","type","owner"} -> definition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("GET /objects", s.handleObjects)
+	mux.HandleFunc("GET /fetch", s.handleFetch)
+	mux.HandleFunc("GET /schema", s.handleSchema)
+	mux.HandleFunc("POST /define/attr", s.handleDefineAttr)
+	mux.HandleFunc("POST /define/elem", s.handleDefineElem)
+	mux.HandleFunc("POST /objects/{id}/publish", s.handlePublish(true))
+	mux.HandleFunc("POST /objects/{id}/unpublish", s.handlePublish(false))
+	mux.HandleFunc("GET /defs", s.handleDefs)
+	s.registerCollectionRoutes(mux)
+	return mux
+}
+
+// handlePublish flips an object's published flag (§1 privacy: queries
+// from other users only see published objects).
+func (s *Server) handlePublish(published bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.Cat.SetPublished(id, published); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"published": published})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.Cat.IngestXML(r.URL.Query().Get("owner"), string(body))
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
+}
+
+func (s *Server) readQuery(w http.ResponseWriter, r *http.Request) (*catalog.Query, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	q, err := catalog.ParseQueryJSON(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	return q, true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.readQuery(w, r)
+	if !ok {
+		return
+	}
+	q = s.maybeExpand(r, q)
+	ids, err := s.evaluateScoped(r, q)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, catalog.ErrUnknownDefinition) {
+			status = http.StatusBadRequest
+		}
+		writeErr(w, status, err)
+		return
+	}
+	if ids == nil {
+		ids = []int64{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]int64{"ids": ids})
+}
+
+// handleDefs dumps the dynamic definitions in the DefJSON wire format.
+func (s *Server) handleDefs(w http.ResponseWriter, _ *http.Request) {
+	data, err := s.Cat.DumpDefinitionsJSON()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+// handleSearch runs the query and returns reconstructed documents;
+// ?offset and ?limit paginate over the ascending ID order, and the
+// response carries the total match count.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.readQuery(w, r)
+	if !ok {
+		return
+	}
+	q = s.maybeExpand(r, q)
+	ids, err := s.evaluateScoped(r, q)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, catalog.ErrUnknownDefinition) {
+			status = http.StatusBadRequest
+		}
+		writeErr(w, status, err)
+		return
+	}
+	total := len(ids)
+	if off := queryInt(r, "offset", 0); off > 0 {
+		if off >= len(ids) {
+			ids = nil
+		} else {
+			ids = ids[off:]
+		}
+	}
+	if lim := queryInt(r, "limit", 0); lim > 0 && lim < len(ids) {
+		ids = ids[:lim]
+	}
+	resp, err := s.Cat.BuildResponse(ids)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	type result struct {
+		ID  int64  `json:"id"`
+		XML string `json:"xml"`
+	}
+	results := make([]result, 0, len(resp))
+	for _, rr := range resp {
+		results = append(results, result{ID: rr.ObjectID, XML: rr.XML})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"total": total, "results": results})
+}
+
+func queryInt(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return def
+	}
+	return n
+}
+
+func (s *Server) handleObjects(w http.ResponseWriter, _ *http.Request) {
+	type obj struct {
+		ID      int64  `json:"id"`
+		Name    string `json:"name"`
+		Owner   string `json:"owner"`
+		Created string `json:"created"`
+	}
+	objs := s.Cat.Objects()
+	out := make([]obj, 0, len(objs))
+	for _, o := range objs {
+		out = append(out, obj{o.ID, o.Name, o.Owner, o.Created})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad id: %w", err))
+		return
+	}
+	doc, err := s.Cat.FetchDocument(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	_ = doc.WriteTo(w, 2)
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, row := range s.Cat.Schema.OrderingTable() {
+		fmt.Fprintln(w, row)
+	}
+}
+
+type defineAttrReq struct {
+	Name     string `json:"name"`
+	Source   string `json:"source"`
+	ParentID int64  `json:"parent_id"`
+	Owner    string `json:"owner"`
+}
+
+func (s *Server) handleDefineAttr(w http.ResponseWriter, r *http.Request) {
+	var req defineAttrReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	def, err := s.Cat.RegisterAttr(req.Name, req.Source, req.ParentID, req.Owner)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int64{"attr_id": def.ID})
+}
+
+type defineElemReq struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	AttrID int64  `json:"attr_id"`
+	Type   string `json:"type"`
+	Owner  string `json:"owner"`
+}
+
+func (s *Server) handleDefineElem(w http.ResponseWriter, r *http.Request) {
+	var req defineElemReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	dt, err := core.ParseDataType(req.Type)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	def, err := s.Cat.RegisterElem(req.Name, req.Source, req.AttrID, dt, req.Owner)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int64{"elem_id": def.ID})
+}

@@ -1,0 +1,207 @@
+// Package sqldriver exposes the relstore engine through database/sql as
+// driver name "hybridcat". Databases are registered under a DSN name with
+// Register, so several components can share one in-memory instance:
+//
+//	db := relstore.NewDatabase()
+//	sqldriver.Register("catalog", db)
+//	sqlDB, _ := sql.Open("hybridcat", "catalog")
+//
+// Opening an unregistered DSN creates a fresh private database, which is
+// convenient for tests and examples.
+//
+// Transactions are accepted but not isolated: Begin/Commit are no-ops and
+// Rollback returns an error, matching the engine's auto-commit semantics.
+package sqldriver
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/sqlparser"
+)
+
+// DriverName is the name registered with database/sql.
+const DriverName = "hybridcat"
+
+var (
+	registryMu sync.Mutex
+	registry   = make(map[string]*relstore.Database)
+)
+
+func init() {
+	sql.Register(DriverName, &Driver{})
+}
+
+// Register binds a relstore database to a DSN name. Re-registering a name
+// replaces the binding.
+func Register(dsn string, db *relstore.Database) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[dsn] = db
+}
+
+// Unregister removes a DSN binding.
+func Unregister(dsn string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	delete(registry, dsn)
+}
+
+// Driver implements driver.Driver.
+type Driver struct{}
+
+// Open returns a connection to the database registered under the DSN,
+// creating and registering an empty one when absent.
+func (Driver) Open(dsn string) (driver.Conn, error) {
+	registryMu.Lock()
+	db, ok := registry[dsn]
+	if !ok {
+		db = relstore.NewDatabase()
+		registry[dsn] = db
+	}
+	registryMu.Unlock()
+	return &conn{engine: sqlparser.NewEngine(db)}, nil
+}
+
+type conn struct {
+	engine *sqlparser.Engine
+}
+
+// Prepare implements driver.Conn.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	n, err := sqlparser.NumParams(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{conn: c, query: query, numInput: n}, nil
+}
+
+// Close implements driver.Conn.
+func (c *conn) Close() error { return nil }
+
+// Begin implements driver.Conn. The engine auto-commits; Begin returns a
+// transaction whose Commit is a no-op and whose Rollback fails.
+func (c *conn) Begin() (driver.Tx, error) { return noopTx{}, nil }
+
+type noopTx struct{}
+
+func (noopTx) Commit() error { return nil }
+
+func (noopTx) Rollback() error {
+	return errors.New("hybridcat: rollback unsupported (auto-commit engine)")
+}
+
+type stmt struct {
+	conn     *conn
+	query    string
+	numInput int
+}
+
+// Close implements driver.Stmt.
+func (s *stmt) Close() error { return nil }
+
+// NumInput implements driver.Stmt.
+func (s *stmt) NumInput() int { return s.numInput }
+
+func convertArgs(args []driver.Value) ([]relstore.Value, error) {
+	out := make([]relstore.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case nil:
+			out[i] = relstore.Null()
+		case int64:
+			out[i] = relstore.Int(v)
+		case float64:
+			out[i] = relstore.Float(v)
+		case bool:
+			out[i] = relstore.Bool(v)
+		case string:
+			out[i] = relstore.Str(v)
+		case []byte:
+			out[i] = relstore.Bytes(append([]byte(nil), v...))
+		case time.Time:
+			out[i] = relstore.Str(v.UTC().Format(time.RFC3339Nano))
+		default:
+			return nil, fmt.Errorf("hybridcat: unsupported argument type %T", a)
+		}
+	}
+	return out, nil
+}
+
+// Exec implements driver.Stmt.
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	vals, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	n, err := s.conn.engine.Exec(s.query, vals)
+	if err != nil {
+		return nil, err
+	}
+	return result{rowsAffected: n}, nil
+}
+
+// Query implements driver.Stmt.
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	vals, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	it, err := s.conn.engine.Query(s.query, vals)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{it: it}, nil
+}
+
+type result struct{ rowsAffected int64 }
+
+// LastInsertId implements driver.Result; the engine has no auto-increment
+// rowids to report.
+func (result) LastInsertId() (int64, error) {
+	return 0, errors.New("hybridcat: LastInsertId unsupported")
+}
+
+// RowsAffected implements driver.Result.
+func (r result) RowsAffected() (int64, error) { return r.rowsAffected, nil }
+
+type rows struct {
+	it relstore.Iterator
+}
+
+// Columns implements driver.Rows.
+func (r *rows) Columns() []string { return r.it.Columns() }
+
+// Close implements driver.Rows.
+func (r *rows) Close() error { return nil }
+
+// Next implements driver.Rows.
+func (r *rows) Next(dest []driver.Value) error {
+	row, ok := r.it.Next()
+	if !ok {
+		return io.EOF
+	}
+	for i, v := range row {
+		switch v.K {
+		case relstore.KNull:
+			dest[i] = nil
+		case relstore.KInt:
+			dest[i] = v.I
+		case relstore.KFloat:
+			dest[i] = v.F
+		case relstore.KString:
+			dest[i] = v.S
+		case relstore.KBytes:
+			dest[i] = v.B
+		case relstore.KBool:
+			dest[i] = v.I != 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package sqldriver
+
+import (
+	"database/sql"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+func openTestDB(t *testing.T, dsn string) *sql.DB {
+	t.Helper()
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		db.Close()
+		Unregister(dsn)
+	})
+	return db
+}
+
+func TestDriverEndToEnd(t *testing.T) {
+	db := openTestDB(t, "t-e2e")
+	if _, err := db.Exec("CREATE TABLE kv (k TEXT NOT NULL, v BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("INSERT INTO kv VALUES ('a', 1), ('b', 2), ('c', NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 3 {
+		t.Errorf("RowsAffected = %d", n)
+	}
+	rows, err := db.Query("SELECT k, v FROM kv ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []string
+	for rows.Next() {
+		var k string
+		var v sql.NullInt64
+		if err := rows.Scan(&k, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Valid {
+			got = append(got, k+"=?")
+			got[len(got)-1] = k
+		} else {
+			got = append(got, k+"-null")
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != "c-null" {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestDriverPlaceholders(t *testing.T) {
+	db := openTestDB(t, "t-params")
+	if _, err := db.Exec("CREATE TABLE p (a BIGINT, b TEXT, c DOUBLE, d BOOLEAN)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO p VALUES (?, ?, ?, ?)", int64(7), "hi", 2.5, true); err != nil {
+		t.Fatal(err)
+	}
+	var a int64
+	var b string
+	var c float64
+	var d bool
+	err := db.QueryRow("SELECT a, b, c, d FROM p WHERE a = ?", int64(7)).Scan(&a, &b, &c, &d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 7 || b != "hi" || c != 2.5 || !d {
+		t.Errorf("scanned %v %v %v %v", a, b, c, d)
+	}
+}
+
+func TestDriverPreparedStatementReuse(t *testing.T) {
+	db := openTestDB(t, "t-prep")
+	if _, err := db.Exec("CREATE TABLE s (n BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Prepare("INSERT INTO s VALUES (?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := st.Exec(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var n int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM s").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("count = %d", n)
+	}
+}
+
+func TestDriverSharedRegistration(t *testing.T) {
+	shared := relstore.NewDatabase()
+	Register("t-shared", shared)
+	defer Unregister("t-shared")
+	db1, err := sql.Open(DriverName, "t-shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db1.Close()
+	if _, err := db1.Exec("CREATE TABLE x (a BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	// The table is visible through the relstore handle directly.
+	if shared.Table("x") == nil {
+		t.Error("table not visible through the shared relstore handle")
+	}
+	db2, err := sql.Open(DriverName, "t-shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Exec("INSERT INTO x VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	if err := db1.QueryRow("SELECT COUNT(*) FROM x").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("count = %d", n)
+	}
+}
+
+func TestDriverErrorsSurface(t *testing.T) {
+	db := openTestDB(t, "t-errs")
+	if _, err := db.Exec("CREATE TABLEE oops (a INT)"); err == nil {
+		t.Error("syntax error should surface")
+	}
+	if _, err := db.Query("SELECT * FROM missing"); err == nil {
+		t.Error("missing table should surface")
+	}
+	// Rollback is unsupported and must error rather than silently pass.
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err == nil {
+		t.Error("Rollback should report lack of support")
+	}
+}
+
+func TestDriverNullScan(t *testing.T) {
+	db := openTestDB(t, "t-null")
+	if _, err := db.Exec("CREATE TABLE n (a BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO n VALUES (NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	var v sql.NullInt64
+	if err := db.QueryRow("SELECT a FROM n").Scan(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Valid {
+		t.Error("NULL scanned as valid")
+	}
+}

@@ -1,0 +1,215 @@
+package sqlparser
+
+import (
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+// Stmt is a parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// ColDef is one column definition in CREATE TABLE.
+type ColDef struct {
+	Name    string
+	Type    relstore.Kind
+	NotNull bool
+}
+
+// CreateTableStmt is CREATE TABLE.
+type CreateTableStmt struct {
+	Name string
+	Cols []ColDef
+	Temp bool
+}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX ... ON table (cols) [USING kind].
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Cols   []string
+	Unique bool
+	Using  string // "HASH" or "BTREE" (default)
+}
+
+// DropTableStmt is DROP TABLE.
+type DropTableStmt struct{ Name string }
+
+// InsertStmt is INSERT INTO ... VALUES.
+type InsertStmt struct {
+	Table string
+	Cols  []string // nil = all columns in schema order
+	Rows  [][]Expr
+}
+
+// UpdateStmt is UPDATE ... SET ... [WHERE].
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// DeleteStmt is DELETE FROM ... [WHERE].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef // cross-joined bases; From[0] carries the JOIN chain
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr
+	Offset   Expr
+}
+
+// SelectItem is one projection: an expression with an optional alias, or *.
+type SelectItem struct {
+	Star bool
+	Expr Expr
+	As   string
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// JoinClause is one JOIN ... ON ....
+type JoinClause struct {
+	Left  bool // LEFT [OUTER] JOIN
+	Table TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (CreateTableStmt) stmt() {}
+func (CreateIndexStmt) stmt() {}
+func (DropTableStmt) stmt()   {}
+func (InsertStmt) stmt()      {}
+func (UpdateStmt) stmt()      {}
+func (DeleteStmt) stmt()      {}
+func (SelectStmt) stmt()      {}
+
+// Expr is an unresolved expression AST node.
+type Expr interface{ expr() }
+
+// EIdent is a possibly-qualified column reference.
+type EIdent struct{ Qual, Name string }
+
+// ELit is a literal value.
+type ELit struct{ V relstore.Value }
+
+// EParam is a ? placeholder, numbered left to right from 0.
+type EParam struct{ Idx int }
+
+// EBin is a binary operation; Op is the SQL spelling ("+", "=", "AND", ...).
+type EBin struct {
+	Op   string
+	L, R Expr
+}
+
+// EUnary is NOT or unary minus.
+type EUnary struct {
+	Op string
+	X  Expr
+}
+
+// ECall is a function or aggregate call.
+type ECall struct {
+	Name     string // upper-cased
+	Distinct bool
+	Star     bool // COUNT(*)
+	Args     []Expr
+}
+
+// EIsNull is X IS [NOT] NULL.
+type EIsNull struct {
+	X   Expr
+	Neg bool
+}
+
+// ELike is X [NOT] LIKE pattern.
+type ELike struct {
+	X       Expr
+	Pattern Expr
+	Neg     bool
+}
+
+// EIn is X [NOT] IN (list).
+type EIn struct {
+	X    Expr
+	List []Expr
+	Neg  bool
+}
+
+// EBetween is X [NOT] BETWEEN lo AND hi.
+type EBetween struct {
+	X, Lo, Hi Expr
+	Neg       bool
+}
+
+func (EIdent) expr()   {}
+func (ELit) expr()     {}
+func (EParam) expr()   {}
+func (EBin) expr()     {}
+func (EUnary) expr()   {}
+func (ECall) expr()    {}
+func (EIsNull) expr()  {}
+func (ELike) expr()    {}
+func (EIn) expr()      {}
+func (EBetween) expr() {}
+
+// aggFuncs names the aggregate functions the planner groups by.
+var aggFuncs = map[string]bool{"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true}
+
+// HasAggregate reports whether e contains an aggregate call.
+func HasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case ECall:
+		if aggFuncs[x.Name] {
+			return true
+		}
+		for _, a := range x.Args {
+			if HasAggregate(a) {
+				return true
+			}
+		}
+	case EBin:
+		return HasAggregate(x.L) || HasAggregate(x.R)
+	case EUnary:
+		return HasAggregate(x.X)
+	case EIsNull:
+		return HasAggregate(x.X)
+	case ELike:
+		return HasAggregate(x.X) || HasAggregate(x.Pattern)
+	case EIn:
+		if HasAggregate(x.X) {
+			return true
+		}
+		for _, a := range x.List {
+			if HasAggregate(a) {
+				return true
+			}
+		}
+	case EBetween:
+		return HasAggregate(x.X) || HasAggregate(x.Lo) || HasAggregate(x.Hi)
+	}
+	return false
+}

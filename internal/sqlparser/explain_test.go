@@ -1,0 +1,45 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+func TestExplain(t *testing.T) {
+	e := newIndexedEngine(t)
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{"SELECT * FROM ix WHERE id = 1", "index probe ix_pk"},
+		{"SELECT * FROM ix WHERE grp = 1", "index probe ix_grp"},
+		{"SELECT * FROM ix WHERE val > 5.0", "index probe ix_val"},
+		{"SELECT * FROM ix WHERE grp = 1 AND val > 5.0", "residual filter"},
+		{"SELECT * FROM ix WHERE name = 'n1'", "table scan ix"},
+		{"SELECT * FROM ix", "table scan ix (no WHERE)"},
+		{"SELECT * FROM ix a JOIN noix b ON a.id = b.id", "joins"},
+		{"SELECT * FROM noix WHERE id = 1", "table scan noix"},
+	}
+	for _, c := range cases {
+		got, err := e.Explain(c.sql, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if !strings.Contains(got, c.want) {
+			t.Errorf("Explain(%s) = %q, want substring %q", c.sql, got, c.want)
+		}
+	}
+	if _, err := e.Explain("DELETE FROM ix", nil); err == nil {
+		t.Error("EXPLAIN of non-SELECT should fail")
+	}
+	if _, err := e.Explain("SELECT * FROM missing WHERE a = 1", nil); err == nil {
+		t.Error("EXPLAIN of missing table should fail")
+	}
+	// Params participate in planning.
+	got, err := e.Explain("SELECT * FROM ix WHERE id = ?", []relstore.Value{relstore.Int(5)})
+	if err != nil || !strings.Contains(got, "index probe") {
+		t.Errorf("param explain = %q, %v", got, err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package sqlparser implements a lexer, recursive-descent parser, and
+// planner for the SQL subset the hybrid catalog and its tools use:
+// CREATE TABLE / CREATE INDEX / DROP TABLE, INSERT ... VALUES, SELECT with
+// joins, WHERE, GROUP BY/HAVING, ORDER BY, LIMIT/OFFSET, UPDATE, and
+// DELETE. Queries plan onto the relstore executor.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexer tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TIdent
+	TKeyword
+	TNumber
+	TString
+	TOp    // operators and punctuation
+	TParam // ? placeholder
+)
+
+// Token is one lexed token. Keywords are upper-cased in Text; identifiers
+// keep their original spelling (double-quoted identifiers preserve case and
+// may contain any characters).
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"OFFSET": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "UNIQUE": true, "DROP": true, "ON": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "AND": true,
+	"OR": true, "NOT": true, "NULL": true, "IS": true, "LIKE": true,
+	"AS": true, "DISTINCT": true, "COUNT": true, "SUM": true, "MIN": true,
+	"MAX": true, "AVG": true, "TRUE": true, "FALSE": true, "USING": true,
+	"HASH": true, "BTREE": true, "IN": true, "BETWEEN": true,
+	"BIGINT": true, "INTEGER": true, "INT": true, "DOUBLE": true,
+	"FLOAT": true, "REAL": true, "TEXT": true, "VARCHAR": true,
+	"BLOB": true, "BOOLEAN": true, "CLOB": true,
+}
+
+// Lex tokenizes input, returning a token slice ending with TEOF.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sql: unterminated string at %d", start)
+				}
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, Token{Kind: TString, Text: sb.String(), Pos: start})
+		case c == '"':
+			start := i
+			i++
+			var sb strings.Builder
+			for i < n && input[i] != '"' {
+				sb.WriteByte(input[i])
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sql: unterminated quoted identifier at %d", start)
+			}
+			i++
+			toks = append(toks, Token{Kind: TIdent, Text: sb.String(), Pos: start})
+		case c == '?':
+			toks = append(toks, Token{Kind: TParam, Text: "?", Pos: i})
+			i++
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			for i < n && (isDigit(input[i]) || input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+				((input[i] == '+' || input[i] == '-') && i > start && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TNumber, Text: input[start:i], Pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TIdent, Text: word, Pos: start})
+			}
+		default:
+			start := i
+			var op string
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=", "==":
+				op = two
+				i += 2
+			default:
+				switch c {
+				case '=', '<', '>', '(', ')', ',', '*', '+', '-', '/', '%', '.', ';':
+					op = string(c)
+					i++
+				default:
+					return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+				}
+			}
+			toks = append(toks, Token{Kind: TOp, Text: op, Pos: start})
+		}
+	}
+	toks = append(toks, Token{Kind: TEOF, Pos: n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || isDigit(c)
+}

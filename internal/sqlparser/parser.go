@@ -1,0 +1,779 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+// Parse parses a single SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(input string) (Stmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, nparam: 0}
+	st, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TOp, ";")
+	if p.peek().Kind != TEOF {
+		return nil, p.errf("trailing input starting at %q", p.peek().Text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks   []Token
+	pos    int
+	nparam int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TEOF {
+		p.pos++
+	}
+	return t
+}
+
+// accept consumes the next token when it matches kind/text.
+func (p *parser) accept(kind TokKind, text string) bool {
+	t := p.peek()
+	if t.Kind == kind && (text == "" || t.Text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	t := p.peek()
+	if t.Kind == kind && (text == "" || t.Text == text) {
+		p.pos++
+		return t, nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return t, p.errf("expected %s, found %q", want, t.Text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.Kind != TKeyword {
+		return nil, p.errf("expected statement keyword, found %q", t.Text)
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	}
+	return nil, p.errf("unsupported statement %q", t.Text)
+}
+
+func (p *parser) parseIdent() (string, error) {
+	t := p.peek()
+	if t.Kind == TIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", p.errf("expected identifier, found %q", t.Text)
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	p.next() // CREATE
+	unique := p.accept(TKeyword, "UNIQUE")
+	switch {
+	case p.accept(TKeyword, "TABLE"):
+		if unique {
+			return nil, p.errf("UNIQUE applies to indexes, not tables")
+		}
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TOp, "("); err != nil {
+			return nil, err
+		}
+		var cols []ColDef
+		for {
+			cname, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			kind, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			cd := ColDef{Name: cname, Type: kind}
+			if p.accept(TKeyword, "NOT") {
+				if _, err := p.expect(TKeyword, "NULL"); err != nil {
+					return nil, err
+				}
+				cd.NotNull = true
+			}
+			cols = append(cols, cd)
+			if p.accept(TOp, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TOp, ")"); err != nil {
+			return nil, err
+		}
+		return CreateTableStmt{Name: name, Cols: cols}, nil
+	case p.accept(TKeyword, "INDEX"):
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TOp, "("); err != nil {
+			return nil, err
+		}
+		var cols []string
+		for {
+			c, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			if !p.accept(TOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TOp, ")"); err != nil {
+			return nil, err
+		}
+		using := "BTREE"
+		if p.accept(TKeyword, "USING") {
+			t := p.next()
+			if t.Text != "HASH" && t.Text != "BTREE" {
+				return nil, p.errf("USING expects HASH or BTREE, found %q", t.Text)
+			}
+			using = t.Text
+		}
+		return CreateIndexStmt{Name: name, Table: table, Cols: cols, Unique: unique, Using: using}, nil
+	}
+	return nil, p.errf("expected TABLE or INDEX after CREATE")
+}
+
+func (p *parser) parseType() (relstore.Kind, error) {
+	t := p.next()
+	if t.Kind != TKeyword {
+		return 0, p.errf("expected type name, found %q", t.Text)
+	}
+	switch t.Text {
+	case "BIGINT", "INTEGER", "INT":
+		return relstore.KInt, nil
+	case "DOUBLE", "FLOAT", "REAL":
+		return relstore.KFloat, nil
+	case "TEXT", "VARCHAR", "CLOB":
+		// VARCHAR(n): accept and ignore the length.
+		if p.accept(TOp, "(") {
+			p.next()
+			if _, err := p.expect(TOp, ")"); err != nil {
+				return 0, err
+			}
+		}
+		return relstore.KString, nil
+	case "BLOB":
+		return relstore.KBytes, nil
+	case "BOOLEAN":
+		return relstore.KBool, nil
+	}
+	return 0, p.errf("unknown type %q", t.Text)
+}
+
+func (p *parser) parseDrop() (Stmt, error) {
+	p.next() // DROP
+	if _, err := p.expect(TKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	return DropTableStmt{Name: name}, nil
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	p.next() // INSERT
+	if _, err := p.expect(TKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	var cols []string
+	if p.accept(TOp, "(") {
+		for {
+			c, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			if !p.accept(TOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	var rows [][]Expr
+	for {
+		if _, err := p.expect(TOp, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(TOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TOp, ")"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if !p.accept(TOp, ",") {
+			break
+		}
+	}
+	return InsertStmt{Table: table, Cols: cols, Rows: rows}, nil
+}
+
+func (p *parser) parseUpdate() (Stmt, error) {
+	p.next() // UPDATE
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	var sets []SetClause
+	for {
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TOp, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, SetClause{Col: col, Expr: e})
+		if !p.accept(TOp, ",") {
+			break
+		}
+	}
+	var where Expr
+	if p.accept(TKeyword, "WHERE") {
+		where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return UpdateStmt{Table: table, Set: sets, Where: where}, nil
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	p.next() // DELETE
+	if _, err := p.expect(TKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	var where Expr
+	if p.accept(TKeyword, "WHERE") {
+		where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return DeleteStmt{Table: table, Where: where}, nil
+}
+
+func (p *parser) parseSelect() (Stmt, error) {
+	p.next() // SELECT
+	var sel SelectStmt
+	sel.Distinct = p.accept(TKeyword, "DISTINCT")
+	for {
+		if p.accept(TOp, "*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(TKeyword, "AS") {
+				a, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.As = a
+			} else if p.peek().Kind == TIdent {
+				item.As = p.next().Text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if !p.accept(TOp, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = append(sel.From, ref)
+	for {
+		if p.accept(TOp, ",") {
+			r, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, r)
+			continue
+		}
+		left := false
+		save := p.pos
+		if p.accept(TKeyword, "LEFT") {
+			p.accept(TKeyword, "OUTER")
+			left = true
+		} else if p.accept(TKeyword, "INNER") {
+			// fall through to JOIN
+		}
+		if !p.accept(TKeyword, "JOIN") {
+			p.pos = save
+			break
+		}
+		r, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, JoinClause{Left: left, Table: r, On: on})
+	}
+	if p.accept(TKeyword, "WHERE") {
+		sel.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TKeyword, "GROUP") {
+		if _, err := p.expect(TKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(TOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TKeyword, "HAVING") {
+		sel.Having, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TKeyword, "ORDER") {
+		if _, err := p.expect(TKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(TKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(TKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(TOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TKeyword, "LIMIT") {
+		sel.Limit, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(TKeyword, "OFFSET") {
+			sel.Offset, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name}
+	if p.accept(TKeyword, "AS") {
+		a, err := p.parseIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a
+	} else if p.peek().Kind == TIdent {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+// Expression grammar (lowest to highest precedence):
+//
+//	orExpr    := andExpr (OR andExpr)*
+//	andExpr   := notExpr (AND notExpr)*
+//	notExpr   := NOT notExpr | predicate
+//	predicate := addExpr [cmpOp addExpr | IS [NOT] NULL | [NOT] LIKE addExpr
+//	             | [NOT] IN (...) | [NOT] BETWEEN addExpr AND addExpr]
+//	addExpr   := mulExpr (("+"|"-") mulExpr)*
+//	mulExpr   := unary (("*"|"/"|"%") unary)*
+//	unary     := "-" unary | primary
+//	primary   := literal | ? | ident[.ident] | func(args) | (orExpr)
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = EBin{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = EBin{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(TKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return EUnary{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TOp {
+		switch t.Text {
+		case "=", "==", "<>", "!=", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return EBin{Op: t.Text, L: l, R: r}, nil
+		}
+	}
+	neg := false
+	save := p.pos
+	if p.accept(TKeyword, "NOT") {
+		neg = true
+	}
+	switch {
+	case p.accept(TKeyword, "LIKE"):
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return ELike{X: l, Pattern: r, Neg: neg}, nil
+	case p.accept(TKeyword, "IN"):
+		if _, err := p.expect(TOp, "("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(TOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TOp, ")"); err != nil {
+			return nil, err
+		}
+		return EIn{X: l, List: list, Neg: neg}, nil
+	case p.accept(TKeyword, "BETWEEN"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return EBetween{X: l, Lo: lo, Hi: hi, Neg: neg}, nil
+	case !neg && p.accept(TKeyword, "IS"):
+		isNeg := p.accept(TKeyword, "NOT")
+		if _, err := p.expect(TKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return EIsNull{X: l, Neg: isNeg}, nil
+	}
+	if neg {
+		p.pos = save // the NOT belonged to a boolean context; rewind
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TOp && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = EBin{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TOp && (t.Text == "*" || t.Text == "/" || t.Text == "%") {
+			p.next()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = EBin{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TOp, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := x.(ELit); ok {
+			switch lit.V.K {
+			case relstore.KInt:
+				return ELit{V: relstore.Int(-lit.V.I)}, nil
+			case relstore.KFloat:
+				return ELit{V: relstore.Float(-lit.V.F)}, nil
+			}
+		}
+		return EUnary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TNumber:
+		p.next()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return ELit{V: relstore.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.Text)
+		}
+		return ELit{V: relstore.Int(i)}, nil
+	case TString:
+		p.next()
+		return ELit{V: relstore.Str(t.Text)}, nil
+	case TParam:
+		p.next()
+		e := EParam{Idx: p.nparam}
+		p.nparam++
+		return e, nil
+	case TKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return ELit{V: relstore.Null()}, nil
+		case "TRUE":
+			p.next()
+			return ELit{V: relstore.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return ELit{V: relstore.Bool(false)}, nil
+		case "COUNT", "SUM", "MIN", "MAX", "AVG":
+			p.next()
+			return p.parseCallTail(t.Text)
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.Text)
+	case TIdent:
+		p.next()
+		name := t.Text
+		if p.accept(TOp, "(") {
+			p.pos-- // rewind the paren for parseCallTail
+			return p.parseCallTail(strings.ToUpper(name))
+		}
+		if p.accept(TOp, ".") {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			return EIdent{Qual: name, Name: col}, nil
+		}
+		return EIdent{Name: name}, nil
+	case TOp:
+		if t.Text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TOp, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t.Text)
+}
+
+// parseCallTail parses "( [DISTINCT] args | * )" for a call whose name was
+// already consumed.
+func (p *parser) parseCallTail(name string) (Expr, error) {
+	if _, err := p.expect(TOp, "("); err != nil {
+		return nil, err
+	}
+	call := ECall{Name: name}
+	if p.accept(TOp, "*") {
+		call.Star = true
+		if _, err := p.expect(TOp, ")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	call.Distinct = p.accept(TKeyword, "DISTINCT")
+	if !p.accept(TOp, ")") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, e)
+			if !p.accept(TOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	return call, nil
+}

@@ -1,0 +1,239 @@
+package sqlparser
+
+import (
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, 'it''s', 3.5, ? FROM t -- comment\nWHERE x >= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		texts = append(texts, tk.Text)
+	}
+	want := []string{"SELECT", "a", ",", "it's", ",", "3.5", ",", "?", "FROM", "t", "WHERE", "x", ">=", "2", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[3] != TString || kinds[7] != TParam || kinds[12] != TOp {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestLexQuotedIdentAndErrors(t *testing.T) {
+	toks, err := Lex(`SELECT "Select" FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TIdent || toks[1].Text != "Select" {
+		t.Errorf("quoted ident = %v", toks[1])
+	}
+	if _, err := Lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := Lex("SELECT a # b"); err == nil {
+		t.Error("bad character should fail")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := Parse("CREATE TABLE t (id BIGINT NOT NULL, name VARCHAR(40), score DOUBLE, data BLOB, ok BOOLEAN)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(CreateTableStmt)
+	if ct.Name != "t" || len(ct.Cols) != 5 {
+		t.Fatalf("parsed %+v", ct)
+	}
+	if !ct.Cols[0].NotNull || ct.Cols[0].Type != relstore.KInt {
+		t.Errorf("col0 = %+v", ct.Cols[0])
+	}
+	if ct.Cols[1].Type != relstore.KString || ct.Cols[2].Type != relstore.KFloat ||
+		ct.Cols[3].Type != relstore.KBytes || ct.Cols[4].Type != relstore.KBool {
+		t.Errorf("types wrong: %+v", ct.Cols)
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	st, err := Parse("CREATE UNIQUE INDEX pk ON t (a, b) USING HASH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := st.(CreateIndexStmt)
+	if !ci.Unique || ci.Table != "t" || len(ci.Cols) != 2 || ci.Using != "HASH" {
+		t.Errorf("parsed %+v", ci)
+	}
+	st, _ = Parse("CREATE INDEX i ON t (a)")
+	if ci := st.(CreateIndexStmt); ci.Using != "BTREE" || ci.Unique {
+		t.Errorf("defaults wrong: %+v", ci)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := Parse("INSERT INTO t (a, b) VALUES (1, 'x'), (?, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(InsertStmt)
+	if ins.Table != "t" || len(ins.Rows) != 2 || len(ins.Cols) != 2 {
+		t.Fatalf("parsed %+v", ins)
+	}
+	if p, ok := ins.Rows[1][0].(EParam); !ok || p.Idx != 0 {
+		t.Errorf("param = %+v", ins.Rows[1][0])
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	st, err := Parse(`SELECT a.x AS ax, COUNT(*) n FROM t1 a
+		JOIN t2 b ON a.id = b.id AND b.flag = 1
+		LEFT JOIN t3 c ON b.id = c.id
+		WHERE a.x > 10 AND b.name LIKE 'w%'
+		GROUP BY a.x HAVING COUNT(*) >= 2
+		ORDER BY n DESC, 1 ASC LIMIT 5 OFFSET 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(SelectStmt)
+	if len(sel.Items) != 2 || sel.Items[0].As != "ax" || sel.Items[1].As != "n" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+	if len(sel.Joins) != 2 || !sel.Joins[1].Left || sel.Joins[0].Table.Alias != "b" {
+		t.Errorf("joins = %+v", sel.Joins)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("missing clauses")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order = %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || sel.Offset == nil {
+		t.Error("limit/offset missing")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	st, err := Parse("SELECT * FROM t WHERE a IS NOT NULL AND b IN (1,2,3) AND c NOT LIKE 'x%' AND d BETWEEN 1 AND 5 AND NOT e = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(SelectStmt)
+	conj := splitAnd(sel.Where)
+	if len(conj) != 5 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if n, ok := conj[0].(EIsNull); !ok || !n.Neg {
+		t.Errorf("conj0 = %+v", conj[0])
+	}
+	if in, ok := conj[1].(EIn); !ok || len(in.List) != 3 || in.Neg {
+		t.Errorf("conj1 = %+v", conj[1])
+	}
+	if lk, ok := conj[2].(ELike); !ok || !lk.Neg {
+		t.Errorf("conj2 = %+v", conj[2])
+	}
+	if bt, ok := conj[3].(EBetween); !ok || bt.Neg {
+		t.Errorf("conj3 = %+v", conj[3])
+	}
+	if u, ok := conj[4].(EUnary); !ok || u.Op != "NOT" {
+		t.Errorf("conj4 = %+v", conj[4])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	st, err := Parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or := st.(SelectStmt).Where.(EBin)
+	if or.Op != "OR" {
+		t.Fatalf("top = %+v", or)
+	}
+	if and, ok := or.R.(EBin); !ok || and.Op != "AND" {
+		t.Errorf("AND should bind tighter: %+v", or.R)
+	}
+	// Arithmetic precedence.
+	st, _ = Parse("SELECT 1 + 2 * 3 FROM t")
+	add := st.(SelectStmt).Items[0].Expr.(EBin)
+	if add.Op != "+" {
+		t.Fatalf("top arith = %+v", add)
+	}
+	if mul, ok := add.R.(EBin); !ok || mul.Op != "*" {
+		t.Errorf("* should bind tighter: %+v", add.R)
+	}
+}
+
+func TestParseNegativeNumbersAndUpdateDelete(t *testing.T) {
+	st, err := Parse("UPDATE t SET a = -5, b = b + 1 WHERE c < -2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := st.(UpdateStmt)
+	if len(up.Set) != 2 || up.Where == nil {
+		t.Fatalf("update = %+v", up)
+	}
+	if lit, ok := up.Set[0].Expr.(ELit); !ok || lit.V.I != -5 {
+		t.Errorf("negative literal folded wrong: %+v", up.Set[0].Expr)
+	}
+	st, err = Parse("DELETE FROM t WHERE x = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del := st.(DeleteStmt); del.Table != "t" || del.Where == nil {
+		t.Errorf("delete = %+v", del)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"INSERT INTO t VALUES",
+		"CREATE TABLE t (a UNKNOWN_TYPE)",
+		"CREATE UNIQUE TABLE t (a INT)",
+		"SELECT * FROM t JOIN u",
+		"SELECT * FROM t extra garbage tokens (",
+		"DROP INDEX i",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestHasAggregate(t *testing.T) {
+	st, _ := Parse("SELECT COUNT(*) + 1, UPPER(name), SUM(x) FROM t")
+	items := st.(SelectStmt).Items
+	if !HasAggregate(items[0].Expr) {
+		t.Error("COUNT(*)+1 has aggregate")
+	}
+	if HasAggregate(items[1].Expr) {
+		t.Error("UPPER(name) has no aggregate")
+	}
+	if !HasAggregate(items[2].Expr) {
+		t.Error("SUM(x) has aggregate")
+	}
+}
+
+func TestNumParamsAndIsQuery(t *testing.T) {
+	n, err := NumParams("SELECT * FROM t WHERE a = ? AND b = ?")
+	if err != nil || n != 2 {
+		t.Errorf("NumParams = %d, %v", n, err)
+	}
+	if !IsQuery("SELECT 1 FROM t") || IsQuery("INSERT INTO t VALUES (1)") {
+		t.Error("IsQuery misbehaved")
+	}
+}

@@ -1,0 +1,1166 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+// Engine executes parsed SQL statements against a relstore database.
+type Engine struct {
+	DB *relstore.Database
+}
+
+// NewEngine wraps db.
+func NewEngine(db *relstore.Database) *Engine { return &Engine{DB: db} }
+
+// Exec runs a statement that returns no rows, reporting the number of rows
+// affected.
+func (e *Engine) Exec(sqlText string, args []relstore.Value) (int64, error) {
+	st, err := Parse(sqlText)
+	if err != nil {
+		return 0, err
+	}
+	switch s := st.(type) {
+	case SelectStmt:
+		return 0, fmt.Errorf("sql: Exec of a SELECT; use Query")
+	case CreateTableStmt:
+		_, err := e.DB.CreateTable(s.Name, colDefs(s.Cols)...)
+		return 0, err
+	case CreateIndexStmt:
+		t := e.DB.Table(s.Table)
+		if t == nil {
+			return 0, fmt.Errorf("sql: no table %q", s.Table)
+		}
+		kind := relstore.BTreeIndex
+		if s.Using == "HASH" {
+			kind = relstore.HashIndex
+		}
+		_, err := t.CreateIndex(s.Name, kind, s.Unique, s.Cols...)
+		return 0, err
+	case DropTableStmt:
+		return 0, e.DB.DropTable(s.Name)
+	case InsertStmt:
+		return e.execInsert(s, args)
+	case UpdateStmt:
+		return e.execUpdate(s, args)
+	case DeleteStmt:
+		return e.execDelete(s, args)
+	}
+	return 0, fmt.Errorf("sql: unsupported statement %T", st)
+}
+
+// Query runs a SELECT and returns its row stream.
+func (e *Engine) Query(sqlText string, args []relstore.Value) (relstore.Iterator, error) {
+	st, err := Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: Query of a non-SELECT; use Exec")
+	}
+	return e.planSelect(sel, args)
+}
+
+// NumParams reports how many ? placeholders the statement carries.
+func NumParams(sqlText string) (int, error) {
+	toks, err := Lex(sqlText)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, t := range toks {
+		if t.Kind == TParam {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// IsQuery reports whether the statement is a SELECT.
+func IsQuery(sqlText string) bool {
+	toks, err := Lex(sqlText)
+	if err != nil || len(toks) == 0 {
+		return false
+	}
+	return toks[0].Kind == TKeyword && toks[0].Text == "SELECT"
+}
+
+func colDefs(defs []ColDef) []relstore.Column {
+	cols := make([]relstore.Column, len(defs))
+	for i, d := range defs {
+		cols[i] = relstore.Column{Name: d.Name, Type: d.Type, NotNull: d.NotNull}
+	}
+	return cols
+}
+
+func (e *Engine) execInsert(s InsertStmt, args []relstore.Value) (int64, error) {
+	t := e.DB.Table(s.Table)
+	if t == nil {
+		return 0, fmt.Errorf("sql: no table %q", s.Table)
+	}
+	schema := t.Schema
+	cols := s.Cols
+	if cols == nil {
+		cols = make([]string, len(schema.Columns))
+		for i, c := range schema.Columns {
+			cols[i] = c.Name
+		}
+	}
+	idx, err := schema.ColIndexes(cols...)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(cols) {
+			return n, fmt.Errorf("sql: INSERT row has %d values, want %d", len(exprRow), len(cols))
+		}
+		row := make(relstore.Row, len(schema.Columns))
+		for i, ex := range exprRow {
+			ce, err := compileExpr(ex, emptyEnv, args)
+			if err != nil {
+				return n, err
+			}
+			row[idx[i]] = ce.Eval(nil)
+		}
+		if _, err := t.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (e *Engine) execUpdate(s UpdateStmt, args []relstore.Value) (int64, error) {
+	t := e.DB.Table(s.Table)
+	if t == nil {
+		return 0, fmt.Errorf("sql: no table %q", s.Table)
+	}
+	env := envOfTable(t, s.Table, "")
+	pred, err := compileOptionalPred(s.Where, env, args)
+	if err != nil {
+		return 0, err
+	}
+	type change struct {
+		id  int64
+		row relstore.Row
+	}
+	var sets []struct {
+		col int
+		ex  relstore.Expr
+	}
+	for _, sc := range s.Set {
+		ci := t.Schema.ColIndex(sc.Col)
+		if ci < 0 {
+			return 0, fmt.Errorf("sql: no column %q in %q", sc.Col, s.Table)
+		}
+		ce, err := compileExpr(sc.Expr, env, args)
+		if err != nil {
+			return 0, err
+		}
+		sets = append(sets, struct {
+			col int
+			ex  relstore.Expr
+		}{ci, ce})
+	}
+	var changes []change
+	t.Scan(func(id int64, r relstore.Row) bool {
+		if pred(r) {
+			nr := relstore.CloneRow(r)
+			for _, sc := range sets {
+				nr[sc.col] = sc.ex.Eval(r)
+			}
+			changes = append(changes, change{id, nr})
+		}
+		return true
+	})
+	for _, c := range changes {
+		if err := t.Update(c.id, c.row); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(changes)), nil
+}
+
+func (e *Engine) execDelete(s DeleteStmt, args []relstore.Value) (int64, error) {
+	t := e.DB.Table(s.Table)
+	if t == nil {
+		return 0, fmt.Errorf("sql: no table %q", s.Table)
+	}
+	env := envOfTable(t, s.Table, "")
+	pred, err := compileOptionalPred(s.Where, env, args)
+	if err != nil {
+		return 0, err
+	}
+	var ids []int64
+	t.Scan(func(id int64, r relstore.Row) bool {
+		if pred(r) {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	for _, id := range ids {
+		t.Delete(id)
+	}
+	return int64(len(ids)), nil
+}
+
+// env maps qualified column names to positions in the current row layout.
+type env struct {
+	cols []envCol
+}
+
+type envCol struct {
+	qual string // alias or table name, "" for synthetic
+	name string
+}
+
+var emptyEnv = &env{}
+
+func envOfTable(t *relstore.Table, table, alias string) *env {
+	q := table
+	if alias != "" {
+		q = alias
+	}
+	en := &env{}
+	for _, c := range t.Schema.Columns {
+		en.cols = append(en.cols, envCol{qual: q, name: c.Name})
+	}
+	return en
+}
+
+func (en *env) concat(other *env) *env {
+	out := &env{cols: make([]envCol, 0, len(en.cols)+len(other.cols))}
+	out.cols = append(out.cols, en.cols...)
+	out.cols = append(out.cols, other.cols...)
+	return out
+}
+
+// resolve finds the position of a (possibly qualified) column.
+func (en *env) resolve(qual, name string) (int, error) {
+	found := -1
+	for i, c := range en.cols {
+		if c.name != name {
+			continue
+		}
+		if qual != "" && c.qual != qual {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if qual != "" {
+			return 0, fmt.Errorf("sql: unknown column %s.%s", qual, name)
+		}
+		return 0, fmt.Errorf("sql: unknown column %q", name)
+	}
+	return found, nil
+}
+
+func (en *env) names() []string {
+	out := make([]string, len(en.cols))
+	for i, c := range en.cols {
+		out[i] = c.name
+	}
+	return out
+}
+
+// compileExpr lowers an AST expression onto the row layout described by
+// env. Aggregate calls are rejected; the SELECT planner replaces them
+// before projection compilation.
+func compileExpr(ex Expr, en *env, args []relstore.Value) (relstore.Expr, error) {
+	switch x := ex.(type) {
+	case EIdent:
+		i, err := en.resolve(x.Qual, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return relstore.ColRef{Idx: i, Name: x.Name}, nil
+	case ELit:
+		return relstore.Const{V: x.V}, nil
+	case EParam:
+		if x.Idx >= len(args) {
+			return nil, fmt.Errorf("sql: statement has parameter %d but only %d arguments bound", x.Idx+1, len(args))
+		}
+		return relstore.Const{V: args[x.Idx]}, nil
+	case EBin:
+		switch x.Op {
+		case "AND", "OR":
+			l, err := compileExpr(x.L, en, args)
+			if err != nil {
+				return nil, err
+			}
+			r, err := compileExpr(x.R, en, args)
+			if err != nil {
+				return nil, err
+			}
+			op := relstore.OpAnd
+			if x.Op == "OR" {
+				op = relstore.OpOr
+			}
+			return relstore.Logic{Op: op, Args: []relstore.Expr{l, r}}, nil
+		case "=", "==", "<>", "!=", "<", "<=", ">", ">=":
+			l, err := compileExpr(x.L, en, args)
+			if err != nil {
+				return nil, err
+			}
+			r, err := compileExpr(x.R, en, args)
+			if err != nil {
+				return nil, err
+			}
+			op, err := relstore.ParseCmpOp(x.Op)
+			if err != nil {
+				return nil, err
+			}
+			return relstore.Cmp{Op: op, L: l, R: r}, nil
+		case "+", "-", "*", "/", "%":
+			l, err := compileExpr(x.L, en, args)
+			if err != nil {
+				return nil, err
+			}
+			r, err := compileExpr(x.R, en, args)
+			if err != nil {
+				return nil, err
+			}
+			var op relstore.ArithOp
+			switch x.Op {
+			case "+":
+				op = relstore.OpAdd
+			case "-":
+				op = relstore.OpSub
+			case "*":
+				op = relstore.OpMul
+			case "/":
+				op = relstore.OpDiv
+			case "%":
+				op = relstore.OpMod
+			}
+			return relstore.Arith{Op: op, L: l, R: r}, nil
+		}
+		return nil, fmt.Errorf("sql: unsupported operator %q", x.Op)
+	case EUnary:
+		inner, err := compileExpr(x.X, en, args)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			return relstore.Logic{Op: relstore.OpNot, Args: []relstore.Expr{inner}}, nil
+		case "-":
+			return relstore.Arith{Op: relstore.OpSub, L: relstore.Const{V: relstore.Int(0)}, R: inner}, nil
+		}
+		return nil, fmt.Errorf("sql: unsupported unary operator %q", x.Op)
+	case ECall:
+		if aggFuncs[x.Name] {
+			return nil, fmt.Errorf("sql: aggregate %s not allowed here", x.Name)
+		}
+		fargs := make([]relstore.Expr, len(x.Args))
+		for i, a := range x.Args {
+			ca, err := compileExpr(a, en, args)
+			if err != nil {
+				return nil, err
+			}
+			fargs[i] = ca
+		}
+		return relstore.FuncExpr{Name: x.Name, Args: fargs}, nil
+	case EIsNull:
+		inner, err := compileExpr(x.X, en, args)
+		if err != nil {
+			return nil, err
+		}
+		return relstore.IsNullExpr{Arg: inner, Neg: x.Neg}, nil
+	case ELike:
+		inner, err := compileExpr(x.X, en, args)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := compileExpr(x.Pattern, en, args)
+		if err != nil {
+			return nil, err
+		}
+		pc, ok := pat.(relstore.Const)
+		if !ok {
+			return nil, fmt.Errorf("sql: LIKE pattern must be a literal or parameter")
+		}
+		var like relstore.Expr = relstore.LikeExpr{Arg: inner, Pattern: pc.V.AsString()}
+		if x.Neg {
+			like = relstore.Logic{Op: relstore.OpNot, Args: []relstore.Expr{like}}
+		}
+		return like, nil
+	case EIn:
+		inner, err := compileExpr(x.X, en, args)
+		if err != nil {
+			return nil, err
+		}
+		ors := make([]relstore.Expr, 0, len(x.List))
+		for _, item := range x.List {
+			ci, err := compileExpr(item, en, args)
+			if err != nil {
+				return nil, err
+			}
+			ors = append(ors, relstore.Cmp{Op: relstore.OpEq, L: inner, R: ci})
+		}
+		var in relstore.Expr = relstore.Logic{Op: relstore.OpOr, Args: ors}
+		if x.Neg {
+			in = relstore.Logic{Op: relstore.OpNot, Args: []relstore.Expr{in}}
+		}
+		return in, nil
+	case EBetween:
+		inner, err := compileExpr(x.X, en, args)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compileExpr(x.Lo, en, args)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileExpr(x.Hi, en, args)
+		if err != nil {
+			return nil, err
+		}
+		var btw relstore.Expr = relstore.Logic{Op: relstore.OpAnd, Args: []relstore.Expr{
+			relstore.Cmp{Op: relstore.OpGe, L: inner, R: lo},
+			relstore.Cmp{Op: relstore.OpLe, L: inner, R: hi},
+		}}
+		if x.Neg {
+			btw = relstore.Logic{Op: relstore.OpNot, Args: []relstore.Expr{btw}}
+		}
+		return btw, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported expression %T", ex)
+}
+
+func compileOptionalPred(ex Expr, en *env, args []relstore.Value) (func(relstore.Row) bool, error) {
+	if ex == nil {
+		return func(relstore.Row) bool { return true }, nil
+	}
+	ce, err := compileExpr(ex, en, args)
+	if err != nil {
+		return nil, err
+	}
+	return relstore.PredOf(ce), nil
+}
+
+// exprIter lazily evaluates a projection list.
+type exprIter struct {
+	in    relstore.Iterator
+	exprs []relstore.Expr
+	cols  []string
+}
+
+func (e *exprIter) Columns() []string { return e.cols }
+
+func (e *exprIter) Next() (relstore.Row, bool) {
+	r, ok := e.in.Next()
+	if !ok {
+		return nil, false
+	}
+	out := make(relstore.Row, len(e.exprs))
+	for i, ex := range e.exprs {
+		out[i] = ex.Eval(r)
+	}
+	return out, true
+}
+
+// planSelect lowers a SELECT onto the relstore executor. For single-table
+// queries the planner replaces the scan with an index probe when a WHERE
+// conjunct covers an index (equality on any index; range on a B-tree's
+// first column); residual conjuncts filter the probe.
+func (e *Engine) planSelect(s SelectStmt, args []relstore.Value) (relstore.Iterator, error) {
+	if len(s.From) == 1 && len(s.Joins) == 0 && s.Where != nil {
+		if probed, residual, used, err := e.tryIndexScanPlan(s.From[0], s.Where, args); err != nil {
+			return nil, err
+		} else if used != "" {
+			s.Where = residual
+			return e.planSelectFromIter(s, probed, args)
+		}
+	}
+	it, en, err := e.planFrom(s, args)
+	if err != nil {
+		return nil, err
+	}
+	return e.finishSelect(s, it, en, args)
+}
+
+// planSelectFromIter continues planning with a pre-built base iterator
+// for the single FROM table.
+func (e *Engine) planSelectFromIter(s SelectStmt, it relstore.Iterator, args []relstore.Value) (relstore.Iterator, error) {
+	t := e.DB.Table(s.From[0].Table)
+	en := envOfTable(t, s.From[0].Table, s.From[0].Alias)
+	return e.finishSelect(s, it, en, args)
+}
+
+// finishSelect applies WHERE, aggregation, projection, DISTINCT, ORDER
+// BY, and LIMIT to a base iterator.
+func (e *Engine) finishSelect(s SelectStmt, it relstore.Iterator, en *env, args []relstore.Value) (relstore.Iterator, error) {
+	var err error
+	if s.Where != nil {
+		pred, err := compileOptionalPred(s.Where, en, args)
+		if err != nil {
+			return nil, err
+		}
+		it = relstore.Filter(it, pred)
+	}
+
+	needAgg := len(s.GroupBy) > 0 || s.Having != nil
+	for _, item := range s.Items {
+		if !item.Star && HasAggregate(item.Expr) {
+			needAgg = true
+		}
+	}
+	if needAgg {
+		it, en, err = planAggregate(it, en, s, args)
+		if err != nil {
+			return nil, err
+		}
+		if s.Having != nil {
+			s.Having = rewriteAggs(s.Having)
+			pred, err := compileOptionalPred(s.Having, en, args)
+			if err != nil {
+				return nil, err
+			}
+			it = relstore.Filter(it, pred)
+		}
+	}
+
+	// Projection.
+	var exprs []relstore.Expr
+	var names []string
+	for _, item := range s.Items {
+		if item.Star {
+			for i, c := range en.cols {
+				exprs = append(exprs, relstore.ColRef{Idx: i, Name: c.name})
+				names = append(names, c.name)
+			}
+			continue
+		}
+		ce, err := compileExpr(item.Expr, en, args)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, ce)
+		name := item.As
+		if name == "" {
+			if id, ok := item.Expr.(EIdent); ok {
+				name = id.Name
+			} else {
+				name = ce.String()
+			}
+		}
+		names = append(names, name)
+	}
+	it = &exprIter{in: it, exprs: exprs, cols: names}
+
+	if s.Distinct {
+		it = relstore.Distinct(it)
+	}
+	if len(s.OrderBy) > 0 {
+		specs, err := orderSpecs(s.OrderBy, names)
+		if err != nil {
+			return nil, err
+		}
+		it = relstore.Sort(it, specs...)
+	}
+	if s.Limit != nil {
+		n, err := constInt(s.Limit, args)
+		if err != nil {
+			return nil, fmt.Errorf("sql: LIMIT: %w", err)
+		}
+		var off int64
+		if s.Offset != nil {
+			off, err = constInt(s.Offset, args)
+			if err != nil {
+				return nil, fmt.Errorf("sql: OFFSET: %w", err)
+			}
+		}
+		it = relstore.Limit(it, off, n)
+	}
+	return it, nil
+}
+
+func constInt(ex Expr, args []relstore.Value) (int64, error) {
+	ce, err := compileExpr(ex, emptyEnv, args)
+	if err != nil {
+		return 0, err
+	}
+	v := ce.Eval(nil)
+	i, ok := v.AsInt()
+	if !ok {
+		return 0, fmt.Errorf("expected integer, got %s", v)
+	}
+	return i, nil
+}
+
+func orderSpecs(items []OrderItem, outNames []string) ([]relstore.SortSpec, error) {
+	specs := make([]relstore.SortSpec, len(items))
+	for i, it := range items {
+		switch x := it.Expr.(type) {
+		case ELit:
+			pos, ok := x.V.AsInt()
+			if !ok || pos < 1 || int(pos) > len(outNames) {
+				return nil, fmt.Errorf("sql: ORDER BY position %s out of range", x.V)
+			}
+			specs[i] = relstore.SortSpec{Col: int(pos) - 1, Desc: it.Desc}
+		case EIdent:
+			found := -1
+			for j, n := range outNames {
+				if n == x.Name {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				return nil, fmt.Errorf("sql: ORDER BY references %q, which is not an output column", x.Name)
+			}
+			specs[i] = relstore.SortSpec{Col: found, Desc: it.Desc}
+		default:
+			return nil, fmt.Errorf("sql: ORDER BY supports output columns and positions only")
+		}
+	}
+	return specs, nil
+}
+
+// Explain describes how a SELECT's base access path would execute:
+// which index (if any) serves the WHERE clause and what remains as a
+// filter. It plans without executing row retrieval beyond the probe.
+func (e *Engine) Explain(sqlText string, args []relstore.Value) (string, error) {
+	st, err := Parse(sqlText)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := st.(SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("sql: EXPLAIN supports SELECT only")
+	}
+	if len(sel.From) != 1 || len(sel.Joins) > 0 {
+		return fmt.Sprintf("scan %s with joins (%d join(s), %d extra table(s)); WHERE on the filter path",
+			sel.From[0].Table, len(sel.Joins), len(sel.From)-1), nil
+	}
+	if sel.Where == nil {
+		return fmt.Sprintf("table scan %s (no WHERE)", sel.From[0].Table), nil
+	}
+	_, residual, used, err := e.tryIndexScanPlan(sel.From[0], sel.Where, args)
+	if err != nil {
+		return "", err
+	}
+	if used == "" {
+		return fmt.Sprintf("table scan %s; WHERE on the filter path", sel.From[0].Table), nil
+	}
+	desc := fmt.Sprintf("index probe %s on %s", used, sel.From[0].Table)
+	if residual != nil {
+		desc += "; residual filter applied"
+	}
+	return desc, nil
+}
+
+// tryIndexScanPlan attempts to serve a single-table WHERE through one of
+// the table's indexes. It returns the probe iterator, the residual WHERE
+// expression (nil when fully consumed), and the name of the index used
+// ("" when none applied).
+func (e *Engine) tryIndexScanPlan(ref TableRef, where Expr, args []relstore.Value) (relstore.Iterator, Expr, string, error) {
+	t := e.DB.Table(ref.Table)
+	if t == nil {
+		return nil, nil, "", fmt.Errorf("sql: no table %q", ref.Table)
+	}
+	en := envOfTable(t, ref.Table, ref.Alias)
+	conjuncts := splitAnd(where)
+
+	// Classify conjuncts: col-vs-constant comparisons keyed by column.
+	type bound struct {
+		op   string
+		val  relstore.Value
+		conj int // index into conjuncts
+	}
+	byCol := map[string][]bound{}
+	for i, cj := range conjuncts {
+		b, ok := cj.(EBin)
+		if !ok {
+			continue
+		}
+		col, val, op, ok := colConstCompare(b, en, args)
+		if !ok {
+			continue
+		}
+		byCol[col] = append(byCol[col], bound{op: op, val: val, conj: i})
+	}
+	if len(byCol) == 0 {
+		return nil, nil, "", nil
+	}
+
+	colName := func(pos int) string { return t.Schema.Columns[pos].Name }
+	used := map[int]bool{}
+	var rowIDs []int64
+	usedIndex := ""
+
+	// Preference 1: full equality cover of any index.
+	for _, ix := range t.Indexes() {
+		vals := make([]relstore.Value, 0, len(ix.Cols))
+		marks := make([]int, 0, len(ix.Cols))
+		covered := true
+		for _, pos := range ix.Cols {
+			eq := -1
+			for _, b := range byCol[colName(pos)] {
+				if b.op == "=" {
+					eq = b.conj
+					vals = append(vals, b.val)
+					break
+				}
+			}
+			if eq < 0 {
+				covered = false
+				break
+			}
+			marks = append(marks, eq)
+		}
+		if !covered {
+			continue
+		}
+		ids, err := t.LookupEqual(ix.Name, vals...)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		rowIDs = ids
+		for _, m := range marks {
+			used[m] = true
+		}
+		usedIndex = ix.Name
+		break
+	}
+
+	// Preference 2: range on a B-tree index's first column.
+	if usedIndex == "" {
+		for _, ix := range t.Indexes() {
+			if ix.Kind != relstore.BTreeIndex {
+				continue
+			}
+			bounds := byCol[colName(ix.Cols[0])]
+			if len(bounds) == 0 {
+				continue
+			}
+			var lo, hi relstore.RangeBound
+			var marks []int
+			for _, b := range bounds {
+				switch b.op {
+				case ">", ">=":
+					lo = relstore.RangeBound{Vals: []relstore.Value{b.val}, Inclusive: b.op == ">=", Set: true}
+					marks = append(marks, b.conj)
+				case "<", "<=":
+					hi = relstore.RangeBound{Vals: []relstore.Value{b.val}, Inclusive: b.op == "<=", Set: true}
+					marks = append(marks, b.conj)
+				case "=":
+					lo = relstore.RangeBound{Vals: []relstore.Value{b.val}, Inclusive: true, Set: true}
+					hi = lo
+					marks = append(marks, b.conj)
+				}
+			}
+			if !lo.Set && !hi.Set {
+				continue
+			}
+			ids, err := t.LookupRange(ix.Name, lo, hi)
+			if err != nil {
+				return nil, nil, "", err
+			}
+			rowIDs = ids
+			for _, m := range marks {
+				used[m] = true
+			}
+			usedIndex = ix.Name
+			break
+		}
+	}
+	if usedIndex == "" {
+		return nil, nil, "", nil
+	}
+
+	var residual Expr
+	for i, cj := range conjuncts {
+		if used[i] {
+			continue
+		}
+		if residual == nil {
+			residual = cj
+		} else {
+			residual = EBin{Op: "AND", L: residual, R: cj}
+		}
+	}
+	return relstore.ScanRowIDs(t, rowIDs), residual, usedIndex, nil
+}
+
+// colConstCompare matches a conjunct of the form col OP const (either
+// side), resolving the column against the single-table env and folding
+// the constant.
+func colConstCompare(b EBin, en *env, args []relstore.Value) (col string, val relstore.Value, op string, ok bool) {
+	flip := map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "==": "="}
+	if _, known := flip[b.Op]; !known {
+		return "", relstore.Value{}, "", false
+	}
+	constOf := func(ex Expr) (relstore.Value, bool) {
+		switch x := ex.(type) {
+		case ELit:
+			// NULL never compares equal in SQL; keep such conjuncts on
+			// the filter path.
+			return x.V, !x.V.IsNull()
+		case EParam:
+			if x.Idx < len(args) {
+				return args[x.Idx], !args[x.Idx].IsNull()
+			}
+		}
+		return relstore.Value{}, false
+	}
+	if id, isID := b.L.(EIdent); isID {
+		if _, err := en.resolve(id.Qual, id.Name); err == nil {
+			if v, isConst := constOf(b.R); isConst {
+				o := b.Op
+				if o == "==" {
+					o = "="
+				}
+				return id.Name, v, o, true
+			}
+		}
+	}
+	if id, isID := b.R.(EIdent); isID {
+		if _, err := en.resolve(id.Qual, id.Name); err == nil {
+			if v, isConst := constOf(b.L); isConst {
+				return id.Name, v, flip[b.Op], true
+			}
+		}
+	}
+	return "", relstore.Value{}, "", false
+}
+
+// planFrom builds the join tree and the environment describing its output
+// row layout.
+func (e *Engine) planFrom(s SelectStmt, args []relstore.Value) (relstore.Iterator, *env, error) {
+	if len(s.From) == 0 {
+		return nil, nil, fmt.Errorf("sql: SELECT requires FROM")
+	}
+	it, en, err := e.scanRef(s.From[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	// Cross-join additional FROM tables.
+	for _, ref := range s.From[1:] {
+		rit, ren, err := e.scanRef(ref)
+		if err != nil {
+			return nil, nil, err
+		}
+		it = relstore.HashJoin(it, rit, nil, nil, relstore.InnerJoin)
+		en = en.concat(ren)
+	}
+	// JOIN chain.
+	for _, jc := range s.Joins {
+		rit, ren, err := e.scanRef(jc.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		leftKeys, rightKeys, residual, err := splitJoinOn(jc.On, en, ren)
+		if err != nil {
+			return nil, nil, err
+		}
+		joined := en.concat(ren)
+		kind := relstore.InnerJoin
+		if jc.Left {
+			kind = relstore.LeftJoin
+			if residual != nil {
+				return nil, nil, fmt.Errorf("sql: LEFT JOIN supports equality conditions only")
+			}
+		}
+		it = relstore.HashJoin(it, rit, leftKeys, rightKeys, kind)
+		en = joined
+		if residual != nil {
+			pred, err := compileOptionalPred(residual, en, args)
+			if err != nil {
+				return nil, nil, err
+			}
+			it = relstore.Filter(it, pred)
+		}
+	}
+	return it, en, nil
+}
+
+func (e *Engine) scanRef(ref TableRef) (relstore.Iterator, *env, error) {
+	t := e.DB.Table(ref.Table)
+	if t == nil {
+		return nil, nil, fmt.Errorf("sql: no table %q", ref.Table)
+	}
+	return relstore.ScanTable(t), envOfTable(t, ref.Table, ref.Alias), nil
+}
+
+// splitJoinOn extracts equi-join key pairs from an ON expression. AND
+// conjuncts of the form left.col = right.col become hash keys; everything
+// else is returned as a residual filter over the joined layout.
+func splitJoinOn(on Expr, left, right *env) (leftKeys, rightKeys []int, residual Expr, err error) {
+	conjuncts := splitAnd(on)
+	for _, c := range conjuncts {
+		b, ok := c.(EBin)
+		if ok && (b.Op == "=" || b.Op == "==") {
+			li, ri, ok2 := sideIndexes(b.L, b.R, left, right)
+			if ok2 {
+				leftKeys = append(leftKeys, li)
+				rightKeys = append(rightKeys, ri)
+				continue
+			}
+		}
+		if residual == nil {
+			residual = c
+		} else {
+			residual = EBin{Op: "AND", L: residual, R: c}
+		}
+	}
+	if len(leftKeys) == 0 && residual == nil {
+		return nil, nil, nil, fmt.Errorf("sql: JOIN requires an ON condition")
+	}
+	return leftKeys, rightKeys, residual, nil
+}
+
+func splitAnd(e Expr) []Expr {
+	if b, ok := e.(EBin); ok && b.Op == "AND" {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// sideIndexes resolves a = b where one side is a left column and the other
+// a right column. The returned right index is relative to the right env.
+func sideIndexes(a, b Expr, left, right *env) (li, ri int, ok bool) {
+	ai, aok := a.(EIdent)
+	bi, bok := b.(EIdent)
+	if !aok || !bok {
+		return 0, 0, false
+	}
+	if l, err := left.resolve(ai.Qual, ai.Name); err == nil {
+		if r, err2 := right.resolve(bi.Qual, bi.Name); err2 == nil {
+			return l, r, true
+		}
+		return 0, 0, false
+	}
+	if l, err := left.resolve(bi.Qual, bi.Name); err == nil {
+		if r, err2 := right.resolve(ai.Qual, ai.Name); err2 == nil {
+			return l, r, true
+		}
+	}
+	return 0, 0, false
+}
+
+// planAggregate rewrites the pipeline for GROUP BY/aggregates: it projects
+// an extended row carrying group keys and aggregate arguments, applies
+// relstore.GroupBy, and returns an environment where group keys keep their
+// names and each aggregate call is addressable by its canonical spelling.
+func planAggregate(it relstore.Iterator, en *env, s SelectStmt, args []relstore.Value) (relstore.Iterator, *env, error) {
+	// Collect aggregate calls from select items and HAVING, deduplicated
+	// by canonical spelling.
+	var calls []ECall
+	callPos := map[string]int{}
+	collect := func(ex Expr) {
+		walkAggregates(ex, func(c ECall) {
+			k := canonCall(c)
+			if _, dup := callPos[k]; !dup {
+				callPos[k] = len(calls)
+				calls = append(calls, c)
+			}
+		})
+	}
+	for _, item := range s.Items {
+		if !item.Star {
+			collect(item.Expr)
+		}
+	}
+	if s.Having != nil {
+		collect(s.Having)
+	}
+
+	// Extended row: group keys first, then one argument column per call.
+	var extExprs []relstore.Expr
+	var extNames []envCol
+	keyIdx := make([]int, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		ce, err := compileExpr(g, en, args)
+		if err != nil {
+			return nil, nil, err
+		}
+		keyIdx[i] = len(extExprs)
+		name := ce.String()
+		qual := ""
+		if id, ok := g.(EIdent); ok {
+			name, qual = id.Name, id.Qual
+		}
+		extExprs = append(extExprs, ce)
+		extNames = append(extNames, envCol{qual: qual, name: name})
+	}
+	aggSpecs := make([]relstore.AggSpec, len(calls))
+	for i, c := range calls {
+		spec := relstore.AggSpec{Name: canonCall(c)}
+		switch {
+		case c.Star:
+			spec.Func = relstore.AggCount
+			spec.Col = 0
+		default:
+			if len(c.Args) != 1 {
+				return nil, nil, fmt.Errorf("sql: %s expects one argument", c.Name)
+			}
+			ce, err := compileExpr(c.Args[0], en, args)
+			if err != nil {
+				return nil, nil, err
+			}
+			spec.Col = len(extExprs)
+			extExprs = append(extExprs, ce)
+			extNames = append(extNames, envCol{name: spec.Name})
+			switch c.Name {
+			case "COUNT":
+				if c.Distinct {
+					spec.Func = relstore.AggCountDistinct
+				} else {
+					spec.Func = relstore.AggCountCol
+				}
+			case "SUM":
+				spec.Func = relstore.AggSum
+			case "MIN":
+				spec.Func = relstore.AggMin
+			case "MAX":
+				spec.Func = relstore.AggMax
+			case "AVG":
+				spec.Func = relstore.AggAvg
+			default:
+				return nil, nil, fmt.Errorf("sql: unknown aggregate %s", c.Name)
+			}
+			if c.Distinct && c.Name != "COUNT" {
+				return nil, nil, fmt.Errorf("sql: DISTINCT is supported in COUNT only")
+			}
+		}
+		aggSpecs[i] = spec
+	}
+
+	extCols := make([]string, len(extNames))
+	for i, c := range extNames {
+		extCols[i] = c.name
+	}
+	ext := &exprIter{in: it, exprs: extExprs, cols: extCols}
+	grouped := relstore.GroupBy(ext, keyIdx, aggSpecs)
+
+	// Output env: group keys (original names) then aggregate results named
+	// by canonical spelling, which compileExpr resolves via rewriting.
+	outEnv := &env{}
+	for _, i := range keyIdx {
+		outEnv.cols = append(outEnv.cols, extNames[i])
+	}
+	for _, spec := range aggSpecs {
+		outEnv.cols = append(outEnv.cols, envCol{name: spec.Name})
+	}
+
+	// Rewrite select items and HAVING so aggregate calls become EIdent
+	// references to the grouped output.
+	for i := range s.Items {
+		if !s.Items[i].Star {
+			s.Items[i].Expr = rewriteAggs(s.Items[i].Expr)
+		}
+	}
+	return grouped, outEnv, nil
+}
+
+func walkAggregates(e Expr, fn func(ECall)) {
+	switch x := e.(type) {
+	case ECall:
+		if aggFuncs[x.Name] {
+			fn(x)
+			return
+		}
+		for _, a := range x.Args {
+			walkAggregates(a, fn)
+		}
+	case EBin:
+		walkAggregates(x.L, fn)
+		walkAggregates(x.R, fn)
+	case EUnary:
+		walkAggregates(x.X, fn)
+	case EIsNull:
+		walkAggregates(x.X, fn)
+	case ELike:
+		walkAggregates(x.X, fn)
+	case EIn:
+		walkAggregates(x.X, fn)
+		for _, a := range x.List {
+			walkAggregates(a, fn)
+		}
+	case EBetween:
+		walkAggregates(x.X, fn)
+		walkAggregates(x.Lo, fn)
+		walkAggregates(x.Hi, fn)
+	}
+}
+
+// rewriteAggs replaces aggregate calls with identifiers naming the grouped
+// output column.
+func rewriteAggs(e Expr) Expr {
+	switch x := e.(type) {
+	case ECall:
+		if aggFuncs[x.Name] {
+			return EIdent{Name: canonCall(x)}
+		}
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = rewriteAggs(a)
+		}
+		return ECall{Name: x.Name, Args: args}
+	case EBin:
+		return EBin{Op: x.Op, L: rewriteAggs(x.L), R: rewriteAggs(x.R)}
+	case EUnary:
+		return EUnary{Op: x.Op, X: rewriteAggs(x.X)}
+	case EIsNull:
+		return EIsNull{X: rewriteAggs(x.X), Neg: x.Neg}
+	case ELike:
+		return ELike{X: rewriteAggs(x.X), Pattern: x.Pattern, Neg: x.Neg}
+	case EIn:
+		list := make([]Expr, len(x.List))
+		for i, a := range x.List {
+			list[i] = rewriteAggs(a)
+		}
+		return EIn{X: rewriteAggs(x.X), List: list, Neg: x.Neg}
+	case EBetween:
+		return EBetween{X: rewriteAggs(x.X), Lo: rewriteAggs(x.Lo), Hi: rewriteAggs(x.Hi), Neg: x.Neg}
+	}
+	return e
+}
+
+// canonCall renders an aggregate call canonically, e.g. COUNT(*),
+// COUNT(DISTINCT a.b), SUM(x).
+func canonCall(c ECall) string {
+	if c.Star {
+		return c.Name + "(*)"
+	}
+	var parts []string
+	for _, a := range c.Args {
+		parts = append(parts, canonExpr(a))
+	}
+	inner := strings.Join(parts, ", ")
+	if c.Distinct {
+		inner = "DISTINCT " + inner
+	}
+	return c.Name + "(" + inner + ")"
+}
+
+func canonExpr(e Expr) string {
+	switch x := e.(type) {
+	case EIdent:
+		if x.Qual != "" {
+			return x.Qual + "." + x.Name
+		}
+		return x.Name
+	case ELit:
+		return x.V.String()
+	case EBin:
+		return "(" + canonExpr(x.L) + " " + x.Op + " " + canonExpr(x.R) + ")"
+	case EUnary:
+		return "(" + x.Op + " " + canonExpr(x.X) + ")"
+	case ECall:
+		return canonCall(x)
+	case EParam:
+		return fmt.Sprintf("?%d", x.Idx)
+	}
+	return fmt.Sprintf("%T", e)
+}

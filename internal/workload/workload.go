@@ -1,0 +1,381 @@
+// Package workload generates the synthetic LEAD-profile corpus and query
+// mix used by the benchmark harness, standing in for the production
+// forecast metadata the paper's project captured (ARPS/WRF Fortran
+// namelist parameters wrapped in FGDC-style metadata documents; see
+// DESIGN.md's substitution table and the CCGrid'04 synthetic workload the
+// paper cites as [7]).
+//
+// Generation is fully deterministic in (Config.Seed, document index), so
+// experiments are reproducible and stores can be compared on identical
+// corpora.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+// Config shapes the corpus.
+type Config struct {
+	Seed int64
+	// Docs is the corpus size.
+	Docs int
+	// ThemesPerDoc is the number of theme keyword attributes per document.
+	ThemesPerDoc int
+	// KeysPerTheme is the number of themekey values per theme.
+	KeysPerTheme int
+	// DynamicAttrsPerDoc is the number of namelist groups (detailed
+	// instances) per document.
+	DynamicAttrsPerDoc int
+	// ParamsPerAttr is the number of leaf parameters per group (split
+	// between the top group and its nested sub-groups).
+	ParamsPerAttr int
+	// NestDepth is the sub-attribute nesting depth below each top group
+	// (0 = flat groups).
+	NestDepth int
+	// ValueCardinality is the number of distinct values each parameter
+	// takes across the corpus; a point query on one value therefore
+	// selects ~Docs/ValueCardinality documents.
+	ValueCardinality int
+}
+
+// Default returns the baseline configuration used by the experiments.
+func Default() Config {
+	return Config{
+		Seed:               42,
+		Docs:               500,
+		ThemesPerDoc:       3,
+		KeysPerTheme:       3,
+		DynamicAttrsPerDoc: 3,
+		ParamsPerAttr:      6,
+		NestDepth:          1,
+		ValueCardinality:   20,
+	}
+}
+
+// models and group/parameter vocabulary drawn from ARPS and WRF namelist
+// conventions.
+var (
+	modelNames = []string{"ARPS", "WRF"}
+	groupNames = []string{"grid", "dynamics", "physics", "radiation", "surface", "microphysics", "boundary", "nudging"}
+	paramNames = []string{
+		"dx", "dy", "dz", "dzmin", "strhopt", "ctrlat", "ctrlon", "nx", "ny",
+		"nz", "dtbig", "dtsml", "tstop", "e_we", "e_sn", "e_vert", "time_step",
+		"cfl", "kmix", "zrefsfc", "rlxlbc", "ptpert0", "hmount", "qvtop",
+	}
+	themeKts  = []string{"CF NetCDF", "GCMD", "CUAHSI", "GEOSS"}
+	themeKeys = []string{
+		"convective_precipitation_amount", "convective_precipitation_flux",
+		"air_pressure_at_cloud_base", "air_pressure_at_cloud_top",
+		"radar_reflectivity", "air_temperature", "relative_humidity",
+		"eastward_wind", "northward_wind", "surface_altitude",
+		"tendency_of_air_pressure", "atmosphere_boundary_layer_thickness",
+	}
+	placeKeys = []string{"Oklahoma", "Kansas", "Nebraska", "Texas", "Iowa", "Missouri"}
+	origins   = []string{"NWS", "CAPS", "NCAR", "UNIDATA"}
+)
+
+// Generator produces documents and queries for one Config.
+type Generator struct {
+	cfg    Config
+	Schema *xmlschema.Schema
+}
+
+// New builds a generator over the LEAD schema.
+func New(cfg Config) *Generator {
+	return &Generator{cfg: cfg, Schema: xmlschema.MustLEAD()}
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// groupName returns the identity of dynamic group gi: name and source.
+func (g *Generator) groupName(gi int) (name, source string) {
+	return groupNames[gi%len(groupNames)] + suffix(gi/len(groupNames)),
+		modelNames[gi%len(modelNames)]
+}
+
+func suffix(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf("_%d", n)
+}
+
+// subGroupName returns the identity of nesting level l under group gi.
+func (g *Generator) subGroupName(gi, l int) (name, source string) {
+	base, source := g.groupName(gi)
+	return fmt.Sprintf("%s-sub%d", base, l), source
+}
+
+// paramName returns parameter pi's name within a group.
+func (g *Generator) paramName(pi int) string {
+	return paramNames[pi%len(paramNames)] + suffix(pi/len(paramNames))
+}
+
+// RegisterDefinitions registers all dynamic definitions the corpus uses
+// on a catalog: each group, its nested sub-groups, and float-typed
+// parameters at every level.
+func (g *Generator) RegisterDefinitions(c *catalog.Catalog) error {
+	perLevel := g.paramsPerLevel()
+	for gi := 0; gi < g.cfg.DynamicAttrsPerDoc; gi++ {
+		name, source := g.groupName(gi)
+		def, err := c.RegisterAttr(name, source, 0, "")
+		if err != nil {
+			return err
+		}
+		parent := def
+		for l := 0; l <= g.cfg.NestDepth; l++ {
+			for pi := 0; pi < perLevel; pi++ {
+				if _, err := c.RegisterElem(g.paramName(l*perLevel+pi), source, parent.ID, core.DTFloat, ""); err != nil {
+					return err
+				}
+			}
+			if l == g.cfg.NestDepth {
+				break
+			}
+			subName, subSource := g.subGroupName(gi, l+1)
+			sub, err := c.RegisterAttr(subName, subSource, parent.ID, "")
+			if err != nil {
+				return err
+			}
+			parent = sub
+		}
+	}
+	return nil
+}
+
+// paramsPerLevel splits ParamsPerAttr across the nesting levels.
+func (g *Generator) paramsPerLevel() int {
+	levels := g.cfg.NestDepth + 1
+	per := g.cfg.ParamsPerAttr / levels
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// paramValue is the deterministic value of parameter (doc, group, level,
+// param): an integer in [0, ValueCardinality) scaled to look like a grid
+// spacing. Selectivity of an equality query is therefore
+// ~1/ValueCardinality.
+func (g *Generator) paramValue(doc, gi, l, pi int) float64 {
+	h := int64(doc)*1000003 + int64(gi)*10007 + int64(l)*101 + int64(pi)*13 + g.cfg.Seed
+	if h < 0 {
+		h = -h
+	}
+	card := g.cfg.ValueCardinality
+	if card < 1 {
+		card = 1
+	}
+	return float64(h%int64(card)) * 250
+}
+
+// Document generates document i of the corpus.
+func (g *Generator) Document(i int) *xmldoc.Node {
+	rng := rand.New(rand.NewSource(g.cfg.Seed*1_000_003 + int64(i)))
+	root := xmldoc.NewNode("LEADresource")
+	root.Append(xmldoc.NewLeaf("resourceID", fmt.Sprintf("lead:resource/%06d", i)))
+	data := xmldoc.NewNode("data")
+	root.Append(data)
+
+	idinfo := xmldoc.NewNode("idinfo")
+	data.Append(idinfo)
+
+	citation := xmldoc.NewNode("citation")
+	citation.Append(
+		xmldoc.NewLeaf("origin", origins[rng.Intn(len(origins))]),
+		xmldoc.NewLeaf("pubdate", fmt.Sprintf("2006-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))),
+		xmldoc.NewLeaf("title", fmt.Sprintf("Forecast run %06d", i)),
+	)
+	idinfo.Append(citation)
+
+	status := xmldoc.NewNode("status")
+	progress := "Complete"
+	if i%5 == 0 {
+		progress = "In work"
+	}
+	status.Append(xmldoc.NewLeaf("progress", progress), xmldoc.NewLeaf("update", "As needed"))
+	idinfo.Append(status)
+
+	keywords := xmldoc.NewNode("keywords")
+	idinfo.Append(keywords)
+	for ti := 0; ti < g.cfg.ThemesPerDoc; ti++ {
+		theme := xmldoc.NewNode("theme")
+		theme.Append(xmldoc.NewLeaf("themekt", themeKts[(i+ti)%len(themeKts)]))
+		for ki := 0; ki < g.cfg.KeysPerTheme; ki++ {
+			theme.Append(xmldoc.NewLeaf("themekey", themeKeys[(i*7+ti*3+ki)%len(themeKeys)]))
+		}
+		keywords.Append(theme)
+	}
+	place := xmldoc.NewNode("place")
+	place.Append(
+		xmldoc.NewLeaf("placekt", "GNS"),
+		xmldoc.NewLeaf("placekey", placeKeys[i%len(placeKeys)]),
+	)
+	keywords.Append(place)
+
+	geospatial := xmldoc.NewNode("geospatial")
+	data.Append(geospatial)
+	spdom := xmldoc.NewNode("spdom")
+	bounding := xmldoc.NewNode("bounding")
+	west := -105 + float64(i%8)
+	south := 30 + float64(i%6)
+	bounding.Append(
+		xmldoc.NewLeaf("westbc", fmt.Sprintf("%.2f", west)),
+		xmldoc.NewLeaf("eastbc", fmt.Sprintf("%.2f", west+6)),
+		xmldoc.NewLeaf("northbc", fmt.Sprintf("%.2f", south+5)),
+		xmldoc.NewLeaf("southbc", fmt.Sprintf("%.2f", south)),
+	)
+	spdom.Append(bounding)
+	geospatial.Append(spdom)
+
+	eainfo := xmldoc.NewNode("eainfo")
+	geospatial.Append(eainfo)
+	perLevel := g.paramsPerLevel()
+	for gi := 0; gi < g.cfg.DynamicAttrsPerDoc; gi++ {
+		name, source := g.groupName(gi)
+		detailed := xmldoc.NewNode("detailed")
+		enttyp := xmldoc.NewNode("enttyp")
+		enttyp.Append(xmldoc.NewLeaf("enttypl", name), xmldoc.NewLeaf("enttypds", source))
+		detailed.Append(enttyp)
+		g.appendParams(detailed, i, gi, 0, perLevel, source)
+		if g.cfg.NestDepth > 0 {
+			detailed.Append(g.nestedGroup(i, gi, 1, perLevel))
+		}
+		eainfo.Append(detailed)
+	}
+
+	lineage := xmldoc.NewNode("lineage")
+	procstep := xmldoc.NewNode("procstep")
+	procstep.Append(
+		xmldoc.NewLeaf("procdesc", "ARPS forecast integration"),
+		xmldoc.NewLeaf("procdate", "2006-05-12"),
+	)
+	lineage.Append(procstep)
+	data.Append(lineage)
+	return root
+}
+
+// appendParams adds the leaf parameters of one nesting level.
+func (g *Generator) appendParams(parent *xmldoc.Node, doc, gi, level, perLevel int, source string) {
+	for pi := 0; pi < perLevel; pi++ {
+		attr := xmldoc.NewNode("attr")
+		attr.Append(
+			xmldoc.NewLeaf("attrlabl", g.paramName(level*perLevel+pi)),
+			xmldoc.NewLeaf("attrdefs", source),
+			xmldoc.NewLeaf("attrv", fmt.Sprintf("%.3f", g.paramValue(doc, gi, level, pi))),
+		)
+		parent.Append(attr)
+	}
+}
+
+// nestedGroup builds the sub-attribute chain below a top group.
+func (g *Generator) nestedGroup(doc, gi, level, perLevel int) *xmldoc.Node {
+	name, source := g.subGroupName(gi, level)
+	attr := xmldoc.NewNode("attr")
+	attr.Append(
+		xmldoc.NewLeaf("attrlabl", name),
+		xmldoc.NewLeaf("attrdefs", source),
+	)
+	g.appendParams(attr, doc, gi, level, perLevel, source)
+	if level < g.cfg.NestDepth {
+		attr.Append(g.nestedGroup(doc, gi, level+1, perLevel))
+	}
+	return attr
+}
+
+// Corpus generates all documents.
+func (g *Generator) Corpus() []*xmldoc.Node {
+	docs := make([]*xmldoc.Node, g.cfg.Docs)
+	for i := range docs {
+		docs[i] = g.Document(i)
+	}
+	return docs
+}
+
+// PointQuery builds an equality query on one top-level parameter of one
+// dynamic group; k selects the value bucket, giving ~Docs/ValueCardinality
+// expected hits.
+func (g *Generator) PointQuery(gi, pi, k int) *catalog.Query {
+	name, source := g.groupName(gi % g.cfg.DynamicAttrsPerDoc)
+	card := g.cfg.ValueCardinality
+	if card < 1 {
+		card = 1
+	}
+	q := &catalog.Query{}
+	q.Attr(name, source).AddElem(g.paramName(pi%g.paramsPerLevel()), source,
+		relstore.OpEq, relstore.Float(float64(k%card)*250))
+	return q
+}
+
+// RangeQuery builds a range query spanning frac of the value domain.
+func (g *Generator) RangeQuery(gi, pi int, frac float64) *catalog.Query {
+	name, source := g.groupName(gi % g.cfg.DynamicAttrsPerDoc)
+	card := g.cfg.ValueCardinality
+	if card < 1 {
+		card = 1
+	}
+	hi := float64(card) * 250 * frac
+	q := &catalog.Query{}
+	q.Attr(name, source).AddElem(g.paramName(pi%g.paramsPerLevel()), source,
+		relstore.OpLt, relstore.Float(hi))
+	return q
+}
+
+// NestedQuery builds a query whose criteria tree descends depth levels of
+// sub-attributes (capped at the corpus nesting depth), with an equality
+// predicate at the deepest level.
+func (g *Generator) NestedQuery(gi, k, depth int) *catalog.Query {
+	if depth > g.cfg.NestDepth {
+		depth = g.cfg.NestDepth
+	}
+	name, source := g.groupName(gi % g.cfg.DynamicAttrsPerDoc)
+	perLevel := g.paramsPerLevel()
+	card := g.cfg.ValueCardinality
+	if card < 1 {
+		card = 1
+	}
+	q := &catalog.Query{}
+	cur := q.Attr(name, source)
+	for l := 1; l <= depth; l++ {
+		subName, subSource := g.subGroupName(gi%g.cfg.DynamicAttrsPerDoc, l)
+		sub := &catalog.AttrCriteria{Name: subName, Source: subSource}
+		cur.AddSub(sub)
+		cur = sub
+	}
+	cur.AddElem(g.paramName(depth*perLevel), source, relstore.OpEq,
+		relstore.Float(float64(k%card)*250))
+	return q
+}
+
+// ThemeQuery builds a structural keyword query.
+func (g *Generator) ThemeQuery(i int) *catalog.Query {
+	q := &catalog.Query{}
+	q.Attr("theme", "").AddElem("themekey", "", relstore.OpEq,
+		relstore.Str(themeKeys[i%len(themeKeys)]))
+	return q
+}
+
+// MultiQuery combines n top-level criteria (dynamic point + theme).
+func (g *Generator) MultiQuery(k, n int) *catalog.Query {
+	q := &catalog.Query{}
+	for c := 0; c < n; c++ {
+		if c%2 == 0 {
+			gi := c / 2 % g.cfg.DynamicAttrsPerDoc
+			name, source := g.groupName(gi)
+			q.Attr(name, source).AddElem(g.paramName(c%g.paramsPerLevel()), source,
+				relstore.OpGe, relstore.Float(0))
+		} else {
+			q.Attr("theme", "").AddElem("themekt", "", relstore.OpEq,
+				relstore.Str(themeKts[k%len(themeKts)]))
+		}
+	}
+	return q
+}

@@ -1,0 +1,122 @@
+package xmlschema
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+)
+
+// ParseDSL builds a schema from the compact indentation-based annotation
+// format used by the CLI tools. One element per line; indentation (two
+// spaces or one tab per level) expresses nesting. Trailing markers
+// annotate the element:
+//
+//	'*'  metadata attribute (queryable)
+//	'~'  with '*': non-queryable attribute
+//	'+'  allows multiple instances
+//	'!'  dynamic attribute container (FGDC enttyp/attr convention)
+//
+// Lines starting with # (after indentation) are comments. Example:
+//
+//	LEADresource
+//	  resourceID *
+//	  data
+//	    idinfo
+//	      status *
+//	        progress
+//	        update
+//	      keywords
+//	        theme *+
+//	          themekt
+//	          themekey +
+//	    geospatial
+//	      eainfo
+//	        detailed !+
+func ParseDSL(name, text string) (*Schema, error) {
+	type frame struct {
+		node  *Node
+		depth int
+	}
+	var s *Schema
+	var stack []frame
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		trimmed := strings.TrimLeft(raw, " \t")
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		indent := 0
+		for _, r := range raw[:len(raw)-len(trimmed)] {
+			if r == '\t' {
+				indent += 2
+			} else {
+				indent++
+			}
+		}
+		if indent%2 != 0 {
+			return nil, fmt.Errorf("xmlschema: dsl line %d: odd indentation", lineNo)
+		}
+		depth := indent / 2
+
+		fields := strings.Fields(trimmed)
+		tag := fields[0]
+		markers := strings.Join(fields[1:], "")
+		// Markers may also be glued to the tag (theme*+).
+		for len(tag) > 0 && strings.ContainsRune("*+!~", rune(tag[len(tag)-1])) {
+			markers = string(tag[len(tag)-1]) + markers
+			tag = tag[:len(tag)-1]
+		}
+		if tag == "" {
+			return nil, fmt.Errorf("xmlschema: dsl line %d: missing element tag", lineNo)
+		}
+
+		var node *Node
+		if depth == 0 {
+			if s != nil {
+				return nil, fmt.Errorf("xmlschema: dsl line %d: multiple roots", lineNo)
+			}
+			s, node = New(name, tag)
+			stack = []frame{{node, 0}}
+		} else {
+			if s == nil {
+				return nil, fmt.Errorf("xmlschema: dsl line %d: indented line before root", lineNo)
+			}
+			for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) == 0 || stack[len(stack)-1].depth != depth-1 {
+				return nil, fmt.Errorf("xmlschema: dsl line %d: indentation jumps a level", lineNo)
+			}
+			node = stack[len(stack)-1].node.Add(tag)
+			stack = append(stack, frame{node, depth})
+		}
+
+		for _, m := range markers {
+			switch m {
+			case '*':
+				node.Attribute()
+			case '+':
+				node.Repeat()
+			case '!':
+				node.DynamicContainer(FGDCDynamicSpec)
+			case '~':
+				node.NonQueryable()
+			default:
+				return nil, fmt.Errorf("xmlschema: dsl line %d: unknown marker %q", lineNo, m)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("xmlschema: dsl: empty schema")
+	}
+	if err := s.Finalize(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,155 @@
+package xmlschema
+
+// LEAD reconstructs the partial LEAD schema of the paper's Figure 2. The
+// structure follows the figure: an FGDC-derived profile whose idinfo
+// section holds citation/status/timeperd/keywords, whose keyword groups
+// (theme/place/stratum/temporal) are repeating structural metadata
+// attributes, and whose eainfo/detailed subtree is the recursive dynamic
+// metadata attribute container carrying ARPS/WRF namelist parameters
+// (Figure 3).
+//
+// The figure's circled numbers are reproduced by Finalize's preorder
+// numbering; the golden test in the catalog package pins the full
+// ordering table.
+func LEAD() (*Schema, error) {
+	s, root := New("LEAD", "LEADresource")
+
+	// resourceID is both a metadata attribute and a metadata element: a
+	// leaf directly under the root.
+	root.Add("resourceID").Attribute()
+
+	data := root.Add("data")
+	idinfo := data.Add("idinfo")
+
+	citation := idinfo.Add("citation").Attribute()
+	citation.Add("origin")
+	citation.Add("pubdate")
+	citation.Add("title")
+
+	status := idinfo.Add("status").Attribute()
+	status.Add("progress")
+	status.Add("update")
+
+	timeperd := idinfo.Add("timeperd").Attribute()
+	timeperd.Add("current")
+	timeperd.Add("begdate")
+	timeperd.Add("enddate")
+
+	keywords := idinfo.Add("keywords")
+	theme := keywords.Add("theme").Attribute().Repeat()
+	theme.Add("themekt")
+	theme.Add("themekey").Repeat()
+	place := keywords.Add("place").Attribute().Repeat()
+	place.Add("placekt")
+	place.Add("placekey").Repeat()
+	stratum := keywords.Add("stratum").Attribute().Repeat()
+	stratum.Add("stratkt")
+	stratum.Add("stratkey").Repeat()
+	temporal := keywords.Add("temporal").Attribute().Repeat()
+	temporal.Add("tempkt")
+	temporal.Add("tempkey").Repeat()
+
+	idinfo.Add("accconst").Attribute()
+	idinfo.Add("useconst").Attribute()
+
+	geospatial := data.Add("geospatial")
+	spdom := geospatial.Add("spdom").Attribute()
+	bounding := spdom.Add("bounding")
+	bounding.Add("westbc")
+	bounding.Add("eastbc")
+	bounding.Add("northbc")
+	bounding.Add("southbc")
+	dsgpoly := spdom.Add("dsgpoly")
+	dsgpoly.Add("ring")
+	vertdom := spdom.Add("vertdom")
+	vertdom.Add("vertmin")
+	vertdom.Add("vertmax")
+	geospatial.Add("spattemp").Attribute()
+
+	eainfo := geospatial.Add("eainfo")
+	// The dynamic metadata attribute container (Figure 2's detailed
+	// element): repeating, recursive, identified by enttypl/enttypds.
+	eainfo.Add("detailed").Repeat().DynamicContainer(FGDCDynamicSpec)
+	overview := eainfo.Add("overview").Attribute().Repeat()
+	overview.Add("eaover")
+	overview.Add("eadetcit")
+
+	lineage := data.Add("lineage")
+	procstep := lineage.Add("procstep").Attribute().Repeat()
+	procstep.Add("procdesc")
+	procstep.Add("procdate")
+
+	if err := s.Finalize(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustLEAD returns the LEAD schema or panics; construction is static so
+// failure is a programming error.
+func MustLEAD() *Schema {
+	s, err := LEAD()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Figure3Document is the metadata document of the paper's Figure 3,
+// completed with the idinfo skeleton the figure elides ("..."): two theme
+// structural attributes (CF NetCDF keyword groups) and one dynamic
+// detailed attribute named grid/ARPS carrying dx, dz, and a
+// grid-stretching sub-attribute with dzmin and reference-height.
+const Figure3Document = `<LEADresource>
+  <resourceID>lead:resource/arps/2006-05-12/0001</resourceID>
+  <data>
+    <idinfo>
+      <keywords>
+        <theme>
+          <themekt>CF NetCDF</themekt>
+          <themekey>convective_precipitation_amount</themekey>
+          <themekey>convective_precipitation_flux</themekey>
+        </theme>
+        <theme>
+          <themekt>CF NetCDF</themekt>
+          <themekey>air_pressure_at_cloud_base</themekey>
+          <themekey>air_pressure_at_cloud_top</themekey>
+        </theme>
+      </keywords>
+    </idinfo>
+    <geospatial>
+      <eainfo>
+        <detailed>
+          <enttyp>
+            <enttypl>grid</enttypl>
+            <enttypds>ARPS</enttypds>
+          </enttyp>
+          <attr>
+            <attrlabl>grid-stretching</attrlabl>
+            <attrdefs>ARPS</attrdefs>
+            <attr>
+              <attrlabl>dzmin</attrlabl>
+              <attrdefs>ARPS</attrdefs>
+              <attrv>100.000</attrv>
+            </attr>
+            <attr>
+              <attrlabl>reference-height</attrlabl>
+              <attrdefs>ARPS</attrdefs>
+              <attrv>0</attrv>
+            </attr>
+          </attr>
+          <attr>
+            <attrlabl>dx</attrlabl>
+            <attrdefs>ARPS</attrdefs>
+            <attrv>1000.000</attrv>
+          </attr>
+          <attr>
+            <attrlabl>dz</attrlabl>
+            <attrdefs>ARPS</attrdefs>
+            <attrv>500.000</attrv>
+          </attr>
+        </detailed>
+      </eainfo>
+    </geospatial>
+  </data>
+</LEADresource>`

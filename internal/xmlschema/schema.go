@@ -1,0 +1,351 @@
+// Package xmlschema models the grid community schema and the paper's §2
+// partitioning of it into metadata attributes: interior concept nodes are
+// annotated as metadata attributes, leaves below them are metadata
+// elements, and a schema-level global ordering (Figure 2's circled
+// numbers) is assigned to every node at or above a metadata attribute.
+//
+// Finalize enforces the paper's partitioning rules and computes the
+// global ordering, the last-child order used for set-based close tags
+// (§5), and the ancestor inverted list.
+package xmlschema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DynamicSpec configures how a dynamic metadata attribute container (the
+// LEAD schema's "detailed" element, §3) is interpreted: the nested tag
+// names that carry the attribute's name and source, and the recursive
+// node tag holding sub-attributes and elements.
+type DynamicSpec struct {
+	EntityTag     string // wrapper of the container's identity (enttyp)
+	NameTag       string // container name element (enttypl)
+	SourceTag     string // container source element (enttypds)
+	NodeTag       string // recursive node tag (attr)
+	NodeNameTag   string // node name element (attrlabl)
+	NodeSourceTag string // node source element (attrdefs)
+	ValueTag      string // leaf value element (attrv)
+}
+
+// FGDCDynamicSpec is the LEAD/FGDC "detailed entity" convention used
+// throughout the paper's examples.
+var FGDCDynamicSpec = DynamicSpec{
+	EntityTag:     "enttyp",
+	NameTag:       "enttypl",
+	SourceTag:     "enttypds",
+	NodeTag:       "attr",
+	NodeNameTag:   "attrlabl",
+	NodeSourceTag: "attrdefs",
+	ValueTag:      "attrv",
+}
+
+// Node is one element declaration in the schema graph.
+type Node struct {
+	Tag      string
+	Parent   *Node
+	Children []*Node
+
+	// Structure flags.
+	Repeats   bool // maxOccurs > 1
+	HasAttrs  bool // declares XML attribute nodes
+	Recursive bool // subtree may recur (a child re-enters this declaration)
+
+	// Partitioning annotations (§2).
+	IsAttribute bool // annotated as a metadata attribute
+	Queryable   bool // included in the shredded query tables
+	IsDynamic   bool // dynamic attribute container (implies IsAttribute)
+	Dynamic     DynamicSpec
+
+	// Assigned by Finalize for nodes at or above metadata attributes;
+	// zero for nodes inside an attribute subtree.
+	Order     int
+	LastChild int
+	Depth     int
+}
+
+// Add appends a child declaration and returns it.
+func (n *Node) Add(tag string) *Node {
+	c := &Node{Tag: tag, Parent: n}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// Attribute marks n as a queryable metadata attribute and returns it.
+func (n *Node) Attribute() *Node {
+	n.IsAttribute = true
+	n.Queryable = true
+	return n
+}
+
+// NonQueryable clears the queryable flag (the attribute is stored as a
+// CLOB but not shredded for querying).
+func (n *Node) NonQueryable() *Node {
+	n.Queryable = false
+	return n
+}
+
+// Repeat marks the element as allowing multiple instances.
+func (n *Node) Repeat() *Node {
+	n.Repeats = true
+	return n
+}
+
+// DynamicContainer marks n as a dynamic metadata attribute container with
+// the given interpretation spec.
+func (n *Node) DynamicContainer(spec DynamicSpec) *Node {
+	n.IsAttribute = true
+	n.Queryable = true
+	n.IsDynamic = true
+	n.Recursive = true
+	n.Dynamic = spec
+	return n
+}
+
+// enclosingAttribute returns the nearest ancestor-or-self annotated as a
+// metadata attribute.
+func (n *Node) enclosingAttribute() *Node {
+	for x := n; x != nil; x = x.Parent {
+		if x.IsAttribute {
+			return x
+		}
+	}
+	return nil
+}
+
+// Schema is a finalized community schema.
+type Schema struct {
+	Name string
+	Root *Node
+
+	// Ordered lists the nodes carrying a global order, by order (1-based;
+	// Ordered[0].Order == 1).
+	Ordered []*Node
+	// Attributes lists the metadata attribute nodes in order.
+	Attributes []*Node
+	// byTag maps attribute tags to their declarations.
+	byTag map[string]*Node
+	// ancestors[i] holds the orders of the strict ancestors of
+	// Ordered[i-1]; indexed by order.
+	ancestors map[int][]int
+}
+
+// New builds an unfinalized schema with the given root tag.
+func New(name, rootTag string) (*Schema, *Node) {
+	root := &Node{Tag: rootTag}
+	return &Schema{Name: name, Root: root}, root
+}
+
+// Finalize validates the paper's §2 partitioning rules and computes the
+// global ordering. It must be called once after construction.
+func (s *Schema) Finalize() error {
+	if s.Root == nil {
+		return fmt.Errorf("xmlschema: %s: no root", s.Name)
+	}
+	if err := s.validate(); err != nil {
+		return err
+	}
+	// Global ordering: preorder DFS over nodes at or above metadata
+	// attributes. Attribute nodes are ordered; their interiors are not
+	// (their CLOBs are inherently ordered, §2).
+	s.Ordered = nil
+	s.Attributes = nil
+	s.byTag = make(map[string]*Node)
+	order := 0
+	var assign func(n *Node, depth int) int // returns max order in subtree
+	assign = func(n *Node, depth int) int {
+		order++
+		n.Order = order
+		n.Depth = depth
+		last := n.Order
+		s.Ordered = append(s.Ordered, n)
+		if n.IsAttribute {
+			s.Attributes = append(s.Attributes, n)
+			// For attribute nodes the last child order equals the node
+			// order: the subtree lives inside the CLOB.
+			n.LastChild = n.Order
+			return last
+		}
+		for _, c := range n.Children {
+			if m := assign(c, depth+1); m > last {
+				last = m
+			}
+		}
+		n.LastChild = last
+		return last
+	}
+	assign(s.Root, 0)
+
+	for _, a := range s.Attributes {
+		if prev, dup := s.byTag[a.Tag]; dup {
+			return fmt.Errorf("xmlschema: %s: metadata attribute tag %q declared at both %s and %s; attribute tags must be unique",
+				s.Name, a.Tag, pathOf(prev), pathOf(a))
+		}
+		s.byTag[a.Tag] = a
+	}
+
+	// Ancestor inverted list (§5): order -> orders of strict ancestors.
+	s.ancestors = make(map[int][]int, len(s.Ordered))
+	for _, n := range s.Ordered {
+		anc := make([]int, 0, n.Depth)
+		for p := n.Parent; p != nil; p = p.Parent {
+			anc = append(anc, p.Order)
+		}
+		sort.Ints(anc)
+		s.ancestors[n.Order] = anc
+	}
+	return nil
+}
+
+// validate enforces the §2 rules.
+func (s *Schema) validate() error {
+	var firstErr error
+	report := func(format string, args ...any) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("xmlschema: %s: %s", s.Name, fmt.Sprintf(format, args...))
+		}
+	}
+	var walk func(n *Node, inAttr *Node)
+	walk = func(n *Node, inAttr *Node) {
+		if n.IsAttribute {
+			if inAttr != nil {
+				// Attributes may not nest; sub-attributes inside a CLOB are
+				// not annotated in the schema (dynamic/recursive regions).
+				report("metadata attribute %s is nested inside attribute %s; only one metadata attribute may appear on any root-to-leaf path",
+					pathOf(n), pathOf(inAttr))
+			}
+			inAttr = n
+		}
+		if n.IsDynamic && !n.IsAttribute {
+			report("dynamic container %s must be a metadata attribute", pathOf(n))
+		}
+		// Rule: multi-instance elements must be contained within (or be) a
+		// metadata attribute.
+		if n.Repeats && inAttr == nil {
+			report("element %s allows multiple instances but is not contained within a metadata attribute", pathOf(n))
+		}
+		// Rule: elements with XML attribute nodes must be at/within a
+		// metadata attribute.
+		if n.HasAttrs && inAttr == nil {
+			report("element %s declares XML attributes but is not contained within a metadata attribute", pathOf(n))
+		}
+		// Rule: recursion must be contained within a metadata attribute.
+		if n.Recursive && inAttr == nil {
+			report("recursive element %s is not contained within a metadata attribute", pathOf(n))
+		}
+		// Rule: every leaf must be contained within a metadata attribute.
+		if len(n.Children) == 0 && !n.Recursive && inAttr == nil {
+			report("leaf element %s is not contained within a metadata attribute", pathOf(n))
+		}
+		for _, c := range n.Children {
+			walk(c, inAttr)
+		}
+	}
+	walk(s.Root, nil)
+	return firstErr
+}
+
+func pathOf(n *Node) string {
+	var tags []string
+	for x := n; x != nil; x = x.Parent {
+		tags = append(tags, x.Tag)
+	}
+	for i, j := 0, len(tags)-1; i < j; i, j = i+1, j-1 {
+		tags[i], tags[j] = tags[j], tags[i]
+	}
+	return "/" + strings.Join(tags, "/")
+}
+
+// AttributeByTag returns the metadata attribute declaration with the given
+// tag, or nil.
+func (s *Schema) AttributeByTag(tag string) *Node {
+	return s.byTag[tag]
+}
+
+// NodeByOrder returns the ordered node with the given global order, or
+// nil.
+func (s *Schema) NodeByOrder(order int) *Node {
+	if order < 1 || order > len(s.Ordered) {
+		return nil
+	}
+	return s.Ordered[order-1]
+}
+
+// Ancestors returns the global orders of the strict ancestors of the node
+// with the given order, ascending. The returned slice must not be
+// modified.
+func (s *Schema) Ancestors(order int) []int {
+	return s.ancestors[order]
+}
+
+// ElementsOf returns the metadata element declarations of a structural
+// attribute: the leaf tags in its subtree paired with their local order.
+// Interior nodes inside the attribute are sub-attribute declarations.
+func ElementsOf(attr *Node) []ElementDecl {
+	var out []ElementDecl
+	var walk func(n *Node, owner string)
+	walk = func(n *Node, owner string) {
+		for _, c := range n.Children {
+			if len(c.Children) == 0 {
+				out = append(out, ElementDecl{Tag: c.Tag, Owner: owner, Repeats: c.Repeats})
+			} else {
+				walk(c, c.Tag)
+			}
+		}
+	}
+	if len(attr.Children) == 0 {
+		// Attribute that is itself an element (e.g. resourceID).
+		out = append(out, ElementDecl{Tag: attr.Tag, Owner: attr.Tag, Repeats: attr.Repeats, Self: true})
+		return out
+	}
+	walk(attr, attr.Tag)
+	return out
+}
+
+// ElementDecl describes one metadata element (or the leaf identity of an
+// attribute that is both attribute and element).
+type ElementDecl struct {
+	Tag     string
+	Owner   string // owning attribute or sub-attribute tag
+	Repeats bool
+	Self    bool // the attribute is its own element (leaf attribute)
+}
+
+// SubAttributesOf returns the interior nodes inside a structural
+// attribute's subtree (its sub-attribute declarations), preorder.
+func SubAttributesOf(attr *Node) []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, c := range n.Children {
+			if len(c.Children) > 0 {
+				out = append(out, c)
+				walk(c)
+			}
+		}
+	}
+	walk(attr)
+	return out
+}
+
+// OrderingTable renders the global ordering as printable rows (order,
+// tag, last-child order, depth, attribute marker); used by golden tests
+// and the mdcat CLI to reproduce Figure 2.
+func (s *Schema) OrderingTable() []string {
+	rows := make([]string, 0, len(s.Ordered))
+	for _, n := range s.Ordered {
+		mark := ""
+		switch {
+		case n.IsDynamic:
+			mark = " [dynamic attribute]"
+		case n.IsAttribute && !n.Queryable:
+			mark = " [attribute, non-queryable]"
+		case n.IsAttribute:
+			mark = " [attribute]"
+		}
+		rows = append(rows, fmt.Sprintf("%2d %s%s%s (last=%d)",
+			n.Order, strings.Repeat("  ", n.Depth), n.Tag, mark, n.LastChild))
+	}
+	return rows
+}

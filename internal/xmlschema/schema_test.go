@@ -1,0 +1,358 @@
+package xmlschema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLEADSchemaFinalizes(t *testing.T) {
+	s, err := LEAD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root.Tag != "LEADresource" {
+		t.Errorf("root = %s", s.Root.Tag)
+	}
+	// The figure's partitioning: these tags are metadata attributes.
+	wantAttrs := []string{"resourceID", "citation", "status", "timeperd",
+		"theme", "place", "stratum", "temporal", "accconst", "useconst",
+		"spdom", "spattemp", "detailed", "overview", "procstep"}
+	if len(s.Attributes) != len(wantAttrs) {
+		t.Fatalf("attribute count = %d, want %d", len(s.Attributes), len(wantAttrs))
+	}
+	for i, tag := range wantAttrs {
+		if s.Attributes[i].Tag != tag {
+			t.Errorf("attribute %d = %s, want %s", i, s.Attributes[i].Tag, tag)
+		}
+	}
+	detailed := s.AttributeByTag("detailed")
+	if detailed == nil || !detailed.IsDynamic || !detailed.Repeats {
+		t.Error("detailed should be a repeating dynamic container")
+	}
+	if s.AttributeByTag("theme") == nil || s.AttributeByTag("nosuch") != nil {
+		t.Error("AttributeByTag misbehaved")
+	}
+}
+
+func TestGlobalOrderingInvariants(t *testing.T) {
+	s := MustLEAD()
+	// Preorder: each node's order exceeds its parent's; Ordered is sorted.
+	for i, n := range s.Ordered {
+		if n.Order != i+1 {
+			t.Fatalf("Ordered[%d].Order = %d", i, n.Order)
+		}
+		if n.Parent != nil && n.Parent.Order >= n.Order {
+			t.Errorf("%s: parent order %d >= own %d", n.Tag, n.Parent.Order, n.Order)
+		}
+		if n.IsAttribute && n.LastChild != n.Order {
+			t.Errorf("attribute %s: LastChild = %d, want own order %d", n.Tag, n.LastChild, n.Order)
+		}
+		if n.LastChild < n.Order {
+			t.Errorf("%s: LastChild %d < order %d", n.Tag, n.LastChild, n.Order)
+		}
+		// LastChild is the max order in the ordered subtree.
+		max := n.Order
+		var walk func(x *Node)
+		walk = func(x *Node) {
+			if x.Order > max {
+				max = x.Order
+			}
+			if x.IsAttribute {
+				return
+			}
+			for _, c := range x.Children {
+				walk(c)
+			}
+		}
+		if !n.IsAttribute {
+			walk(n)
+			if n.LastChild != max {
+				t.Errorf("%s: LastChild = %d, subtree max = %d", n.Tag, n.LastChild, max)
+			}
+		}
+	}
+	// Nodes strictly inside attribute subtrees carry no order.
+	theme := s.AttributeByTag("theme")
+	for _, c := range theme.Children {
+		if c.Order != 0 {
+			t.Errorf("node %s inside attribute subtree has order %d", c.Tag, c.Order)
+		}
+	}
+}
+
+func TestOrderingTableGolden(t *testing.T) {
+	s := MustLEAD()
+	got := strings.Join(s.OrderingTable(), "\n")
+	lines := strings.Split(got, "\n")
+	if len(lines) != len(s.Ordered) {
+		t.Fatalf("table rows = %d, want %d", len(lines), len(s.Ordered))
+	}
+	// Exact golden for the first rows (structure of Figure 2's numbering).
+	head := []string{
+		" 1 LEADresource",
+		" 2   resourceID [attribute]",
+		" 3   data",
+		" 4     idinfo",
+		" 5       citation [attribute]",
+		" 6       status [attribute]",
+		" 7       timeperd [attribute]",
+		" 8       keywords",
+		" 9         theme [attribute]",
+		"10         place [attribute]",
+		"11         stratum [attribute]",
+		"12         temporal [attribute]",
+	}
+	for i, h := range head {
+		if !strings.HasPrefix(lines[i], h) {
+			t.Errorf("row %d = %q, want prefix %q", i, lines[i], h)
+		}
+	}
+	// The dynamic container row.
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "detailed [dynamic attribute]") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ordering table missing the dynamic attribute row")
+	}
+}
+
+func TestAncestorsInvertedList(t *testing.T) {
+	s := MustLEAD()
+	theme := s.AttributeByTag("theme")
+	anc := s.Ancestors(theme.Order)
+	// Ancestors: LEADresource(1), data, idinfo, keywords.
+	if len(anc) != 4 || anc[0] != 1 {
+		t.Fatalf("theme ancestors = %v", anc)
+	}
+	for i := 1; i < len(anc); i++ {
+		if anc[i] <= anc[i-1] {
+			t.Error("ancestors not ascending")
+		}
+	}
+	tags := make([]string, len(anc))
+	for i, o := range anc {
+		tags[i] = s.NodeByOrder(o).Tag
+	}
+	if strings.Join(tags, "/") != "LEADresource/data/idinfo/keywords" {
+		t.Errorf("ancestor tags = %v", tags)
+	}
+	if s.Ancestors(1) == nil || len(s.Ancestors(1)) != 0 {
+		t.Errorf("root ancestors = %v", s.Ancestors(1))
+	}
+	if s.NodeByOrder(0) != nil || s.NodeByOrder(len(s.Ordered)+1) != nil {
+		t.Error("NodeByOrder bounds wrong")
+	}
+}
+
+func TestElementsOfStructuralAttribute(t *testing.T) {
+	s := MustLEAD()
+	theme := s.AttributeByTag("theme")
+	els := ElementsOf(theme)
+	if len(els) != 2 || els[0].Tag != "themekt" || els[1].Tag != "themekey" {
+		t.Fatalf("theme elements = %+v", els)
+	}
+	if els[0].Repeats || !els[1].Repeats {
+		t.Error("repeat flags wrong")
+	}
+	if els[0].Owner != "theme" {
+		t.Errorf("owner = %s", els[0].Owner)
+	}
+	// Leaf attribute: resourceID is its own element.
+	rid := s.AttributeByTag("resourceID")
+	els = ElementsOf(rid)
+	if len(els) != 1 || !els[0].Self || els[0].Tag != "resourceID" {
+		t.Fatalf("resourceID elements = %+v", els)
+	}
+	// spdom has sub-attributes: elements are owned by them.
+	spdom := s.AttributeByTag("spdom")
+	els = ElementsOf(spdom)
+	owners := map[string]bool{}
+	for _, e := range els {
+		owners[e.Owner] = true
+	}
+	if !owners["bounding"] || !owners["dsgpoly"] || !owners["vertdom"] {
+		t.Errorf("spdom element owners = %v", owners)
+	}
+	subs := SubAttributesOf(spdom)
+	if len(subs) != 3 {
+		t.Errorf("spdom sub-attributes = %d", len(subs))
+	}
+}
+
+func TestValidationRules(t *testing.T) {
+	// Leaf outside any attribute.
+	s, root := New("bad1", "r")
+	root.Add("leaf")
+	if err := s.Finalize(); err == nil || !strings.Contains(err.Error(), "leaf") {
+		t.Errorf("bad1 err = %v", err)
+	}
+	// Repeating element outside an attribute.
+	s, root = New("bad2", "r")
+	k := root.Add("k").Repeat()
+	k.Add("v")
+	if err := s.Finalize(); err == nil || !strings.Contains(err.Error(), "multiple instances") {
+		t.Errorf("bad2 err = %v", err)
+	}
+	// Nested attributes.
+	s, root = New("bad3", "r")
+	outer := root.Add("outer").Attribute()
+	outer.Add("inner").Attribute()
+	if err := s.Finalize(); err == nil || !strings.Contains(err.Error(), "nested") {
+		t.Errorf("bad3 err = %v", err)
+	}
+	// XML attributes outside a metadata attribute.
+	s, root = New("bad4", "r")
+	h := root.Add("h")
+	h.HasAttrs = true
+	h.Add("x").Attribute()
+	if err := s.Finalize(); err == nil || !strings.Contains(err.Error(), "XML attributes") {
+		t.Errorf("bad4 err = %v", err)
+	}
+	// Duplicate attribute tags.
+	s, root = New("bad5", "r")
+	a := root.Add("sec1")
+	a.Add("dup").Attribute()
+	b := root.Add("sec2")
+	b.Add("dup").Attribute()
+	if err := s.Finalize(); err == nil || !strings.Contains(err.Error(), "unique") {
+		t.Errorf("bad5 err = %v", err)
+	}
+	// Valid minimal schema.
+	s, root = New("ok", "r")
+	root.Add("a").Attribute()
+	if err := s.Finalize(); err != nil {
+		t.Errorf("ok schema failed: %v", err)
+	}
+}
+
+func TestParseDSL(t *testing.T) {
+	text := `
+# a LEAD-like profile
+catalog
+  id *
+  body
+    keywords
+      theme *+
+        themekt
+        themekey +
+    eainfo
+      detailed !+
+    notes *~
+`
+	s, err := ParseDSL("mini", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root.Tag != "catalog" {
+		t.Errorf("root = %s", s.Root.Tag)
+	}
+	theme := s.AttributeByTag("theme")
+	if theme == nil || !theme.Repeats || !theme.Queryable {
+		t.Fatalf("theme = %+v", theme)
+	}
+	detailed := s.AttributeByTag("detailed")
+	if detailed == nil || !detailed.IsDynamic || detailed.Dynamic.NameTag != "enttypl" {
+		t.Fatalf("detailed = %+v", detailed)
+	}
+	notes := s.AttributeByTag("notes")
+	if notes == nil || notes.Queryable {
+		t.Error("~ marker should make notes non-queryable")
+	}
+	if len(s.Attributes) != 4 {
+		t.Errorf("attributes = %d", len(s.Attributes))
+	}
+}
+
+func TestParseDSLErrors(t *testing.T) {
+	bad := map[string]string{
+		"empty":        "",
+		"two roots":    "a *\nb *",
+		"level jump":   "a\n      b *",
+		"odd indent":   "a\n b *",
+		"bad marker":   "a\n  b *$",
+		"invalid rule": "a\n  b", // leaf outside attribute fails Finalize
+	}
+	for name, text := range bad {
+		if _, err := ParseDSL(name, text); err == nil {
+			t.Errorf("%s: ParseDSL should fail", name)
+		}
+	}
+}
+
+func TestLEADDSLRoundTrip(t *testing.T) {
+	// The LEAD schema expressed in DSL must produce the same ordering as
+	// the programmatic construction.
+	text := `
+LEADresource
+  resourceID *
+  data
+    idinfo
+      citation *
+        origin
+        pubdate
+        title
+      status *
+        progress
+        update
+      timeperd *
+        current
+        begdate
+        enddate
+      keywords
+        theme *+
+          themekt
+          themekey +
+        place *+
+          placekt
+          placekey +
+        stratum *+
+          stratkt
+          stratkey +
+        temporal *+
+          tempkt
+          tempkey +
+      accconst *
+      useconst *
+    geospatial
+      spdom *
+        bounding
+          westbc
+          eastbc
+          northbc
+          southbc
+        dsgpoly
+          ring
+        vertdom
+          vertmin
+          vertmax
+      spattemp *
+      eainfo
+        detailed !+
+        overview *+
+          eaover
+          eadetcit
+    lineage
+      procstep *+
+        procdesc
+        procdate
+`
+	fromDSL, err := ParseDSL("LEAD", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := MustLEAD()
+	if len(fromDSL.Ordered) != len(ref.Ordered) {
+		t.Fatalf("ordered = %d, want %d", len(fromDSL.Ordered), len(ref.Ordered))
+	}
+	for i := range ref.Ordered {
+		a, b := fromDSL.Ordered[i], ref.Ordered[i]
+		if a.Tag != b.Tag || a.Order != b.Order || a.LastChild != b.LastChild ||
+			a.IsAttribute != b.IsAttribute || a.IsDynamic != b.IsDynamic {
+			t.Errorf("order %d: dsl %s(last=%d,attr=%v) vs ref %s(last=%d,attr=%v)",
+				i+1, a.Tag, a.LastChild, a.IsAttribute, b.Tag, b.LastChild, b.IsAttribute)
+		}
+	}
+}

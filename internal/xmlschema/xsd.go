@@ -1,0 +1,203 @@
+package xmlschema
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+)
+
+// ParseXSD builds an annotated schema from an XML Schema document,
+// covering the subset grid community schemas use:
+//
+//   - top-level <xs:element name="..."> declarations,
+//   - anonymous <xs:complexType><xs:sequence> content,
+//   - nested <xs:element> with name or ref, minOccurs/maxOccurs
+//     (maxOccurs="unbounded" or > 1 marks a repeating element),
+//   - leaf elements (no complex content, any type attribute).
+//
+// Partitioning annotations ride on a "role" attribute of xs:element (any
+// namespace prefix; conventionally mdcat:role):
+//
+//	role="attribute"        metadata attribute (queryable)
+//	role="attribute-nq"     metadata attribute, not queryable
+//	role="dynamic"          dynamic attribute container (FGDC convention);
+//	                        its declared content model is ignored — the
+//	                        recursive interior is interpreted through the
+//	                        DynamicSpec at shred time
+//
+// References (ref=) resolve against the top-level declarations; cyclic
+// references are only legal inside a dynamic container, where the cycle
+// is subsumed by the container's recursion.
+//
+// rootElement selects the top-level declaration to use as the document
+// root ("" = the first one).
+func ParseXSD(name, data, rootElement string) (*Schema, error) {
+	doc, err := xmldoc.ParseString(data)
+	if err != nil {
+		return nil, fmt.Errorf("xmlschema: xsd: %w", err)
+	}
+	if doc.Tag != "schema" {
+		return nil, fmt.Errorf("xmlschema: xsd: root element is <%s>, want <xs:schema>", doc.Tag)
+	}
+	tops := map[string]*xmldoc.Node{}
+	var firstTop string
+	for _, c := range doc.Children {
+		if c.Tag != "element" {
+			continue // ignore xs:annotation, named types we don't support, etc.
+		}
+		n, ok := c.Attr("name")
+		if !ok || n == "" {
+			return nil, fmt.Errorf("xmlschema: xsd: top-level element without a name")
+		}
+		if _, dup := tops[n]; dup {
+			return nil, fmt.Errorf("xmlschema: xsd: duplicate top-level element %q", n)
+		}
+		tops[n] = c
+		if firstTop == "" {
+			firstTop = n
+		}
+	}
+	if firstTop == "" {
+		return nil, fmt.Errorf("xmlschema: xsd: no top-level element declarations")
+	}
+	if rootElement == "" {
+		rootElement = firstTop
+	}
+	rootDecl, ok := tops[rootElement]
+	if !ok {
+		return nil, fmt.Errorf("xmlschema: xsd: no top-level element %q", rootElement)
+	}
+
+	b := &xsdBuilder{tops: tops}
+	s, root := New(name, rootElement)
+	if err := b.applyAnnotations(root, rootDecl); err != nil {
+		return nil, err
+	}
+	if err := b.fill(root, rootDecl, map[string]bool{rootElement: true}); err != nil {
+		return nil, err
+	}
+	if err := s.Finalize(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+type xsdBuilder struct {
+	tops map[string]*xmldoc.Node
+}
+
+// applyAnnotations reads role/maxOccurs off an element declaration or
+// reference site.
+func (b *xsdBuilder) applyAnnotations(node *Node, decl *xmldoc.Node) error {
+	if role, ok := decl.Attr("role"); ok {
+		switch role {
+		case "attribute":
+			node.Attribute()
+		case "attribute-nq":
+			node.Attribute().NonQueryable()
+		case "dynamic":
+			node.DynamicContainer(FGDCDynamicSpec)
+		default:
+			return fmt.Errorf("xmlschema: xsd: element %q: unknown role %q", node.Tag, role)
+		}
+	}
+	if mo, ok := decl.Attr("maxOccurs"); ok {
+		if mo == "unbounded" {
+			node.Repeat()
+		} else if n, err := strconv.Atoi(mo); err == nil && n > 1 {
+			node.Repeat()
+		} else if err != nil {
+			return fmt.Errorf("xmlschema: xsd: element %q: bad maxOccurs %q", node.Tag, mo)
+		}
+	}
+	return nil
+}
+
+// contentSequence returns the xs:sequence of an element's anonymous
+// complexType, or nil for leaves.
+func contentSequence(decl *xmldoc.Node) (*xmldoc.Node, error) {
+	ct := decl.Child("complexType")
+	if ct == nil {
+		return nil, nil
+	}
+	seq := ct.Child("sequence")
+	if seq == nil {
+		if len(ct.Children) == 0 {
+			return nil, nil // empty complexType: treat as leaf
+		}
+		return nil, fmt.Errorf("xmlschema: xsd: element %q: only <xs:sequence> content is supported", tagOf(decl))
+	}
+	return seq, nil
+}
+
+func tagOf(decl *xmldoc.Node) string {
+	if n, ok := decl.Attr("name"); ok {
+		return n
+	}
+	if r, ok := decl.Attr("ref"); ok {
+		return r
+	}
+	return decl.Tag
+}
+
+// fill populates node's children from the declaration's sequence.
+// visiting guards reference cycles.
+func (b *xsdBuilder) fill(node *Node, decl *xmldoc.Node, visiting map[string]bool) error {
+	if node.IsDynamic {
+		// The dynamic container's declared interior (typically the
+		// recursive attr model) is interpreted at shred time.
+		return nil
+	}
+	seq, err := contentSequence(decl)
+	if err != nil {
+		return err
+	}
+	if seq == nil {
+		return nil // leaf
+	}
+	for _, childDecl := range seq.Children {
+		if childDecl.Tag != "element" {
+			return fmt.Errorf("xmlschema: xsd: element %q: unsupported particle <%s>", node.Tag, childDecl.Tag)
+		}
+		if ref, ok := childDecl.Attr("ref"); ok {
+			target, found := b.tops[ref]
+			if !found {
+				return fmt.Errorf("xmlschema: xsd: element %q references undeclared %q", node.Tag, ref)
+			}
+			if visiting[ref] {
+				// A cycle: legal only inside a dynamic container, which
+				// never expands its interior, so reaching here means the
+				// recursion sits outside one.
+				return fmt.Errorf("xmlschema: xsd: recursive reference to %q outside a dynamic attribute container", ref)
+			}
+			child := node.Add(ref)
+			// Occurrence/role annotations at the reference site win over
+			// the declaration's.
+			if err := b.applyAnnotations(child, target); err != nil {
+				return err
+			}
+			if err := b.applyAnnotations(child, childDecl); err != nil {
+				return err
+			}
+			visiting[ref] = true
+			if err := b.fill(child, target, visiting); err != nil {
+				return err
+			}
+			delete(visiting, ref)
+			continue
+		}
+		cname, ok := childDecl.Attr("name")
+		if !ok {
+			return fmt.Errorf("xmlschema: xsd: element under %q needs name or ref", node.Tag)
+		}
+		child := node.Add(cname)
+		if err := b.applyAnnotations(child, childDecl); err != nil {
+			return err
+		}
+		if err := b.fill(child, childDecl, visiting); err != nil {
+			return err
+		}
+	}
+	return nil
+}

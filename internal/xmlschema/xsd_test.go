@@ -1,0 +1,263 @@
+package xmlschema
+
+import (
+	"strings"
+	"testing"
+)
+
+// leadXSD expresses the Figure 2 partial LEAD schema as an annotated XML
+// Schema document; the round-trip test below requires it to reproduce
+// the programmatic construction exactly.
+const leadXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" xmlns:mdcat="urn:hybridcat">
+  <xs:element name="LEADresource">
+    <xs:complexType><xs:sequence>
+      <xs:element name="resourceID" type="xs:string" mdcat:role="attribute"/>
+      <xs:element name="data">
+        <xs:complexType><xs:sequence>
+          <xs:element name="idinfo">
+            <xs:complexType><xs:sequence>
+              <xs:element name="citation" mdcat:role="attribute">
+                <xs:complexType><xs:sequence>
+                  <xs:element name="origin" type="xs:string"/>
+                  <xs:element name="pubdate" type="xs:string"/>
+                  <xs:element name="title" type="xs:string"/>
+                </xs:sequence></xs:complexType>
+              </xs:element>
+              <xs:element name="status" mdcat:role="attribute">
+                <xs:complexType><xs:sequence>
+                  <xs:element name="progress" type="xs:string"/>
+                  <xs:element name="update" type="xs:string"/>
+                </xs:sequence></xs:complexType>
+              </xs:element>
+              <xs:element name="timeperd" mdcat:role="attribute">
+                <xs:complexType><xs:sequence>
+                  <xs:element name="current" type="xs:string"/>
+                  <xs:element name="begdate" type="xs:string"/>
+                  <xs:element name="enddate" type="xs:string"/>
+                </xs:sequence></xs:complexType>
+              </xs:element>
+              <xs:element name="keywords">
+                <xs:complexType><xs:sequence>
+                  <xs:element name="theme" maxOccurs="unbounded" mdcat:role="attribute">
+                    <xs:complexType><xs:sequence>
+                      <xs:element name="themekt" type="xs:string"/>
+                      <xs:element name="themekey" type="xs:string" maxOccurs="unbounded"/>
+                    </xs:sequence></xs:complexType>
+                  </xs:element>
+                  <xs:element name="place" maxOccurs="unbounded" mdcat:role="attribute">
+                    <xs:complexType><xs:sequence>
+                      <xs:element name="placekt" type="xs:string"/>
+                      <xs:element name="placekey" type="xs:string" maxOccurs="unbounded"/>
+                    </xs:sequence></xs:complexType>
+                  </xs:element>
+                  <xs:element name="stratum" maxOccurs="unbounded" mdcat:role="attribute">
+                    <xs:complexType><xs:sequence>
+                      <xs:element name="stratkt" type="xs:string"/>
+                      <xs:element name="stratkey" type="xs:string" maxOccurs="unbounded"/>
+                    </xs:sequence></xs:complexType>
+                  </xs:element>
+                  <xs:element name="temporal" maxOccurs="unbounded" mdcat:role="attribute">
+                    <xs:complexType><xs:sequence>
+                      <xs:element name="tempkt" type="xs:string"/>
+                      <xs:element name="tempkey" type="xs:string" maxOccurs="unbounded"/>
+                    </xs:sequence></xs:complexType>
+                  </xs:element>
+                </xs:sequence></xs:complexType>
+              </xs:element>
+              <xs:element name="accconst" type="xs:string" mdcat:role="attribute"/>
+              <xs:element name="useconst" type="xs:string" mdcat:role="attribute"/>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+          <xs:element name="geospatial">
+            <xs:complexType><xs:sequence>
+              <xs:element name="spdom" mdcat:role="attribute">
+                <xs:complexType><xs:sequence>
+                  <xs:element name="bounding">
+                    <xs:complexType><xs:sequence>
+                      <xs:element name="westbc" type="xs:double"/>
+                      <xs:element name="eastbc" type="xs:double"/>
+                      <xs:element name="northbc" type="xs:double"/>
+                      <xs:element name="southbc" type="xs:double"/>
+                    </xs:sequence></xs:complexType>
+                  </xs:element>
+                  <xs:element name="dsgpoly">
+                    <xs:complexType><xs:sequence>
+                      <xs:element name="ring" type="xs:string"/>
+                    </xs:sequence></xs:complexType>
+                  </xs:element>
+                  <xs:element name="vertdom">
+                    <xs:complexType><xs:sequence>
+                      <xs:element name="vertmin" type="xs:double"/>
+                      <xs:element name="vertmax" type="xs:double"/>
+                    </xs:sequence></xs:complexType>
+                  </xs:element>
+                </xs:sequence></xs:complexType>
+              </xs:element>
+              <xs:element name="spattemp" type="xs:string" mdcat:role="attribute"/>
+              <xs:element name="eainfo">
+                <xs:complexType><xs:sequence>
+                  <xs:element ref="detailed" maxOccurs="unbounded"/>
+                  <xs:element name="overview" maxOccurs="unbounded" mdcat:role="attribute">
+                    <xs:complexType><xs:sequence>
+                      <xs:element name="eaover" type="xs:string"/>
+                      <xs:element name="eadetcit" type="xs:string"/>
+                    </xs:sequence></xs:complexType>
+                  </xs:element>
+                </xs:sequence></xs:complexType>
+              </xs:element>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+          <xs:element name="lineage">
+            <xs:complexType><xs:sequence>
+              <xs:element name="procstep" maxOccurs="unbounded" mdcat:role="attribute">
+                <xs:complexType><xs:sequence>
+                  <xs:element name="procdesc" type="xs:string"/>
+                  <xs:element name="procdate" type="xs:string"/>
+                </xs:sequence></xs:complexType>
+              </xs:element>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+  <xs:element name="detailed" mdcat:role="dynamic">
+    <xs:complexType><xs:sequence>
+      <xs:element name="enttyp">
+        <xs:complexType><xs:sequence>
+          <xs:element name="enttypl" type="xs:string"/>
+          <xs:element name="enttypds" type="xs:string"/>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+      <xs:element ref="attr" maxOccurs="unbounded"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+  <xs:element name="attr">
+    <xs:complexType><xs:sequence>
+      <xs:element name="attrlabl" type="xs:string"/>
+      <xs:element name="attrdefs" type="xs:string"/>
+      <xs:element name="attrv" type="xs:string" minOccurs="0"/>
+      <xs:element ref="attr" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func TestParseXSDLEADRoundTrip(t *testing.T) {
+	fromXSD, err := ParseXSD("LEAD", leadXSD, "LEADresource")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := MustLEAD()
+	if len(fromXSD.Ordered) != len(ref.Ordered) {
+		t.Fatalf("ordered = %d, want %d\n%s", len(fromXSD.Ordered), len(ref.Ordered),
+			strings.Join(fromXSD.OrderingTable(), "\n"))
+	}
+	for i := range ref.Ordered {
+		a, b := fromXSD.Ordered[i], ref.Ordered[i]
+		if a.Tag != b.Tag || a.Order != b.Order || a.LastChild != b.LastChild ||
+			a.IsAttribute != b.IsAttribute || a.IsDynamic != b.IsDynamic ||
+			a.Queryable != b.Queryable || a.Repeats != b.Repeats {
+			t.Errorf("order %d: xsd %s(last=%d,attr=%v,dyn=%v) vs ref %s(last=%d,attr=%v,dyn=%v)",
+				i+1, a.Tag, a.LastChild, a.IsAttribute, a.IsDynamic,
+				b.Tag, b.LastChild, b.IsAttribute, b.IsDynamic)
+		}
+	}
+	// The dynamic container picked up the FGDC spec.
+	d := fromXSD.AttributeByTag("detailed")
+	if d == nil || d.Dynamic.NameTag != "enttypl" {
+		t.Fatalf("detailed = %+v", d)
+	}
+}
+
+func TestParseXSDDefaultsAndSelection(t *testing.T) {
+	const mini = `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="rootA">
+	    <xs:complexType><xs:sequence>
+	      <xs:element name="x" type="xs:string" role="attribute"/>
+	    </xs:sequence></xs:complexType>
+	  </xs:element>
+	  <xs:element name="rootB">
+	    <xs:complexType><xs:sequence>
+	      <xs:element name="y" type="xs:string" role="attribute-nq"/>
+	    </xs:sequence></xs:complexType>
+	  </xs:element>
+	</xs:schema>`
+	// Default root = first declaration; bare "role" attribute works.
+	s, err := ParseXSD("m", mini, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root.Tag != "rootA" {
+		t.Errorf("default root = %s", s.Root.Tag)
+	}
+	s, err = ParseXSD("m", mini, "rootB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := s.AttributeByTag("y")
+	if y == nil || y.Queryable {
+		t.Errorf("attribute-nq role: %+v", y)
+	}
+	if _, err := ParseXSD("m", mini, "rootC"); err == nil {
+		t.Error("unknown root should fail")
+	}
+}
+
+func TestParseXSDMaxOccursNumeric(t *testing.T) {
+	const x = `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="r">
+	    <xs:complexType><xs:sequence>
+	      <xs:element name="k" maxOccurs="5" role="attribute">
+	        <xs:complexType><xs:sequence>
+	          <xs:element name="v" type="xs:string" maxOccurs="1"/>
+	        </xs:sequence></xs:complexType>
+	      </xs:element>
+	    </xs:sequence></xs:complexType>
+	  </xs:element>
+	</xs:schema>`
+	s, err := ParseXSD("m", x, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := s.AttributeByTag("k")
+	if !k.Repeats {
+		t.Error("maxOccurs=5 should mark repeats")
+	}
+	if k.Children[0].Repeats {
+		t.Error("maxOccurs=1 should not mark repeats")
+	}
+}
+
+func TestParseXSDErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":      "<broken",
+		"wrong root":   "<other/>",
+		"no elements":  `<xs:schema xmlns:xs="x"><xs:annotation/></xs:schema>`,
+		"nameless top": `<s:schema xmlns:s="x"><s:element/></s:schema>`,
+		"bad role": `<s:schema xmlns:s="x"><s:element name="r">
+		  <s:complexType><s:sequence><s:element name="a" role="boss"/></s:sequence></s:complexType>
+		</s:element></s:schema>`,
+		"bad maxOccurs": `<s:schema xmlns:s="x"><s:element name="r">
+		  <s:complexType><s:sequence><s:element name="a" maxOccurs="lots" role="attribute"/></s:sequence></s:complexType>
+		</s:element></s:schema>`,
+		"unsupported particle": `<s:schema xmlns:s="x"><s:element name="r">
+		  <s:complexType><s:sequence><s:choice/></s:sequence></s:complexType>
+		</s:element></s:schema>`,
+		"dangling ref": `<s:schema xmlns:s="x"><s:element name="r">
+		  <s:complexType><s:sequence><s:element ref="ghost"/></s:sequence></s:complexType>
+		</s:element></s:schema>`,
+		"recursion outside dynamic": `<s:schema xmlns:s="x">
+		  <s:element name="r"><s:complexType><s:sequence><s:element ref="loop" role="attribute"/></s:sequence></s:complexType></s:element>
+		  <s:element name="loop"><s:complexType><s:sequence><s:element ref="loop"/></s:sequence></s:complexType></s:element>
+		</s:schema>`,
+		"violates partitioning": `<s:schema xmlns:s="x"><s:element name="r">
+		  <s:complexType><s:sequence><s:element name="leaf" type="s:string"/></s:sequence></s:complexType>
+		</s:element></s:schema>`,
+	}
+	for name, xsd := range cases {
+		if _, err := ParseXSD("m", xsd, ""); err == nil {
+			t.Errorf("%s: should fail", name)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package xpath implements the XPath-lite evaluator used by the
+// CLOB-only and native-XML baselines and by the §4 XQuery-equivalence
+// tests. It supports the fragment those query workloads need:
+//
+//	/a/b            child steps from the root
+//	//b             descendant-or-self step
+//	*               wildcard tag
+//	b[c='v']        predicates comparing a child's text (= != < <= > >=)
+//	b[c]            predicate testing child existence
+//	b[c='v'][d>2]   conjunction by stacking predicates
+//	b[.='v']        predicate on the node's own text
+//
+// Numeric-looking operands compare numerically, mirroring the catalog's
+// typed element comparison.
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+)
+
+// Expr is a compiled path expression.
+type Expr struct {
+	steps []step
+	src   string
+}
+
+type step struct {
+	descendant bool // //tag instead of /tag
+	tag        string
+	preds      []pred
+}
+
+type pred struct {
+	childTag string // "." means the node itself
+	op       string // "", "=", "!=", "<", "<=", ">", ">="; "" = existence
+	value    string
+}
+
+// Compile parses a path expression.
+func Compile(src string) (*Expr, error) {
+	s := strings.TrimSpace(src)
+	if s == "" {
+		return nil, fmt.Errorf("xpath: empty expression")
+	}
+	e := &Expr{src: src}
+	i := 0
+	for i < len(s) {
+		if s[i] != '/' {
+			return nil, fmt.Errorf("xpath: expected '/' at offset %d in %q", i, src)
+		}
+		st := step{}
+		i++
+		if i < len(s) && s[i] == '/' {
+			st.descendant = true
+			i++
+		}
+		start := i
+		for i < len(s) && s[i] != '/' && s[i] != '[' {
+			i++
+		}
+		st.tag = s[start:i]
+		if st.tag == "" {
+			return nil, fmt.Errorf("xpath: empty step at offset %d in %q", start, src)
+		}
+		for i < len(s) && s[i] == '[' {
+			end := strings.IndexByte(s[i:], ']')
+			if end < 0 {
+				return nil, fmt.Errorf("xpath: unclosed predicate in %q", src)
+			}
+			p, err := parsePred(s[i+1 : i+end])
+			if err != nil {
+				return nil, err
+			}
+			st.preds = append(st.preds, p)
+			i += end + 1
+		}
+		e.steps = append(e.steps, st)
+	}
+	return e, nil
+}
+
+// MustCompile is Compile that panics on error; for static expressions.
+func MustCompile(src string) *Expr {
+	e, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func parsePred(s string) (pred, error) {
+	s = strings.TrimSpace(s)
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if idx := strings.Index(s, op); idx >= 0 {
+			left := strings.TrimSpace(s[:idx])
+			right := strings.TrimSpace(s[idx+len(op):])
+			val, err := unquote(right)
+			if err != nil {
+				return pred{}, err
+			}
+			if left == "" {
+				return pred{}, fmt.Errorf("xpath: predicate %q missing operand", s)
+			}
+			return pred{childTag: left, op: op, value: val}, nil
+		}
+	}
+	if s == "" {
+		return pred{}, fmt.Errorf("xpath: empty predicate")
+	}
+	return pred{childTag: s}, nil
+}
+
+func unquote(s string) (string, error) {
+	if len(s) >= 2 && (s[0] == '\'' || s[0] == '"') {
+		if s[len(s)-1] != s[0] {
+			return "", fmt.Errorf("xpath: unterminated literal %q", s)
+		}
+		return s[1 : len(s)-1], nil
+	}
+	// Bare numbers are allowed.
+	return s, nil
+}
+
+// String returns the source expression.
+func (e *Expr) String() string { return e.src }
+
+// Select evaluates the expression against a document root, returning
+// matching nodes in document order. The first step matches the root
+// element itself (as in evaluating /LEADresource/... against a document).
+func (e *Expr) Select(root *xmldoc.Node) []*xmldoc.Node {
+	if root == nil || len(e.steps) == 0 {
+		return nil
+	}
+	// Seed: the root element, addressed by the first step.
+	current := matchStep([]*xmldoc.Node{root}, e.steps[0], true)
+	for _, st := range e.steps[1:] {
+		current = matchStep(current, st, false)
+		if len(current) == 0 {
+			return nil
+		}
+	}
+	return current
+}
+
+// Matches reports whether any node satisfies the expression.
+func (e *Expr) Matches(root *xmldoc.Node) bool { return len(e.Select(root)) > 0 }
+
+// matchStep advances one step. For the seed step the candidates are the
+// nodes themselves rather than their children.
+func matchStep(nodes []*xmldoc.Node, st step, seed bool) []*xmldoc.Node {
+	var out []*xmldoc.Node
+	seen := make(map[*xmldoc.Node]bool)
+	add := func(n *xmldoc.Node) {
+		if !seen[n] && nodeMatches(n, st) {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range nodes {
+		switch {
+		case st.descendant:
+			base := n
+			if seed {
+				base.Walk(func(x *xmldoc.Node) bool { add(x); return true })
+			} else {
+				for _, c := range base.Children {
+					c.Walk(func(x *xmldoc.Node) bool { add(x); return true })
+				}
+			}
+		case seed:
+			add(n)
+		default:
+			for _, c := range n.Children {
+				add(c)
+			}
+		}
+	}
+	return out
+}
+
+func nodeMatches(n *xmldoc.Node, st step) bool {
+	if st.tag != "*" && n.Tag != st.tag {
+		return false
+	}
+	for _, p := range st.preds {
+		if !predHolds(n, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func predHolds(n *xmldoc.Node, p pred) bool {
+	if p.childTag == "." {
+		return p.op == "" && n.Text != "" || p.op != "" && compareText(n.Text, p.op, p.value)
+	}
+	kids := n.ChildrenByTag(p.childTag)
+	if p.op == "" {
+		return len(kids) > 0
+	}
+	for _, k := range kids {
+		if compareText(k.Text, p.op, p.value) {
+			return true
+		}
+	}
+	return false
+}
+
+// compareText compares numerically when both sides parse as floats and
+// textually when neither does. A type mismatch (one numeric side) makes
+// ordering comparisons false and =/!= fall back to string comparison,
+// mirroring the catalog's typed-element semantics.
+func compareText(a, op, b string) bool {
+	af, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	bf, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	var c int
+	switch {
+	case errA == nil && errB == nil:
+		switch {
+		case af < bf:
+			c = -1
+		case af > bf:
+			c = 1
+		}
+	case errA != nil && errB != nil:
+		c = strings.Compare(a, b)
+	default:
+		// Mixed types: only (in)equality is meaningful.
+		switch op {
+		case "=":
+			return a == b
+		case "!=":
+			return a != b
+		}
+		return false
+	}
+	switch op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package xpath
+
+import (
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+func fig3(t *testing.T) *xmldoc.Node {
+	t.Helper()
+	n, err := xmldoc.ParseString(xmlschema.Figure3Document)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{"", "a/b", "/", "/a[b", "/a//", "/a[]"}
+	for _, s := range bad {
+		if _, err := Compile(s); err == nil {
+			t.Errorf("Compile(%q) should fail", s)
+		}
+	}
+	if e := MustCompile("/a/b"); e.String() != "/a/b" {
+		t.Errorf("String = %s", e.String())
+	}
+}
+
+func TestChildSteps(t *testing.T) {
+	doc := fig3(t)
+	got := MustCompile("/LEADresource/data/idinfo/keywords/theme").Select(doc)
+	if len(got) != 2 {
+		t.Fatalf("theme count = %d", len(got))
+	}
+	if got[0].ChildText("themekt") != "CF NetCDF" {
+		t.Errorf("first theme = %v", got[0])
+	}
+	// Wrong root never matches.
+	if MustCompile("/other/data").Matches(doc) {
+		t.Error("wrong root matched")
+	}
+}
+
+func TestDescendantAndWildcardSteps(t *testing.T) {
+	doc := fig3(t)
+	got := MustCompile("//themekey").Select(doc)
+	if len(got) != 4 {
+		t.Fatalf("//themekey = %d", len(got))
+	}
+	got = MustCompile("//attr").Select(doc)
+	if len(got) != 5 {
+		t.Fatalf("//attr = %d (nested attrs should all match)", len(got))
+	}
+	got = MustCompile("/LEADresource/data/*").Select(doc)
+	if len(got) != 2 {
+		t.Fatalf("wildcard children = %d", len(got))
+	}
+	got = MustCompile("//theme/themekey").Select(doc)
+	if len(got) != 4 {
+		t.Fatalf("//theme/themekey = %d", len(got))
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	doc := fig3(t)
+	// Equality on child text.
+	got := MustCompile("//attr[attrlabl='dx']").Select(doc)
+	if len(got) != 1 || got[0].ChildText("attrv") != "1000.000" {
+		t.Fatalf("attr[dx] = %v", got)
+	}
+	// Numeric comparison: attrv of dx is 1000.000 == 1000.
+	if !MustCompile("//attr[attrlabl='dx'][attrv=1000]").Matches(doc) {
+		t.Error("numeric equality failed")
+	}
+	if !MustCompile("//attr[attrv>=500][attrv<=1000]").Matches(doc) {
+		t.Error("range predicates failed")
+	}
+	if MustCompile("//attr[attrv>2000]").Matches(doc) {
+		t.Error("attrv>2000 should not match")
+	}
+	// Existence predicate.
+	got = MustCompile("//attr[attr]").Select(doc)
+	if len(got) != 1 || got[0].ChildText("attrlabl") != "grid-stretching" {
+		t.Fatalf("attr[attr] = %v", got)
+	}
+	// != predicate.
+	got = MustCompile("//attr[attrlabl!='dx'][attrv]").Select(doc)
+	if len(got) != 3 { // dzmin, reference-height, dz
+		t.Fatalf("attrlabl!='dx' with value = %d", len(got))
+	}
+	// Self-text predicate.
+	got = MustCompile("//themekey[.='air_pressure_at_cloud_base']").Select(doc)
+	if len(got) != 1 {
+		t.Fatalf("self text predicate = %d", len(got))
+	}
+}
+
+// TestWorkedPaperQuery evaluates the §4 XQuery FLWOR example as two path
+// conditions: grid/ARPS with dx=1000 and grid-stretching/dzmin=100.
+func TestWorkedPaperQuery(t *testing.T) {
+	doc := fig3(t)
+	grid := MustCompile("//detailed/enttyp[enttypl='grid'][enttypds='ARPS']")
+	dx := MustCompile("//detailed/attr[attrlabl='dx'][attrdefs='ARPS'][attrv=1000]")
+	dzmin := MustCompile("//detailed/attr[attrlabl='grid-stretching'][attrdefs='ARPS']/attr[attrlabl='dzmin'][attrv=100]")
+	if !grid.Matches(doc) || !dx.Matches(doc) || !dzmin.Matches(doc) {
+		t.Error("the paper's worked query should match Figure 3")
+	}
+	// A document with dx=2000 must fail the dx condition.
+	other := fig3(t)
+	for _, a := range MustCompile("//attr[attrlabl='dx']").Select(other) {
+		a.Child("attrv").Text = "2000"
+	}
+	if dx.Matches(other) {
+		t.Error("modified document should not match dx=1000")
+	}
+}
+
+func TestDocumentOrderAndDedup(t *testing.T) {
+	doc, _ := xmldoc.ParseString("<r><a><b>1</b></a><a><b>2</b><b>3</b></a></r>")
+	got := MustCompile("//b").Select(doc)
+	if len(got) != 3 || got[0].Text != "1" || got[2].Text != "3" {
+		t.Fatalf("order = %v", got)
+	}
+	// Nested descendant steps must not duplicate results.
+	got = MustCompile("//a//b").Select(doc)
+	if len(got) != 3 {
+		t.Fatalf("dedup failed: %d", len(got))
+	}
+}
+
+func TestTextualVsNumericComparison(t *testing.T) {
+	doc, _ := xmldoc.ParseString("<r><v>10</v><v>9</v><v>apple</v></r>")
+	// Numeric: 9 < 10.
+	if got := MustCompile("/r/v[.<9.5]").Select(doc); len(got) != 1 || got[0].Text != "9" {
+		t.Errorf("numeric compare = %v", got)
+	}
+	// Text fallback: "apple" < "banana".
+	if got := MustCompile("/r/v[.<'banana']").Select(doc); len(got) != 1 || got[0].Text != "apple" {
+		t.Errorf("text compare = %v", got)
+	}
+}
