@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments quick-experiments examples clean
+.PHONY: all build vet test race stress cover bench experiments quick-experiments examples clean
 
 all: build vet test
 
@@ -17,6 +17,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Long-running reader/writer stress under the race detector. STRESS
+# scales the per-goroutine operation count (default in-test is 32).
+STRESS ?= 200
+stress:
+	HYBRIDCAT_STRESS=$(STRESS) $(GO) test -race -run 'Concurrent' -count=1 ./internal/catalog/ ./internal/relstore/ ./internal/core/ ./internal/service/
 
 cover:
 	$(GO) test -cover ./...

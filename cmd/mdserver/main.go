@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 
@@ -35,6 +36,7 @@ func main() {
 		loadPath   = flag.String("load", "", "load a catalog snapshot at startup")
 		savePath   = flag.String("save", "", "write a catalog snapshot on shutdown")
 		ontPath    = flag.String("ontology", "", "term hierarchy file enabling ?expand=1 queries")
+		qWorkers   = flag.Int("query-workers", 0, "worker pool size for intra-query fan-out (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -42,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal("mdserver: ", err)
 	}
-	opts := catalog.Options{AutoRegister: *autoReg}
+	opts := catalog.Options{AutoRegister: *autoReg, QueryWorkers: *qWorkers}
 	var cat *catalog.Catalog
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
@@ -95,8 +97,12 @@ func main() {
 		}()
 	}
 
-	log.Printf("mdserver: schema %s, %d metadata attributes, listening on %s",
-		schema.Name, len(schema.Attributes), *addr)
+	workers := *qWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("mdserver: schema %s, %d metadata attributes, listening on %s (concurrent reads, %d query workers)",
+		schema.Name, len(schema.Attributes), *addr, workers)
 	if err := http.ListenAndServe(*addr, logRequests(srv.Handler())); err != nil {
 		log.Fatal("mdserver: ", err)
 	}

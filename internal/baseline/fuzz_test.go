@@ -3,6 +3,8 @@ package baseline_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/gridmeta/hybridcat/internal/baseline"
@@ -248,35 +250,45 @@ func (rs *randSchema) queryValue() relstore.Value {
 	return relstore.Int(int64(rs.numPool[rs.rng.Intn(len(rs.numPool))]))
 }
 
-// buildAllStores instantiates every store over the random schema,
-// registering the dynamic definitions on the hybrid catalog.
-func (rs *randSchema) buildAllStores(t *testing.T) []baseline.Store {
-	t.Helper()
-	cat, err := catalog.Open(rs.schema, catalog.Options{})
+// buildCatalog instantiates the hybrid catalog over the random schema
+// and registers the dynamic definitions.
+func (rs *randSchema) buildCatalog(opts catalog.Options) (*catalog.Catalog, error) {
+	cat, err := catalog.Open(rs.schema, opts)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	for _, def := range rs.dynDefs {
 		d, err := cat.RegisterAttr(def.name, def.source, 0, "")
 		if err != nil {
-			t.Fatal(err)
+			return nil, err
 		}
 		for _, e := range def.elems {
 			if _, err := cat.RegisterElem(e, def.source, d.ID, core.DTString, ""); err != nil {
-				t.Fatal(err)
+				return nil, err
 			}
 		}
 		if def.sub != "" {
 			sd, err := cat.RegisterAttr(def.sub, def.source, d.ID, "")
 			if err != nil {
-				t.Fatal(err)
+				return nil, err
 			}
 			for _, e := range def.subElems {
 				if _, err := cat.RegisterElem(e, def.source, sd.ID, core.DTString, ""); err != nil {
-					t.Fatal(err)
+					return nil, err
 				}
 			}
 		}
+	}
+	return cat, nil
+}
+
+// buildAllStores instantiates every store over the random schema,
+// registering the dynamic definitions on the hybrid catalog.
+func (rs *randSchema) buildAllStores(t *testing.T) []baseline.Store {
+	t.Helper()
+	cat, err := rs.buildCatalog(catalog.Options{})
+	if err != nil {
+		t.Fatal(err)
 	}
 	inl, err := inlining.New(rs.schema)
 	if err != nil {
@@ -293,6 +305,150 @@ func (rs *randSchema) buildAllStores(t *testing.T) []baseline.Store {
 	return []baseline.Store{
 		baseline.Adapter{C: cat}, inl, edge, clob, nativexml.New(rs.schema),
 	}
+}
+
+// hasAttrContent reports whether the document carries at least one
+// schema attribute instance; documents without one are rejected by the
+// hybrid shredder.
+func (rs *randSchema) hasAttrContent(doc *xmldoc.Node) bool {
+	found := false
+	doc.Walk(func(n *xmldoc.Node) bool {
+		if d := rs.schema.AttributeByTag(n.Tag); d != nil {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FuzzConcurrentIngestEvaluate interleaves a writer — ingesting random
+// conforming documents as "alice" and publishing a byte-selected subset
+// — with concurrent Figure-4 evaluations on the forced-parallel read
+// path. The invariants are the privacy and progress guarantees the
+// reader/writer lock split must preserve under race: no evaluation
+// panics or errors, a superuser evaluation never reports an object ID
+// that no ingest could have produced yet, and an evaluation by a
+// stranger who owns nothing only ever reports objects whose publication
+// had already been initiated.
+func FuzzConcurrentIngestEvaluate(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(int64(3), []byte{0xff, 0x00, 0x81, 0x42, 0x10, 0x3c})
+	f.Add(int64(7), []byte("publish everything"))
+	f.Add(int64(11), []byte{1})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		if len(ops) == 0 {
+			t.Skip("no operations")
+		}
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		rs, err := newRandSchema(seed)
+		if err != nil {
+			t.Skip("degenerate schema")
+		}
+		cat, err := rs.buildCatalog(catalog.Options{QueryWorkers: 4, ParallelRowThreshold: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Pre-generate documents and queries: rs.rng is not safe for
+		// concurrent use, so all randomness happens before the race.
+		var docs []*xmldoc.Node
+		var queries []*catalog.Query
+		for attempts := 0; len(docs) < len(ops) && attempts < 50*len(ops); attempts++ {
+			if doc := rs.document(); rs.hasAttrContent(doc) {
+				docs = append(docs, doc)
+			}
+		}
+		if len(docs) == 0 {
+			t.Skip("schema generates no shreddable documents")
+		}
+		for i := 0; i < len(ops); i++ {
+			queries = append(queries, rs.query())
+		}
+		// Per-goroutine query copies: Owner differs and the shared
+		// criteria trees are read-only during evaluation.
+		super := make([]*catalog.Query, len(queries))
+		stranger := make([]*catalog.Query, len(queries))
+		for i, q := range queries {
+			sq, xq := *q, *q
+			sq.Owner, xq.Owner = "", "mallory"
+			super[i], stranger[i] = &sq, &xq
+		}
+
+		var (
+			started    atomic.Int64 // upper bound on assigned object IDs
+			pubMu      sync.Mutex
+			publishing = map[int64]bool{} // marked before SetPublished commits
+		)
+		done := make(chan struct{})
+		var wwg sync.WaitGroup
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			defer close(done)
+			for i, b := range ops {
+				started.Add(1)
+				id, err := cat.Ingest("alice", docs[i%len(docs)].Clone())
+				if err != nil {
+					t.Errorf("ingest %d: %v", i, err)
+					return
+				}
+				if b&1 == 1 {
+					pubMu.Lock()
+					publishing[id] = true
+					pubMu.Unlock()
+					if err := cat.SetPublished(id, true); err != nil {
+						t.Errorf("publish %d: %v", id, err)
+						return
+					}
+				}
+			}
+		}()
+
+		var rwg sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			rwg.Add(1)
+			go func(r int) {
+				defer rwg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					q := super[(i+r)%len(super)]
+					ids, err := cat.Evaluate(q)
+					if err != nil {
+						t.Errorf("reader %d: superuser evaluate: %v", r, err)
+						return
+					}
+					bound := started.Load()
+					for _, id := range ids {
+						if id < 1 || id > bound {
+							t.Errorf("reader %d: result ID %d outside any started ingest (bound %d)", r, id, bound)
+							return
+						}
+					}
+					xids, err := cat.Evaluate(stranger[(i+r)%len(stranger)])
+					if err != nil {
+						t.Errorf("reader %d: stranger evaluate: %v", r, err)
+						return
+					}
+					pubMu.Lock()
+					for _, id := range xids {
+						if !publishing[id] {
+							t.Errorf("reader %d: stranger saw unpublished object %d", r, id)
+						}
+					}
+					pubMu.Unlock()
+				}
+			}(r)
+		}
+		rwg.Wait()
+		wwg.Wait()
+	})
 }
 
 // TestRandomSchemasAllStoresAgree is the repository's strongest

@@ -29,6 +29,7 @@ var experiments = map[string]Experiment{
 	"A3": {"A3", "ablation: typed columns", A3TypedColumns},
 	"A4": {"A4", "ablation: SQL layer overhead", A4SQLOverhead},
 	"A5": {"A5", "ablation: parallel batch ingest", A5ParallelIngest},
+	"C1": {"C1", "concurrent readers: query throughput scaling", C1ConcurrentReaders},
 }
 
 // IDs lists the experiment IDs in a stable order.

@@ -3,6 +3,7 @@ package catalog
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -11,6 +12,47 @@ import (
 	"github.com/gridmeta/hybridcat/internal/xmldoc"
 )
 
+// DocError ties one batch ingest failure to the input index of the
+// document that caused it.
+type DocError struct {
+	Index int
+	Err   error
+}
+
+func (e *DocError) Error() string {
+	return fmt.Sprintf("document %d: %v", e.Index, e.Err)
+}
+
+func (e *DocError) Unwrap() error { return e.Err }
+
+// BatchError reports every failing document of a batch, ordered by input
+// index. The ordering is deterministic regardless of which shredding
+// goroutine finished first.
+type BatchError struct {
+	Docs []DocError
+}
+
+func (e *BatchError) Error() string {
+	if len(e.Docs) == 1 {
+		return fmt.Sprintf("catalog: batch document %d: %v", e.Docs[0].Index, e.Docs[0].Err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "catalog: %d batch documents failed:", len(e.Docs))
+	for i := range e.Docs {
+		fmt.Fprintf(&b, "\n  document %d: %v", e.Docs[i].Index, e.Docs[i].Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-document causes to errors.Is/As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, len(e.Docs))
+	for i := range e.Docs {
+		out[i] = &e.Docs[i]
+	}
+	return out
+}
+
 // IngestBatch shreds documents concurrently and inserts the results in
 // document order, returning the assigned object IDs. Shredding is the
 // CPU-bound phase (tree walks, serialization, validation) and
@@ -18,8 +60,8 @@ import (
 // catalog lock for multi-table consistency.
 //
 // The batch is all-or-nothing: if any document fails validation, nothing
-// is stored and the error names the failing document index. workers <= 0
-// uses GOMAXPROCS.
+// is stored and the returned *BatchError lists every failing document by
+// input index, ascending. workers <= 0 uses GOMAXPROCS.
 func (c *Catalog) IngestBatch(owner string, docs []*xmldoc.Node, workers int) ([]int64, error) {
 	if len(docs) == 0 {
 		return nil, nil
@@ -51,20 +93,24 @@ func (c *Catalog) IngestBatch(owner string, docs []*xmldoc.Node, workers int) ([
 		}()
 	}
 	wg.Wait()
+	var failed []DocError
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("catalog: batch document %d: %w", i, err)
+			failed = append(failed, DocError{Index: i, Err: err})
 		}
 	}
-	if c.opts.AutoRegister {
-		if err := c.syncDefTables(); err != nil {
-			return nil, err
-		}
+	if len(failed) > 0 {
+		return nil, &BatchError{Docs: failed}
 	}
 
 	// Phase 2: ordered insertion.
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.opts.AutoRegister {
+		if err := c.syncDefTables(); err != nil {
+			return nil, err
+		}
+	}
 	objT := c.DB.MustTable(TObjects)
 	ids := make([]int64, 0, len(docs))
 	created := c.clock().UTC().Format(time.RFC3339)
@@ -83,7 +129,7 @@ func (c *Catalog) IngestBatch(owner string, docs []*xmldoc.Node, workers int) ([
 		}
 		if err := c.insertShred(id, results[i]); err != nil {
 			c.rollbackBatchLocked(ids, id)
-			return nil, fmt.Errorf("catalog: batch document %d: %w", i, err)
+			return nil, &BatchError{Docs: []DocError{{Index: i, Err: err}}}
 		}
 		ids = append(ids, id)
 	}

@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -86,6 +87,62 @@ func TestIngestBatchAllOrNothing(t *testing.T) {
 		if n := c.DB.MustTable(tbl).Len(); n != 0 {
 			t.Errorf("%s retains %d rows", tbl, n)
 		}
+	}
+}
+
+// TestIngestBatchReportsAllFailures pins the per-document error
+// contract: a batch with several invalid documents reports every
+// failure, indexed by input position, in ascending order, regardless of
+// which worker hit which document first.
+func TestIngestBatchReportsAllFailures(t *testing.T) {
+	c := newLEADCatalog(t, Options{})
+	docs := batchDocs(t, 9)
+	for _, i := range []int{1, 4, 7} {
+		bad, err := xmldoc.ParseString(fig3Variant(t, "not-numeric"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = bad
+	}
+	_, err := c.IngestBatch("u", docs, 4)
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %T %v, want *BatchError", err, err)
+	}
+	if len(be.Docs) != 3 {
+		t.Fatalf("reported %d failures, want 3: %v", len(be.Docs), be)
+	}
+	for i, want := range []int{1, 4, 7} {
+		if be.Docs[i].Index != want {
+			t.Errorf("failure %d has index %d, want %d (order must be ascending by input position)",
+				i, be.Docs[i].Index, want)
+		}
+		if be.Docs[i].Err == nil {
+			t.Errorf("failure %d carries no cause", i)
+		}
+	}
+	for _, want := range []string{"3 batch documents failed", "document 1", "document 4", "document 7"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error message %q missing %q", err.Error(), want)
+		}
+	}
+	if c.ObjectCount() != 0 {
+		t.Errorf("failed batch left %d objects", c.ObjectCount())
+	}
+
+	// A single failing document keeps the pre-existing one-line form.
+	docs = batchDocs(t, 5)
+	bad, err := xmldoc.ParseString(fig3Variant(t, "not-numeric"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs[2] = bad
+	_, err = c.IngestBatch("u", docs, 4)
+	if !errors.As(err, &be) || len(be.Docs) != 1 || be.Docs[0].Index != 2 {
+		t.Fatalf("single failure err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "catalog: batch document 2:") {
+		t.Errorf("single-failure message %q lost the one-line form", err.Error())
 	}
 }
 

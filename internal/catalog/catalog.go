@@ -41,6 +41,15 @@ type Options struct {
 	// and forces queries onto a recursive fallback; for the A1 ablation
 	// only.
 	DisableInvertedList bool
+	// QueryWorkers bounds the per-query worker pool that fans out the
+	// Figure-4 per-criterion probes and per-object response construction.
+	// 0 uses runtime.GOMAXPROCS(0); 1 forces the sequential path.
+	QueryWorkers int
+	// ParallelRowThreshold is the indexed-row count below which a query
+	// runs sequentially even when QueryWorkers allows fan-out, so small
+	// catalogs pay no goroutine overhead. 0 uses
+	// DefaultParallelRowThreshold; negative always fans out.
+	ParallelRowThreshold int
 }
 
 // Catalog is a hybrid XML-relational metadata catalog over one community
@@ -53,7 +62,16 @@ type Catalog struct {
 	shredder *core.Shredder
 	opts     Options
 
-	mu    sync.Mutex // serializes multi-table ingest/delete
+	// mu is the catalog-wide reader/writer lock: mutations (ingest,
+	// delete, publish, collection membership, dynamic registration) take
+	// the write lock for multi-table consistency; the whole read path
+	// (Evaluate, BuildResponse, fetch, collection/context queries) shares
+	// the read lock, so any number of queries overlap with each other and
+	// block only while a writer holds the lock. Read methods take the
+	// lock exactly once at their public boundary and delegate to
+	// unexported *Locked helpers — an RLock is not recursively safe in Go
+	// (a writer queued between two RLocks of one goroutine deadlocks).
+	mu    sync.RWMutex
 	clock func() time.Time
 }
 
@@ -290,6 +308,8 @@ func (c *Catalog) RegisterAttr(name, source string, parentID int64, owner string
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return def, c.syncDefTables()
 }
 
@@ -299,6 +319,8 @@ func (c *Catalog) RegisterElem(name, source string, attrID int64, dt core.DataTy
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return def, c.syncDefTables()
 }
 
@@ -313,14 +335,14 @@ func (c *Catalog) Ingest(owner string, doc *xmldoc.Node) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.opts.AutoRegister {
 		if err := c.syncDefTables(); err != nil {
 			return 0, err
 		}
 	}
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	objT := c.DB.MustTable(TObjects)
 	id := objT.NextAutoID()
 	name := doc.Tag
@@ -503,10 +525,18 @@ func (c *Catalog) removeObjectLocked(id int64) {
 }
 
 // ObjectCount returns the number of cataloged objects.
-func (c *Catalog) ObjectCount() int { return c.DB.MustTable(TObjects).Len() }
+func (c *Catalog) ObjectCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.DB.MustTable(TObjects).Len()
+}
 
 // StorageBytes reports the catalog's resident data size (E5).
-func (c *Catalog) StorageBytes() int64 { return c.DB.StorageBytes() }
+func (c *Catalog) StorageBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.DB.StorageBytes()
+}
 
 // ObjectInfo describes one cataloged object.
 type ObjectInfo struct {
@@ -519,6 +549,8 @@ type ObjectInfo struct {
 
 // Objects lists cataloged objects in ID order.
 func (c *Catalog) Objects() []ObjectInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []ObjectInfo
 	it := relstore.Sort(relstore.ScanTable(c.DB.MustTable(TObjects)), relstore.SortSpec{Col: 0})
 	for {
@@ -552,6 +584,7 @@ func (c *Catalog) SetPublished(id int64, published bool) error {
 // visibleTo reports whether the object may appear in results for the
 // given querying user: owners see their own objects, everyone sees
 // published ones, and the empty user is the catalog-internal superuser.
+// The caller holds c.mu (read or write).
 func (c *Catalog) visibleTo(user string, objectID int64) bool {
 	if user == "" {
 		return true
@@ -565,7 +598,8 @@ func (c *Catalog) visibleTo(user string, objectID int64) bool {
 	return r[2].S == user || r[4].AsBool()
 }
 
-// filterVisible keeps the object IDs visible to the user.
+// filterVisible keeps the object IDs visible to the user. The caller
+// holds c.mu (read or write).
 func (c *Catalog) filterVisible(user string, ids []int64) []int64 {
 	if user == "" {
 		return ids

@@ -94,6 +94,8 @@ func (c *Catalog) CreateCollection(name, owner string, parentID int64) (int64, e
 // AddToCollection places an object into a collection. Membership is
 // idempotent; an object may belong to several collections.
 func (c *Catalog) AddToCollection(collID, objectID int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	collT := c.DB.MustTable(TCollections)
 	ids, err := collT.LookupEqual("collections_pk", relstore.Int(collID))
 	if err != nil {
@@ -124,6 +126,8 @@ func (c *Catalog) AddToCollection(collID, objectID int64) error {
 // RemoveFromCollection removes a membership, reporting whether it
 // existed.
 func (c *Catalog) RemoveFromCollection(collID, objectID int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	memT := c.DB.MustTable(TMembers)
 	ids, _ := memT.LookupEqual("members_pk", relstore.Int(collID), relstore.Int(objectID))
 	removed := false
@@ -135,6 +139,8 @@ func (c *Catalog) RemoveFromCollection(collID, objectID int64) bool {
 
 // Collections lists all collections in ID order.
 func (c *Catalog) Collections() []CollectionInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []CollectionInfo
 	c.DB.MustTable(TCollections).Scan(func(_ int64, r relstore.Row) bool {
 		info := CollectionInfo{ID: r[0].I, Name: r[1].S, Owner: r[2].S}
@@ -149,7 +155,7 @@ func (c *Catalog) Collections() []CollectionInfo {
 }
 
 // subtreeCollections returns collID and all transitive child collection
-// IDs.
+// IDs. The caller holds c.mu (read or write).
 func (c *Catalog) subtreeCollections(collID int64) ([]int64, error) {
 	collT := c.DB.MustTable(TCollections)
 	ids, err := collT.LookupEqual("collections_pk", relstore.Int(collID))
@@ -183,6 +189,13 @@ func (c *Catalog) subtreeCollections(collID int64) ([]int64, error) {
 // CollectionObjects returns the object IDs in the collection subtree,
 // ascending and de-duplicated.
 func (c *Catalog) CollectionObjects(collID int64) ([]int64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.collectionObjectsLocked(collID)
+}
+
+// collectionObjectsLocked is CollectionObjects with c.mu already held.
+func (c *Catalog) collectionObjectsLocked(collID int64) ([]int64, error) {
 	colls, err := c.subtreeCollections(collID)
 	if err != nil {
 		return nil, err
@@ -212,14 +225,16 @@ func (c *Catalog) CollectionObjects(collID int64) ([]int64, error) {
 // containment viewpoint: only objects aggregated under the collection
 // can match.
 func (c *Catalog) EvaluateInContext(collID int64, q *Query) ([]int64, error) {
-	scope, err := c.CollectionObjects(collID)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	scope, err := c.collectionObjectsLocked(collID)
 	if err != nil {
 		return nil, err
 	}
 	if len(scope) == 0 {
 		return nil, nil
 	}
-	ids, err := c.Evaluate(q)
+	ids, err := c.evaluateLocked(q)
 	if err != nil {
 		return nil, err
 	}
@@ -240,7 +255,9 @@ func (c *Catalog) EvaluateInContext(collID int64, q *Query) ([]int64, error) {
 // paper's §7 calls out: which collections (directly or through their
 // subtree) contain at least one object matching the query.
 func (c *Catalog) CollectionsContaining(q *Query) ([]int64, error) {
-	ids, err := c.Evaluate(q)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids, err := c.evaluateLocked(q)
 	if err != nil {
 		return nil, err
 	}

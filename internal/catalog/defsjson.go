@@ -106,7 +106,9 @@ func (c *Catalog) DumpDefinitionsJSON() ([]byte, error) {
 // result set: objects [offset, offset+limit) of the ascending ID order.
 // total is the full match count. limit <= 0 means no limit.
 func (c *Catalog) SearchPage(q *Query, offset, limit int) (resp []Response, total int, err error) {
-	ids, err := c.Evaluate(q)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids, err := c.evaluateLocked(q)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -118,6 +120,6 @@ func (c *Catalog) SearchPage(q *Query, offset, limit int) (resp []Response, tota
 	if limit > 0 && limit < len(ids) {
 		ids = ids[:limit]
 	}
-	resp, err = c.BuildResponse(ids)
+	resp, err = c.buildResponseLocked(ids)
 	return resp, total, err
 }

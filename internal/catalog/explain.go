@@ -16,6 +16,8 @@ func (c *Catalog) ExplainQuery(q *Query) ([]string, error) {
 	if len(q.Attrs) == 0 {
 		return nil, fmt.Errorf("catalog: query has no attribute criteria")
 	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	all, tops, err := c.resolve(q)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,101 @@
+package catalog
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultParallelRowThreshold is the indexed-row count above which the
+// read path fans work out across goroutines. Below it a query runs
+// sequentially: for small catalogs the per-criterion probes finish in
+// microseconds and goroutine handoff would dominate.
+const DefaultParallelRowThreshold = 4096
+
+// fanoutWorkers sizes the worker pool for units independent work items
+// over a table of rows candidate rows. A result of 1 means "run
+// sequentially on the calling goroutine".
+func (c *Catalog) fanoutWorkers(units, rows int) int {
+	if units <= 1 {
+		return 1
+	}
+	w := c.opts.QueryWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w <= 1 {
+		return 1
+	}
+	thr := c.opts.ParallelRowThreshold
+	if thr == 0 {
+		thr = DefaultParallelRowThreshold
+	}
+	if thr > 0 && rows < thr {
+		return 1
+	}
+	if w > units {
+		w = units
+	}
+	return w
+}
+
+// runParallel runs fn(i) for every i in [0, n) across at most workers
+// goroutines and returns the error of the smallest failing index — the
+// same error a sequential loop would surface, so callers see
+// deterministic failures regardless of goroutine scheduling.
+func runParallel(workers, n int, fn func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chunkContiguous splits ids into at most n contiguous, order-preserving
+// chunks of near-equal size.
+func chunkContiguous(ids []int64, n int) [][]int64 {
+	if n < 1 {
+		n = 1
+	}
+	per := (len(ids) + n - 1) / n
+	if per < 1 {
+		per = 1
+	}
+	var out [][]int64
+	for i := 0; i < len(ids); i += per {
+		j := i + per
+		if j > len(ids) {
+			j = len(ids)
+		}
+		out = append(out, ids[i:j])
+	}
+	return out
+}

@@ -45,8 +45,8 @@ func schemaSig(s *xmlschema.Schema) string {
 // Save writes a snapshot of the catalog (definitions plus all object,
 // shredded, CLOB, and collection rows).
 func (c *Catalog) Save(w io.Writer) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	snap := snapshot{
 		Version:    snapshotVersion,
 		SchemaName: c.Schema.Name,

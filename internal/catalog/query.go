@@ -135,8 +135,16 @@ func (c *Catalog) resolve(q *Query) ([]*qNode, []*qNode, error) {
 }
 
 // Evaluate runs the Figure-4 pipeline and returns the matching object
-// IDs, ascending.
+// IDs, ascending. Evaluations share the catalog's read lock, so any
+// number of them run concurrently.
 func (c *Catalog) Evaluate(q *Query) ([]int64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.evaluateLocked(q)
+}
+
+// evaluateLocked is the Figure-4 pipeline body; the caller holds c.mu.
+func (c *Catalog) evaluateLocked(q *Query) ([]int64, error) {
 	if len(q.Attrs) == 0 {
 		return nil, fmt.Errorf("catalog: query has no attribute criteria")
 	}
@@ -148,13 +156,9 @@ func (c *Catalog) Evaluate(q *Query) ([]int64, error) {
 	// Stage 1+2 (Figure 4 left column): per criteria node, the attribute
 	// instances directly satisfying its element predicates, computed with
 	// index probes + group-by counting.
-	satisfied := make(map[int]relstore.Iterator, len(all))
-	for _, n := range all {
-		it, err := c.directSatisfied(n)
-		if err != nil {
-			return nil, err
-		}
-		satisfied[n.id] = it
+	satisfied, err := c.directSatisfyAll(all)
+	if err != nil {
+		return nil, err
 	}
 
 	// Stage 3 (Figure 4 right column): containment rollup, children
@@ -197,6 +201,47 @@ func (c *Catalog) Evaluate(q *Query) ([]int64, error) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return c.filterVisible(q.Owner, ids), nil
+}
+
+// satisfiedCols is the row layout flowing between the pipeline stages.
+var satisfiedCols = []string{"object_id", "seq_id"}
+
+// directSatisfyAll computes stage 1+2 for every criteria node. With more
+// than one node and enough indexed rows the per-node probes fan out
+// across a bounded worker pool; each worker materializes its node's
+// instances before handing them back, so no iterator — they are
+// single-use and carry mutable cursor state — is ever shared between
+// goroutines. Below the row threshold (or with QueryWorkers=1) the loop
+// runs sequentially and streams iterators without materializing.
+func (c *Catalog) directSatisfyAll(all []*qNode) (map[int]relstore.Iterator, error) {
+	satisfied := make(map[int]relstore.Iterator, len(all))
+	workers := c.fanoutWorkers(len(all), c.DB.MustTable(TElemData).Len())
+	if workers <= 1 {
+		for _, n := range all {
+			it, err := c.directSatisfied(n)
+			if err != nil {
+				return nil, err
+			}
+			satisfied[n.id] = it
+		}
+		return satisfied, nil
+	}
+	rows := make([][]relstore.Row, len(all))
+	err := runParallel(workers, len(all), func(i int) error {
+		it, err := c.directSatisfied(all[i])
+		if err != nil {
+			return err
+		}
+		rows[i] = relstore.Collect(it)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range all {
+		satisfied[n.id] = relstore.NewSliceIter(satisfiedCols, rows[i])
+	}
+	return satisfied, nil
 }
 
 // directSatisfied computes the instances of n's attribute definition that

@@ -39,9 +39,67 @@ const (
 //
 // Responses come back in the order of ids; unknown IDs are skipped.
 func (c *Catalog) BuildResponse(ids []int64) ([]Response, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.buildResponseLocked(ids)
+}
+
+// buildResponseLocked builds responses while the caller holds c.mu. The
+// per-object builds are independent, so with enough CLOB rows the
+// requested IDs split into contiguous chunks built by a bounded worker
+// pool; each worker runs the full sorted-outer-union plan over only its
+// chunk's rows, and the chunk maps merge back in the caller's order.
+func (c *Catalog) buildResponseLocked(ids []int64) ([]Response, error) {
 	if len(ids) == 0 {
 		return nil, nil
 	}
+	// De-duplicate, preserving first-occurrence order.
+	uniq := make([]int64, 0, len(ids))
+	seen := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			uniq = append(uniq, id)
+		}
+	}
+	var byObject map[int64]string
+	workers := c.fanoutWorkers(len(uniq), c.DB.MustTable(TClobs).Len())
+	if workers <= 1 {
+		m, err := c.buildResponseChunk(uniq)
+		if err != nil {
+			return nil, err
+		}
+		byObject = m
+	} else {
+		chunks := chunkContiguous(uniq, workers)
+		maps := make([]map[int64]string, len(chunks))
+		err := runParallel(workers, len(chunks), func(i int) error {
+			m, err := c.buildResponseChunk(chunks[i])
+			maps[i] = m
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		byObject = make(map[int64]string, len(uniq))
+		for _, m := range maps {
+			for id, xml := range m {
+				byObject[id] = xml
+			}
+		}
+	}
+	var out []Response
+	for _, id := range uniq {
+		if xml, ok := byObject[id]; ok {
+			out = append(out, Response{ObjectID: id, XML: xml})
+		}
+	}
+	return out, nil
+}
+
+// buildResponseChunk runs the §5 set-based plan for one batch of object
+// IDs and returns each object's tagged XML. The caller holds c.mu.
+func (c *Catalog) buildResponseChunk(ids []int64) (map[int64]string, error) {
 	clobT := c.DB.MustTable(TClobs)
 	ancT := c.DB.MustTable(TNodeAncestors)
 	nodeT := c.DB.MustTable(TSchemaNodes)
@@ -59,7 +117,7 @@ func (c *Catalog) BuildResponse(ids []int64) ([]Response, error) {
 		clobRowIDs = append(clobRowIDs, rowIDs...)
 	}
 	if len(clobRowIDs) == 0 {
-		return nil, nil
+		return map[int64]string{}, nil
 	}
 
 	// Content events: [object, order, kind, tie, text]. The CLOB column
@@ -120,17 +178,9 @@ func (c *Catalog) BuildResponse(ids []int64) ([]Response, error) {
 		}
 		b.WriteString(r[4].S)
 	}
-	// Return in the caller's requested order.
-	seen := make(map[int64]bool, len(ids))
-	var out []Response
-	for _, id := range ids {
-		if seen[id] {
-			continue
-		}
-		seen[id] = true
-		if b, ok := byObject[id]; ok {
-			out = append(out, Response{ObjectID: id, XML: b.String()})
-		}
+	out := make(map[int64]string, len(byObject))
+	for id, b := range byObject {
+		out[id] = b.String()
 	}
 	return out, nil
 }
@@ -164,18 +214,24 @@ func (e *eventIter) Next() (relstore.Row, bool) {
 }
 
 // Search evaluates a query and builds the tagged responses for every
-// matching object — the full Figure 1 pipeline.
+// matching object — the full Figure 1 pipeline — under one shared read
+// lock, so the evaluated IDs and the built documents are one consistent
+// snapshot.
 func (c *Catalog) Search(q *Query) ([]Response, error) {
-	ids, err := c.Evaluate(q)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids, err := c.evaluateLocked(q)
 	if err != nil {
 		return nil, err
 	}
-	return c.BuildResponse(ids)
+	return c.buildResponseLocked(ids)
 }
 
 // FetchDocument reconstructs one object's full document.
 func (c *Catalog) FetchDocument(id int64) (*xmldoc.Node, error) {
-	resp, err := c.BuildResponse([]int64{id})
+	c.mu.RLock()
+	resp, err := c.buildResponseLocked([]int64{id})
+	c.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+// TestRegistryConcurrentEnsureAndLookup exercises the registry the way
+// the catalog's concurrent read path does: many goroutines racing
+// EnsureAttr/EnsureElem on overlapping identities against a steady
+// stream of lookups. Every goroutine ensuring the same identity must see
+// the same definition, and lookups must never observe a half-registered
+// one. Runs meaningfully only under -race, but the ID agreement checks
+// hold regardless.
+func TestRegistryConcurrentEnsureAndLookup(t *testing.T) {
+	r := newLEADRegistry(t)
+	order := 0
+	for _, a := range xmlschema.MustLEAD().Attributes {
+		if a.IsDynamic {
+			order = a.Order
+			break
+		}
+	}
+	if order == 0 {
+		t.Fatal("LEAD schema has no dynamic container")
+	}
+
+	const goroutines = 8
+	const attrs = 5
+	ids := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]int64, attrs)
+			for a := 0; a < attrs; a++ {
+				name := fmt.Sprintf("shared-attr-%d", a)
+				def, err := r.EnsureAttr(name, "RACE", 0, order, "user")
+				if err != nil {
+					t.Errorf("goroutine %d: EnsureAttr: %v", g, err)
+					return
+				}
+				ids[g][a] = def.ID
+				if _, err := r.EnsureElem("val", "RACE", def.ID, DTString, "user"); err != nil {
+					t.Errorf("goroutine %d: EnsureElem: %v", g, err)
+					return
+				}
+				// Interleave reads of both dynamic and structural defs.
+				if got := r.LookupAttr(name, "RACE", 0, "user"); got == nil || got.ID != def.ID {
+					t.Errorf("goroutine %d: lookup of %s diverged: %v vs %v", g, name, got, def)
+					return
+				}
+				if r.LookupAttr("theme", "", 0, "") == nil {
+					t.Errorf("goroutine %d: structural def vanished", g)
+					return
+				}
+				for _, d := range r.Attrs() {
+					if d.Name == "" {
+						t.Errorf("goroutine %d: half-registered def %+v", g, d)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 1; g < goroutines; g++ {
+		for a := 0; a < attrs; a++ {
+			if ids[g][a] != ids[0][a] {
+				t.Fatalf("attr %d: goroutine %d got ID %d, goroutine 0 got %d — duplicate registration",
+					a, g, ids[g][a], ids[0][a])
+			}
+		}
+	}
+}

@@ -10,6 +10,15 @@ import (
 // namespace but are tracked so DropTemp can clear them between queries,
 // mirroring the paper's use of temporary tables for shredded query
 // criteria (§4).
+//
+// Concurrency: the table map is guarded by an RWMutex, so lookups,
+// creation, and drops may race freely; each Table additionally guards
+// its own rows and indexes. Temp tables are the one exception to the
+// many-readers story — they share the global namespace and DropTemp
+// clears all of them at once, so they belong to a single goroutine
+// between creation and cleanup. Concurrent queries that need scratch
+// space must use distinct names and DropTable, or (as the catalog's
+// pipeline does) materialize into per-query slices instead.
 type Database struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -78,7 +87,9 @@ func (db *Database) DropTable(name string) error {
 	return nil
 }
 
-// DropTemp removes every temp table.
+// DropTemp removes every temp table — from all goroutines, not just the
+// caller's; see the Database comment before using temp tables from
+// concurrent queries.
 func (db *Database) DropTemp() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
