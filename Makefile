@@ -22,7 +22,7 @@ race:
 # scales the per-goroutine operation count (default in-test is 32).
 STRESS ?= 200
 stress:
-	HYBRIDCAT_STRESS=$(STRESS) $(GO) test -race -run 'Concurrent' -count=1 ./internal/catalog/ ./internal/relstore/ ./internal/core/ ./internal/service/
+	HYBRIDCAT_STRESS=$(STRESS) $(GO) test -race -run 'Concurrent|OracleStress' -count=1 ./internal/catalog/ ./internal/relstore/ ./internal/core/ ./internal/service/
 
 cover:
 	$(GO) test -cover ./...

@@ -2,6 +2,7 @@
 //
 //	mdbench -list
 //	mdbench -exp E3
+//	mdbench -exp C1,C2 -json > results.json
 //	mdbench -all [-quick]
 //
 // Experiment IDs and the paper claims they quantify are listed in
@@ -10,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +22,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID to run (e.g. E1, F2, A3)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment IDs")
-		quick = flag.Bool("quick", false, "shrink corpora for a fast smoke run")
+		exp     = flag.String("exp", "", "experiment ID to run (e.g. E1, F2, A3), comma-separated for several")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment IDs")
+		quick   = flag.Bool("quick", false, "shrink corpora for a fast smoke run")
+		asJSON  = flag.Bool("json", false, "emit the result tables as a JSON array instead of text")
+		results []*bench.Table
 	)
 	flag.Parse()
 
@@ -34,25 +38,37 @@ func main() {
 			e, _ := bench.Lookup(id)
 			fmt.Printf("%-4s %s\n", id, e.Title)
 		}
+		return
 	case *all:
 		for _, id := range bench.IDs() {
-			run(id, opts)
+			results = append(results, run(id, opts, *asJSON))
 		}
 	case *exp != "":
 		for _, id := range strings.Split(*exp, ",") {
-			run(strings.TrimSpace(id), opts)
+			results = append(results, run(strings.TrimSpace(id), opts, *asJSON))
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(id string, opts bench.Options) {
+func run(id string, opts bench.Options, quiet bool) *bench.Table {
 	tab, err := bench.Run(id, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mdbench: %s: %v\n", id, err)
 		os.Exit(1)
 	}
-	fmt.Println(tab)
+	if !quiet {
+		fmt.Println(tab)
+	}
+	return tab
 }

@@ -14,6 +14,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -37,6 +38,8 @@ func main() {
 		savePath   = flag.String("save", "", "write a catalog snapshot on shutdown")
 		ontPath    = flag.String("ontology", "", "term hierarchy file enabling ?expand=1 queries")
 		qWorkers   = flag.Int("query-workers", 0, "worker pool size for intra-query fan-out (0 = GOMAXPROCS, 1 = sequential)")
+		cacheSize  = flag.Int("cache-size", 0, "entries per read-cache layer (0 = default)")
+		cacheOff   = flag.Bool("cache-off", false, "disable the generation-stamped read caches")
 	)
 	flag.Parse()
 
@@ -44,7 +47,12 @@ func main() {
 	if err != nil {
 		log.Fatal("mdserver: ", err)
 	}
-	opts := catalog.Options{AutoRegister: *autoReg, QueryWorkers: *qWorkers}
+	opts := catalog.Options{
+		AutoRegister: *autoReg,
+		QueryWorkers: *qWorkers,
+		CacheSize:    *cacheSize,
+		DisableCache: *cacheOff,
+	}
 	var cat *catalog.Catalog
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
@@ -101,8 +109,16 @@ func main() {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	log.Printf("mdserver: schema %s, %d metadata attributes, listening on %s (concurrent reads, %d query workers)",
-		schema.Name, len(schema.Attributes), *addr, workers)
+	caching := "read caches off"
+	if cat.CachingEnabled() {
+		size := *cacheSize
+		if size == 0 {
+			size = catalog.DefaultCacheSize
+		}
+		caching = fmt.Sprintf("read caches %d entries/layer (/debug/cachez)", size)
+	}
+	log.Printf("mdserver: schema %s, %d metadata attributes, listening on %s (concurrent reads, %d query workers, %s)",
+		schema.Name, len(schema.Attributes), *addr, workers, caching)
 	if err := http.ListenAndServe(*addr, logRequests(srv.Handler())); err != nil {
 		log.Fatal("mdserver: ", err)
 	}

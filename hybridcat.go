@@ -71,6 +71,10 @@ type Response = catalog.Response
 // ObjectInfo describes a cataloged object.
 type ObjectInfo = catalog.ObjectInfo
 
+// CacheStats reports the per-layer read-cache counters and the data and
+// registry generations entries are stamped with.
+type CacheStats = catalog.CacheStats
+
 // ErrUnknownDefinition is returned when a query names an attribute or
 // element with no definition visible to the query's owner.
 var ErrUnknownDefinition = catalog.ErrUnknownDefinition

@@ -86,6 +86,10 @@ func C1ConcurrentReaders(o Options) (*Table, error) {
 	}
 
 	openHybrid := func(opts catalog.Options) (baseline.Store, error) {
+		// C1 measures lock scaling of the evaluation pipeline itself; with
+		// the read caches on, repeated queries would measure cache hits
+		// instead (that comparison is experiment C2).
+		opts.DisableCache = true
 		c, err := catalog.Open(g.Schema, opts)
 		if err != nil {
 			return nil, err

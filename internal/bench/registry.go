@@ -30,6 +30,7 @@ var experiments = map[string]Experiment{
 	"A4": {"A4", "ablation: SQL layer overhead", A4SQLOverhead},
 	"A5": {"A5", "ablation: parallel batch ingest", A5ParallelIngest},
 	"C1": {"C1", "concurrent readers: query throughput scaling", C1ConcurrentReaders},
+	"C2": {"C2", "read caching: cold vs warm vs mutating workloads", C2CacheEffect},
 }
 
 // IDs lists the experiment IDs in a stable order.

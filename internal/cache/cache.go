@@ -1,0 +1,314 @@
+// Package cache provides the catalog's read-cache substrate: a sharded
+// LRU keyed by any comparable type, with singleflight request collapsing
+// and generation-stamped invalidation.
+//
+// Every entry is stamped with the generation the caller observed when it
+// was stored. A lookup presents the generation it currently observes; an
+// entry whose stamp differs is treated as a miss and dropped. Mutators
+// (catalog ingest, delete, publish, registration) bump the generation
+// once, so invalidating every derived result — evaluated query IDs,
+// rebuilt response documents, memoized index probes — is a single atomic
+// increment with no per-entry dependency tracking.
+//
+// The monotonicity contract: a value stored under generation g must have
+// been computed from state that was current while the generation was
+// still g (the catalog guarantees this by computing and storing under
+// its read lock, which excludes generation bumps). Values computed from
+// *newer* state than their stamp are harmless only for grow-only state
+// (the definitions registry); see the catalog wiring for where that
+// weaker contract is relied on.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of one cache's counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Stale     uint64 `json:"stale"`     // entries dropped on generation mismatch
+	Collapses uint64 `json:"collapses"` // loads answered by joining an in-flight compute
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Cache is a sharded, generation-stamped LRU. The zero value and the nil
+// cache are both valid "disabled" caches: every lookup misses without
+// recording stats and GetOrCompute degenerates to calling the loader.
+type Cache[K comparable, V any] struct {
+	shards []shard[K, V]
+	hash   func(K) uint64
+	cap    int // total capacity across shards
+
+	hits, misses, evictions, stale, collapses atomic.Uint64
+}
+
+// entry is one cached value; entries form the shard's LRU list.
+type entry[K comparable, V any] struct {
+	key        K
+	gen        uint64
+	val        V
+	prev, next *entry[K, V]
+}
+
+// call is one in-flight computation joiners wait on.
+type call[V any] struct {
+	gen  uint64
+	done chan struct{}
+	val  V
+	err  error
+}
+
+type shard[K comparable, V any] struct {
+	mu       sync.Mutex
+	entries  map[K]*entry[K, V]
+	inflight map[K]*call[V]
+	// LRU list: head is most recent, tail next to be evicted.
+	head, tail *entry[K, V]
+	cap        int
+}
+
+// New builds a cache holding up to capacity entries, split across shards
+// sized for low lock contention. hash maps a key to its shard; use
+// StringHash/Int64Hash or any well-mixed function. capacity <= 0 returns
+// nil — a valid, always-miss cache.
+func New[K comparable, V any](capacity int, hash func(K) uint64) *Cache[K, V] {
+	if capacity <= 0 {
+		return nil
+	}
+	nShards := 16
+	for nShards > 1 && capacity/nShards < 8 {
+		nShards /= 2
+	}
+	c := &Cache[K, V]{shards: make([]shard[K, V], nShards), hash: hash, cap: capacity}
+	per := (capacity + nShards - 1) / nShards
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].entries = make(map[K]*entry[K, V])
+		c.shards[i].inflight = make(map[K]*call[V])
+	}
+	return c
+}
+
+func (c *Cache[K, V]) shardFor(key K) *shard[K, V] {
+	return &c.shards[c.hash(key)%uint64(len(c.shards))]
+}
+
+// Get returns the value stored for key at the given generation. An entry
+// stamped with a different generation counts as stale and is dropped.
+func (c *Cache[K, V]) Get(gen uint64, key K) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	v, ok := s.get(c, gen, key)
+	s.mu.Unlock()
+	return v, ok
+}
+
+// get is Get under the shard lock.
+func (s *shard[K, V]) get(c *Cache[K, V], gen uint64, key K) (V, bool) {
+	var zero V
+	e := s.entries[key]
+	if e == nil {
+		c.misses.Add(1)
+		return zero, false
+	}
+	if e.gen != gen {
+		s.unlink(e)
+		delete(s.entries, key)
+		c.stale.Add(1)
+		c.misses.Add(1)
+		return zero, false
+	}
+	s.moveFront(e)
+	c.hits.Add(1)
+	return e.val, true
+}
+
+// Put stores a value stamped with the given generation, evicting the
+// least recently used entry if the shard is full.
+func (c *Cache[K, V]) Put(gen uint64, key K, val V) {
+	if c == nil {
+		return
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	s.put(c, gen, key, val)
+	s.mu.Unlock()
+}
+
+// put is Put under the shard lock.
+func (s *shard[K, V]) put(c *Cache[K, V], gen uint64, key K, val V) {
+	if e := s.entries[key]; e != nil {
+		e.gen, e.val = gen, val
+		s.moveFront(e)
+		return
+	}
+	e := &entry[K, V]{key: key, gen: gen, val: val}
+	s.entries[key] = e
+	s.pushFront(e)
+	if len(s.entries) > s.cap {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.entries, victim.key)
+		c.evictions.Add(1)
+	}
+}
+
+// GetOrCompute returns the cached value for key at the given generation,
+// or runs load to produce it. Concurrent callers for the same key at the
+// same generation collapse onto one load (singleflight); the others
+// block and share its result. Errors are returned to every collapsed
+// caller and never cached. A caller presenting a different generation
+// than an in-flight load computes independently rather than joining.
+func (c *Cache[K, V]) GetOrCompute(gen uint64, key K, load func() (V, error)) (V, error) {
+	if c == nil {
+		return load()
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if v, ok := s.get(c, gen, key); ok {
+		s.mu.Unlock()
+		return v, nil
+	}
+	if fl := s.inflight[key]; fl != nil && fl.gen == gen {
+		s.mu.Unlock()
+		<-fl.done
+		c.collapses.Add(1)
+		return fl.val, fl.err
+	}
+	fl := &call[V]{gen: gen, done: make(chan struct{})}
+	s.inflight[key] = fl
+	s.mu.Unlock()
+
+	fl.val, fl.err = load()
+	s.mu.Lock()
+	if s.inflight[key] == fl {
+		delete(s.inflight, key)
+	}
+	if fl.err == nil {
+		s.put(c, gen, key, fl.val)
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.val, fl.err
+}
+
+// Purge drops every entry. In-flight computations are unaffected.
+func (c *Cache[K, V]) Purge() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[K]*entry[K, V])
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+}
+
+// Stats snapshots the counters. A nil cache reports zeros.
+func (c *Cache[K, V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Stale:     c.stale.Load(),
+		Collapses: c.collapses.Load(),
+		Capacity:  c.cap,
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Len returns the number of live entries.
+func (c *Cache[K, V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// LRU list helpers; the caller holds the shard lock.
+
+func (s *shard[K, V]) pushFront(e *entry[K, V]) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard[K, V]) moveFront(e *entry[K, V]) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// StringHash is FNV-1a over the key bytes; a good default shard hash for
+// string keys.
+func StringHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Int64Hash mixes an int64 key (splitmix64 finalizer), so sequential IDs
+// spread across shards.
+func Int64Hash(v int64) uint64 {
+	x := uint64(v)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

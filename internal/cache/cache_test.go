@@ -1,0 +1,262 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetPutAndGenerationInvalidation(t *testing.T) {
+	c := New[string, int](64, StringHash)
+	if _, ok := c.Get(1, "a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(1, "a", 10)
+	if v, ok := c.Get(1, "a"); !ok || v != 10 {
+		t.Fatalf("Get = %d,%v want 10,true", v, ok)
+	}
+	// A different generation must miss and drop the entry.
+	if _, ok := c.Get(2, "a"); ok {
+		t.Fatal("stale entry served across generations")
+	}
+	st := c.Stats()
+	if st.Stale != 1 {
+		t.Errorf("stale = %d, want 1", st.Stale)
+	}
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 1/2", st.Hits, st.Misses)
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d after stale drop, want 0", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity 8 collapses to a single shard of 8.
+	c := New[string, int](8, StringHash)
+	if len(c.shards) != 1 {
+		t.Fatalf("shards = %d, want 1 for capacity 8", len(c.shards))
+	}
+	for i := 0; i < 8; i++ {
+		c.Put(1, fmt.Sprintf("k%d", i), i)
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := c.Get(1, "k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.Put(1, "k8", 8)
+	if _, ok := c.Get(1, "k1"); ok {
+		t.Fatal("LRU victim k1 survived")
+	}
+	if _, ok := c.Get(1, "k0"); !ok {
+		t.Fatal("recently used k0 evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if c.Len() != 8 {
+		t.Errorf("len = %d, want 8", c.Len())
+	}
+}
+
+func TestPutOverwritesAndRestamps(t *testing.T) {
+	c := New[string, int](16, StringHash)
+	c.Put(1, "a", 1)
+	c.Put(2, "a", 2)
+	if v, ok := c.Get(2, "a"); !ok || v != 2 {
+		t.Fatalf("Get = %d,%v want 2,true", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestGetOrComputeSingleflight(t *testing.T) {
+	c := New[string, int](64, StringHash)
+	var computes atomic.Int64
+	inLoad := make(chan struct{})
+	release := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	run := func(i int) {
+		defer wg.Done()
+		v, err := c.GetOrCompute(1, "k", func() (int, error) {
+			computes.Add(1)
+			close(inLoad)
+			<-release
+			return 42, nil
+		})
+		if err != nil {
+			t.Errorf("GetOrCompute: %v", err)
+		}
+		results[i] = v
+	}
+	// Start one loader, wait until it is inside the compute, then pile the
+	// rest on: with the value unstored and the flight registered, every
+	// joiner must collapse onto it.
+	wg.Add(1)
+	go run(0)
+	<-inLoad
+	for i := 1; i < waiters; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	// Each joiner records its miss under the same lock hold that commits
+	// it to the flight, so misses == waiters means everyone joined.
+	for c.Stats().Misses < waiters {
+	}
+	close(release)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Errorf("loader ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("waiter %d got %d, want 42", i, v)
+		}
+	}
+	if st := c.Stats(); st.Collapses != waiters-1 {
+		t.Errorf("collapses = %d, want %d", st.Collapses, waiters-1)
+	}
+	// The computed value is now cached.
+	if v, ok := c.Get(1, "k"); !ok || v != 42 {
+		t.Fatalf("Get after compute = %d,%v want 42,true", v, ok)
+	}
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c := New[string, int](64, StringHash)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, err := c.GetOrCompute(1, "k", func() (int, error) {
+			calls++
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("loader ran %d times, want 2 (errors are not cached)", calls)
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d after errors, want 0", c.Len())
+	}
+}
+
+func TestGetOrComputeDifferentGenerationDoesNotJoin(t *testing.T) {
+	c := New[string, int](64, StringHash)
+	inLoad := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		v, _ := c.GetOrCompute(1, "k", func() (int, error) {
+			close(inLoad)
+			<-release
+			return 1, nil
+		})
+		done <- v
+	}()
+	<-inLoad
+	// A newer-generation caller must not wait on the gen-1 flight.
+	v, err := c.GetOrCompute(2, "k", func() (int, error) { return 2, nil })
+	if err != nil || v != 2 {
+		t.Fatalf("gen-2 GetOrCompute = %d,%v want 2,nil", v, err)
+	}
+	close(release)
+	if v := <-done; v != 1 {
+		t.Fatalf("gen-1 flight returned %d, want 1", v)
+	}
+	// The gen-2 value was stored after the gen-1 flight started; whichever
+	// stamp won, a gen-2 read must never see the gen-1 value.
+	if v, ok := c.Get(2, "k"); ok && v != 2 {
+		t.Fatalf("gen-2 read returned gen-1 value %d", v)
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache[string, int]
+	if _, ok := c.Get(1, "a"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(1, "a", 1)
+	v, err := c.GetOrCompute(1, "a", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("nil GetOrCompute = %d,%v want 7,nil", v, err)
+	}
+	c.Purge()
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil stats = %+v, want zero", st)
+	}
+	if New[string, int](0, StringHash) != nil {
+		t.Fatal("capacity 0 should build a nil (disabled) cache")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[int64, string](128, Int64Hash)
+	for i := int64(0); i < 50; i++ {
+		c.Put(3, i, "v")
+	}
+	if c.Len() != 50 {
+		t.Fatalf("len = %d, want 50", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d, want 0", c.Len())
+	}
+	if _, ok := c.Get(3, int64(7)); ok {
+		t.Fatal("purged entry served")
+	}
+}
+
+// TestConcurrentMixedUse hammers one cache from many goroutines across
+// generations; run under -race this validates the locking discipline.
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New[int64, int64](256, Int64Hash)
+	var gen atomic.Uint64
+	gen.Store(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				g := gen.Load()
+				key := int64(i % 97)
+				switch i % 5 {
+				case 0:
+					c.Put(g, key, key*2)
+				case 1:
+					if v, ok := c.Get(g, key); ok && v != key*2 {
+						t.Errorf("Get(%d) = %d, want %d", key, v, key*2)
+						return
+					}
+				case 2:
+					v, err := c.GetOrCompute(g, key, func() (int64, error) { return key * 2, nil })
+					if err != nil || v != key*2 {
+						t.Errorf("GetOrCompute(%d) = %d,%v", key, v, err)
+						return
+					}
+				case 3:
+					if w == 0 && i%251 == 0 {
+						gen.Add(1)
+					}
+				case 4:
+					if w == 1 && i%503 == 0 {
+						c.Purge()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("expected both hits and misses, got %+v", st)
+	}
+}

@@ -1,0 +1,219 @@
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/gridmeta/hybridcat/internal/cache"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+// The catalog's read caches. The hot read path recomputes nothing it has
+// already answered since the last mutation:
+//
+//   - evaluate: whole Figure-4 results ([]int64 object IDs) keyed by a
+//     canonical serialization of (Owner, criteria tree),
+//   - resolve: the shredded-and-resolved criteria nodes for the same key,
+//     stamped by the *registry* generation so they survive data ingest,
+//   - probe: per-criterion directly-satisfied instance rows keyed by the
+//     resolved definition IDs and predicates, shared across queries that
+//     repeat a criterion,
+//   - response: per-object rebuilt XML documents keyed by object ID, so
+//     repeated fetches and overlapping result sets skip the §5
+//     HashJoin/ancestor reconstruction.
+//
+// All four are generation-stamped: evaluate/probe/response by the
+// relstore database generation (bumped by every row mutation — ingest,
+// delete, publish, membership, definition mirroring), resolve by the
+// registry generation (bumped by dynamic registration). A mutation
+// invalidates by bumping the counter; no cache entry is ever tracked or
+// walked.
+//
+// Consistency argument: every cache read and write happens while the
+// caller holds c.mu (read side), and generations advance only under
+// mutations, which hold c.mu write-side for their table writes. So a
+// value stored under data generation g was computed from exactly the
+// table state of generation g, and is served only while the observed
+// generation is still g. The resolve layer relies on the weaker
+// grow-only contract documented in the cache package: the registry may
+// gain definitions between a compute and its store (registration mutates
+// the registry before taking c.mu), which can only make a cached
+// resolution "newer" than its stamp — indistinguishable from the
+// resolving query having run a moment later.
+
+// DefaultCacheSize is the per-layer entry cap when Options.CacheSize is
+// zero.
+const DefaultCacheSize = 4096
+
+// catCaches groups the four read-cache layers. All nil means caching is
+// disabled; the layers are enabled and sized together.
+type catCaches struct {
+	eval     *cache.Cache[string, []int64]
+	resolve  *cache.Cache[string, resolvedQuery]
+	probe    *cache.Cache[string, []relstore.Row]
+	response *cache.Cache[int64, string]
+}
+
+// resolvedQuery is a cached resolve() result. qNodes are immutable after
+// resolution, so one resolved tree is shared by any number of concurrent
+// evaluations.
+type resolvedQuery struct {
+	all, tops []*qNode
+}
+
+// initCaches builds the cache layers per the catalog options; called
+// from Open.
+func (c *Catalog) initCaches() {
+	size := c.opts.CacheSize
+	if c.opts.DisableCache || size < 0 {
+		return
+	}
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	c.caches.eval = cache.New[string, []int64](size, cache.StringHash)
+	c.caches.resolve = cache.New[string, resolvedQuery](size, cache.StringHash)
+	c.caches.probe = cache.New[string, []relstore.Row](size, cache.StringHash)
+	c.caches.response = cache.New[int64, string](size, cache.Int64Hash)
+}
+
+// CachingEnabled reports whether the read caches are active.
+func (c *Catalog) CachingEnabled() bool { return c.caches.eval != nil }
+
+// CacheStats reports the per-layer cache counters and the two
+// generations entries are stamped with. Zero layers with Enabled=false
+// mean caching is off.
+type CacheStats struct {
+	Enabled            bool        `json:"enabled"`
+	DataGeneration     uint64      `json:"data_generation"`
+	RegistryGeneration uint64      `json:"registry_generation"`
+	Evaluate           cache.Stats `json:"evaluate"`
+	Resolve            cache.Stats `json:"resolve"`
+	Probe              cache.Stats `json:"probe"`
+	Response           cache.Stats `json:"response"`
+}
+
+// CacheStats snapshots the read-cache counters.
+func (c *Catalog) CacheStats() CacheStats {
+	return CacheStats{
+		Enabled:            c.CachingEnabled(),
+		DataGeneration:     c.DB.Generation(),
+		RegistryGeneration: c.Reg.Generation(),
+		Evaluate:           c.caches.eval.Stats(),
+		Resolve:            c.caches.resolve.Stats(),
+		Probe:              c.caches.probe.Stats(),
+		Response:           c.caches.response.Stats(),
+	}
+}
+
+// resolveCached resolves the query through the resolve layer, keyed by
+// the same canonical query key as the evaluate layer but stamped by the
+// registry generation, so resolved criteria trees survive data
+// mutations. Resolution errors are never cached: a criterion that fails
+// today may resolve after the next registration.
+func (c *Catalog) resolveCached(q *Query, key string) ([]*qNode, []*qNode, error) {
+	if c.caches.resolve == nil || key == "" {
+		return c.resolve(q)
+	}
+	rq, err := c.caches.resolve.GetOrCompute(c.Reg.Generation(), key, func() (resolvedQuery, error) {
+		all, tops, err := c.resolve(q)
+		if err != nil {
+			return resolvedQuery{}, err
+		}
+		return resolvedQuery{all: all, tops: tops}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rq.all, rq.tops, nil
+}
+
+// queryCacheKey canonically serializes (Owner, criteria tree) into the
+// evaluate/resolve cache key. Every variable-length field is
+// length-prefixed, so distinct queries can never collide.
+func queryCacheKey(q *Query) string {
+	var b strings.Builder
+	b.WriteByte('o')
+	writeLenPrefixed(&b, q.Owner)
+	for _, a := range q.Attrs {
+		writeCritKey(&b, a)
+	}
+	return b.String()
+}
+
+func writeLenPrefixed(b *strings.Builder, s string) {
+	fmt.Fprintf(b, "%d:%s", len(s), s)
+}
+
+func writeCritKey(b *strings.Builder, a *AttrCriteria) {
+	b.WriteString("A(")
+	writeLenPrefixed(b, a.Name)
+	writeLenPrefixed(b, a.Source)
+	for _, e := range a.Elems {
+		b.WriteString("E(")
+		writeLenPrefixed(b, e.Name)
+		writeLenPrefixed(b, e.Source)
+		fmt.Fprintf(b, "%d", e.Op)
+		writeValueKey(b, e.Value)
+		for _, v := range e.OneOf {
+			writeValueKey(b, v)
+		}
+		b.WriteByte(')')
+	}
+	for _, s := range a.Subs {
+		writeCritKey(b, s)
+	}
+	b.WriteByte(')')
+}
+
+// writeValueKey serializes a predicate value with its kind, so Int(5),
+// Float(5), and Str("5") key differently — they probe different indexes.
+func writeValueKey(b *strings.Builder, v relstore.Value) {
+	switch v.K {
+	case relstore.KInt:
+		fmt.Fprintf(b, "i%d", v.I)
+	case relstore.KFloat:
+		fmt.Fprintf(b, "f%016x", math.Float64bits(v.F))
+	case relstore.KString:
+		b.WriteByte('s')
+		writeLenPrefixed(b, v.S)
+	case relstore.KBytes:
+		fmt.Fprintf(b, "b%d:%s", len(v.B), v.B)
+	case relstore.KBool:
+		fmt.Fprintf(b, "t%d", v.I)
+	default:
+		b.WriteByte('n')
+	}
+}
+
+// probeKeyOf builds a criteria node's probe-layer key from its resolved
+// definition IDs and predicates. Two nodes with the same key — within
+// one query or across queries — satisfy identical instance sets, so the
+// probe layer memoizes the stage-1+2 rows once per data generation.
+func probeKeyOf(n *qNode) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "d%d", n.def.ID)
+	for _, qe := range n.elems {
+		fmt.Fprintf(&b, "e%d,%d", qe.def.ID, qe.pred.Op)
+		writeValueKey(&b, qe.pred.Value)
+		for _, v := range qe.pred.OneOf {
+			writeValueKey(&b, v)
+		}
+	}
+	return b.String()
+}
+
+// directSatisfiedRows computes (or recalls) one criteria node's
+// directly-satisfied instance rows, materialized. Concurrent computes of
+// the same key — e.g. the per-criterion fan-out of two overlapping
+// queries — collapse onto one index probe via singleflight.
+func (c *Catalog) directSatisfiedRows(n *qNode) ([]relstore.Row, error) {
+	return c.caches.probe.GetOrCompute(c.DB.Generation(), n.probeKey, func() ([]relstore.Row, error) {
+		it, err := c.directSatisfied(n)
+		if err != nil {
+			return nil, err
+		}
+		return relstore.Collect(it), nil
+	})
+}

@@ -50,6 +50,13 @@ type Options struct {
 	// catalogs pay no goroutine overhead. 0 uses
 	// DefaultParallelRowThreshold; negative always fans out.
 	ParallelRowThreshold int
+	// CacheSize bounds each read-cache layer (evaluate, resolve, probe,
+	// response) in entries. 0 uses DefaultCacheSize; negative disables
+	// caching entirely.
+	CacheSize int
+	// DisableCache turns the generation-stamped read caches off; every
+	// evaluation and response build recomputes from the base tables.
+	DisableCache bool
 }
 
 // Catalog is a hybrid XML-relational metadata catalog over one community
@@ -73,6 +80,12 @@ type Catalog struct {
 	// (a writer queued between two RLocks of one goroutine deadlocks).
 	mu    sync.RWMutex
 	clock func() time.Time
+
+	// caches are the generation-stamped read caches (see cache.go). Cache
+	// reads and writes happen only under the read lock, so every stored
+	// value was computed from exactly the table state of the generation
+	// it is stamped with.
+	caches catCaches
 }
 
 // Open builds a catalog for a finalized schema: it creates the relational
@@ -91,6 +104,7 @@ func Open(schema *xmlschema.Schema, opts Options) (*Catalog, error) {
 		opts:     opts,
 		clock:    time.Now,
 	}
+	c.initCaches()
 	if err := c.createTables(); err != nil {
 		return nil, err
 	}

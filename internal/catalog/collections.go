@@ -1,8 +1,9 @@
 package catalog
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/gridmeta/hybridcat/internal/relstore"
 )
@@ -150,7 +151,7 @@ func (c *Catalog) Collections() []CollectionInfo {
 		out = append(out, info)
 		return true
 	})
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b CollectionInfo) int { return cmp.Compare(a.ID, b.ID) })
 	return out
 }
 
@@ -217,7 +218,7 @@ func (c *Catalog) collectionObjectsLocked(collID int64) ([]int64, error) {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }
 
@@ -304,6 +305,6 @@ func (c *Catalog) CollectionsContaining(q *Query) ([]int64, error) {
 	for id := range all {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -477,4 +478,198 @@ func docInVersions(doc *xmldoc.Node, versions []*xmldoc.Node) bool {
 // formatDx renders a dx value the way the Figure 3 document carries it.
 func formatDx(dx float64) string {
 	return strconv.FormatFloat(dx, 'f', -1, 64)
+}
+
+// TestCachedUncachedOracleStress races readers over a cached and an
+// uncached catalog that receive identical mutations in lockstep. Writers
+// hold the pair lock exclusively while mutating both catalogs, so at
+// every reader observation the two are byte-identical state machines:
+// any divergence in evaluated IDs or reconstructed XML is a stale cache
+// read. Readers repeat each query, so most answers come from the cache,
+// and several readers share keys concurrently, driving the singleflight
+// path under the race detector. A DOM oracle pins the reconstructed
+// documents to the ingested originals.
+func TestCachedUncachedOracleStress(t *testing.T) {
+	cached := newLEADCatalog(t, Options{QueryWorkers: 4, ParallelRowThreshold: -1})
+	plain := newLEADCatalog(t, Options{DisableCache: true})
+	iters := stressIterations(t) * 3
+
+	// pair: writers take the write side to mutate both catalogs and the
+	// oracle map as one atomic step; readers take the read side to see a
+	// consistent (cached, uncached, dom) triple.
+	var pair sync.RWMutex
+	dom := map[int64]*xmldoc.Node{} // expected DOM per live object
+	var liveIDs []int64
+	var published []int64
+
+	ingestBoth := func(dx float64) error {
+		src := fig3Variant(t, formatDx(dx))
+		id1, err := cached.IngestXML("sci", src)
+		if err != nil {
+			return err
+		}
+		id2, err := plain.IngestXML("sci", src)
+		if err != nil {
+			return err
+		}
+		if id1 != id2 {
+			return fmt.Errorf("lockstep ingest diverged: ids %d vs %d", id1, id2)
+		}
+		doc, err := xmldoc.ParseString(src)
+		if err != nil {
+			return err
+		}
+		dom[id1] = doc
+		liveIDs = append(liveIDs, id1)
+		return nil
+	}
+
+	pair.Lock()
+	for i := 0; i < 6; i++ {
+		if err := ingestBoth(float64(3000 + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pair.Unlock()
+
+	done := make(chan struct{})
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		for it := 0; it < iters; it++ {
+			pair.Lock()
+			switch it % 4 {
+			case 0, 1: // grow: fresh unique dx
+				if err := ingestBoth(float64(5_000_000 + it)); err != nil {
+					t.Error(err)
+					pair.Unlock()
+					return
+				}
+			case 2: // publish the oldest unpublished object
+				if len(liveIDs) > 0 {
+					id := liveIDs[it%len(liveIDs)]
+					if err := cached.SetPublished(id, true); err != nil {
+						t.Error(err)
+						pair.Unlock()
+						return
+					}
+					if err := plain.SetPublished(id, true); err != nil {
+						t.Error(err)
+						pair.Unlock()
+						return
+					}
+					published = append(published, id)
+				}
+			case 3: // shrink: delete the oldest live object
+				if len(liveIDs) > 2 {
+					id := liveIDs[0]
+					liveIDs = liveIDs[1:]
+					delete(dom, id)
+					if !cached.Delete(id) || !plain.Delete(id) {
+						t.Errorf("lockstep delete of %d failed", id)
+						pair.Unlock()
+						return
+					}
+				}
+			}
+			pair.Unlock()
+		}
+	}()
+	go func() {
+		wwg.Wait()
+		close(done)
+	}()
+
+	const readers = 4
+	var rwg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			rng := rand.New(rand.NewSource(int64(31 + r)))
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				pair.RLock()
+				q := &Query{}
+				if i%3 == 2 {
+					q.Owner = "stranger" // only sees published objects
+				}
+				if i%2 == 0 {
+					q.Attr("theme", "")
+				} else {
+					q.Attr("grid", "ARPS")
+				}
+				// Evaluate twice on the cached side so the second answer is
+				// served from the cache, then require exact agreement with
+				// the uncached catalog at the same locked state.
+				first, err1 := cached.Evaluate(q)
+				again, err1b := cached.Evaluate(q)
+				want, err2 := plain.Evaluate(q)
+				if (err1 == nil) != (err2 == nil) || err1b != nil && err1 == nil {
+					t.Errorf("reader %d: error divergence: %v / %v / %v", r, err1, err1b, err2)
+					pair.RUnlock()
+					return
+				}
+				if !slices.Equal(first, want) || !slices.Equal(again, want) {
+					t.Errorf("reader %d: stale cached result: cold %v warm %v oracle %v", r, first, again, want)
+					pair.RUnlock()
+					return
+				}
+				// DOM oracle: a random live object must reconstruct, from
+				// the cached catalog, to exactly its ingested document.
+				if len(liveIDs) > 0 {
+					id := liveIDs[rng.Intn(len(liveIDs))]
+					doc, err := cached.FetchDocument(id)
+					if err != nil {
+						t.Errorf("reader %d: fetch live %d: %v", r, id, err)
+						pair.RUnlock()
+						return
+					}
+					if wantDoc := dom[id]; !xmldoc.Equal(doc, wantDoc) {
+						t.Errorf("reader %d: object %d reconstruction diverged from DOM oracle:\nwant: %s\ngot:  %s",
+							r, id, wantDoc.String(), doc.String())
+						pair.RUnlock()
+						return
+					}
+				}
+				pair.RUnlock()
+			}
+		}(r)
+	}
+	rwg.Wait()
+	wwg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Quiesced: every live object agrees across both catalogs and with
+	// its DOM, and the stranger's view is exactly the published set.
+	for id, want := range dom {
+		for _, cat := range []*Catalog{cached, plain} {
+			doc, err := cat.FetchDocument(id)
+			if err != nil {
+				t.Errorf("object %d: %v", id, err)
+				continue
+			}
+			if !xmldoc.Equal(doc, want) {
+				t.Errorf("object %d diverged after quiesce", id)
+			}
+		}
+	}
+	q := &Query{Owner: "stranger"}
+	q.Attr("theme", "")
+	a, err1 := cached.Evaluate(q)
+	b, err2 := plain.Evaluate(q)
+	if err1 != nil || err2 != nil || !slices.Equal(a, b) {
+		t.Errorf("published view diverged: %v (%v) vs %v (%v)", a, err1, b, err2)
+	}
+	stats := cached.CacheStats()
+	if stats.Evaluate.Hits == 0 {
+		t.Errorf("stress never hit the evaluate cache: %+v", stats.Evaluate)
+	}
 }

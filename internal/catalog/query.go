@@ -3,7 +3,7 @@ package catalog
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/gridmeta/hybridcat/internal/core"
 	"github.com/gridmeta/hybridcat/internal/relstore"
@@ -75,13 +75,18 @@ func (q *Query) Attr(name, source string) *AttrCriteria {
 	return a
 }
 
-// qNode is one resolved criteria node, numbered in DFS order.
+// qNode is one resolved criteria node, numbered in DFS order. Nodes are
+// immutable after resolve, so a resolved tree may be cached and shared
+// by concurrent evaluations.
 type qNode struct {
 	id       int
 	parent   *qNode
 	def      *core.AttrDef
 	elems    []qElem
 	children []*qNode
+	// probeKey identifies the node's directly-satisfied instance set in
+	// the probe cache layer: definition IDs plus predicates (cache.go).
+	probeKey string
 }
 
 type qElem struct {
@@ -122,6 +127,7 @@ func (c *Catalog) resolve(q *Query) ([]*qNode, []*qNode, error) {
 			}
 			n.children = append(n.children, child)
 		}
+		n.probeKey = probeKeyOf(n)
 		return n, nil
 	}
 	for _, crit := range q.Attrs {
@@ -143,12 +149,33 @@ func (c *Catalog) Evaluate(q *Query) ([]int64, error) {
 	return c.evaluateLocked(q)
 }
 
-// evaluateLocked is the Figure-4 pipeline body; the caller holds c.mu.
+// evaluateLocked answers the query through the evaluate cache layer;
+// the caller holds c.mu. A hit skips the whole pipeline; concurrent
+// misses for the same key at the same generation collapse onto one
+// computation (singleflight). The cached slice is cloned on every hit so
+// callers may mutate their result freely.
 func (c *Catalog) evaluateLocked(q *Query) ([]int64, error) {
 	if len(q.Attrs) == 0 {
 		return nil, fmt.Errorf("catalog: query has no attribute criteria")
 	}
-	all, tops, err := c.resolve(q)
+	if c.caches.eval == nil {
+		return c.evaluateUncached(q, "")
+	}
+	key := queryCacheKey(q)
+	ids, err := c.caches.eval.GetOrCompute(c.DB.Generation(), key, func() ([]int64, error) {
+		return c.evaluateUncached(q, key)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return slices.Clone(ids), nil
+}
+
+// evaluateUncached is the Figure-4 pipeline body; the caller holds c.mu.
+// key is the canonical query key when caching is on ("" otherwise),
+// reused for the resolve layer.
+func (c *Catalog) evaluateUncached(q *Query, key string) ([]int64, error) {
+	all, tops, err := c.resolveCached(q, key)
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +226,7 @@ func (c *Catalog) evaluateLocked(q *Query) ([]int64, error) {
 		}
 		ids = append(ids, r[0].I)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return c.filterVisible(q.Owner, ids), nil
 }
 
@@ -212,11 +239,18 @@ var satisfiedCols = []string{"object_id", "seq_id"}
 // instances before handing them back, so no iterator — they are
 // single-use and carry mutable cursor state — is ever shared between
 // goroutines. Below the row threshold (or with QueryWorkers=1) the loop
-// runs sequentially and streams iterators without materializing.
+// runs sequentially and, when the probe cache is off, streams iterators
+// without materializing.
+//
+// With the probe cache on, every node goes through the memoized
+// (materialized) path: repeated criteria — within this query or across
+// queries at the same generation — reuse one probe's rows, and
+// concurrent duplicates collapse via singleflight. The cached row
+// slices are shared read-only; each consumer gets its own cursor.
 func (c *Catalog) directSatisfyAll(all []*qNode) (map[int]relstore.Iterator, error) {
 	satisfied := make(map[int]relstore.Iterator, len(all))
 	workers := c.fanoutWorkers(len(all), c.DB.MustTable(TElemData).Len())
-	if workers <= 1 {
+	if workers <= 1 && c.caches.probe == nil {
 		for _, n := range all {
 			it, err := c.directSatisfied(n)
 			if err != nil {
@@ -228,12 +262,9 @@ func (c *Catalog) directSatisfyAll(all []*qNode) (map[int]relstore.Iterator, err
 	}
 	rows := make([][]relstore.Row, len(all))
 	err := runParallel(workers, len(all), func(i int) error {
-		it, err := c.directSatisfied(all[i])
-		if err != nil {
-			return err
-		}
-		rows[i] = relstore.Collect(it)
-		return nil
+		var err error
+		rows[i], err = c.directSatisfiedRows(all[i])
+		return err
 	})
 	if err != nil {
 		return nil, err

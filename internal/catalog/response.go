@@ -49,6 +49,13 @@ func (c *Catalog) BuildResponse(ids []int64) ([]Response, error) {
 // requested IDs split into contiguous chunks built by a bounded worker
 // pool; each worker runs the full sorted-outer-union plan over only its
 // chunk's rows, and the chunk maps merge back in the caller's order.
+//
+// With the response cache on, per-object documents recalled at the
+// current data generation skip the build entirely; only cache misses go
+// through the §5 plan, and their results are stored for the next
+// overlapping result set. Objects that do not exist produce no map entry
+// and are never cached, so a later ingest of that ID is visible
+// immediately.
 func (c *Catalog) buildResponseLocked(ids []int64) ([]Response, error) {
 	if len(ids) == 0 {
 		return nil, nil
@@ -62,29 +69,46 @@ func (c *Catalog) buildResponseLocked(ids []int64) ([]Response, error) {
 			uniq = append(uniq, id)
 		}
 	}
-	var byObject map[int64]string
-	workers := c.fanoutWorkers(len(uniq), c.DB.MustTable(TClobs).Len())
-	if workers <= 1 {
-		m, err := c.buildResponseChunk(uniq)
-		if err != nil {
-			return nil, err
+	gen := c.DB.Generation()
+	byObject := make(map[int64]string, len(uniq))
+	need := uniq
+	if c.caches.response != nil {
+		need = make([]int64, 0, len(uniq))
+		for _, id := range uniq {
+			if xml, ok := c.caches.response.Get(gen, id); ok {
+				byObject[id] = xml
+			} else {
+				need = append(need, id)
+			}
 		}
-		byObject = m
-	} else {
-		chunks := chunkContiguous(uniq, workers)
-		maps := make([]map[int64]string, len(chunks))
-		err := runParallel(workers, len(chunks), func(i int) error {
-			m, err := c.buildResponseChunk(chunks[i])
-			maps[i] = m
-			return err
-		})
-		if err != nil {
-			return nil, err
-		}
-		byObject = make(map[int64]string, len(uniq))
-		for _, m := range maps {
+	}
+	if len(need) > 0 {
+		workers := c.fanoutWorkers(len(need), c.DB.MustTable(TClobs).Len())
+		if workers <= 1 {
+			m, err := c.buildResponseChunk(need)
+			if err != nil {
+				return nil, err
+			}
 			for id, xml := range m {
 				byObject[id] = xml
+				c.caches.response.Put(gen, id, xml)
+			}
+		} else {
+			chunks := chunkContiguous(need, workers)
+			maps := make([]map[int64]string, len(chunks))
+			err := runParallel(workers, len(chunks), func(i int) error {
+				m, err := c.buildResponseChunk(chunks[i])
+				maps[i] = m
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range maps {
+				for id, xml := range m {
+					byObject[id] = xml
+					c.caches.response.Put(gen, id, xml)
+				}
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gridmeta/hybridcat/internal/xmlschema"
 )
@@ -21,6 +22,12 @@ type Registry struct {
 	elemByKey  map[elemKey]int64
 	nextAttrID int64
 	nextElemID int64
+
+	// gen counts definition mutations (dynamic registration, restore).
+	// Resolution caches stamp entries with it; because the definition set
+	// only grows during normal operation, a cached positive resolution can
+	// never become wrong within one generation.
+	gen atomic.Uint64
 }
 
 // attrKey identifies an attribute definition: name and source, the parent
@@ -105,6 +112,7 @@ func (r *Registry) addAttr(name, source string, parentID int64, schemaOrder int,
 	}
 	r.attrs[def.ID] = def
 	r.attrByKey[key] = def.ID
+	r.gen.Add(1)
 	return def, nil
 }
 
@@ -117,6 +125,7 @@ func (r *Registry) addElem(name, source string, attrID int64, dt DataType, owner
 	def := &ElemDef{ID: r.nextElemID, AttrID: attrID, Name: name, Source: source, Type: dt, Owner: owner}
 	r.elems[def.ID] = def
 	r.elemByKey[key] = def.ID
+	r.gen.Add(1)
 	return def, nil
 }
 
@@ -213,6 +222,9 @@ func (r *Registry) LookupElem(name, source string, attrID int64, user string) *E
 	return nil
 }
 
+// Generation returns the registry's definition-mutation counter.
+func (r *Registry) Generation() uint64 { return r.gen.Load() }
+
 // Restore replaces the registry's contents with the given definitions
 // (used when loading a catalog snapshot). Definitions are copied; the ID
 // counters resume above the highest restored IDs.
@@ -224,6 +236,10 @@ func (r *Registry) Restore(attrs []AttrDef, elems []ElemDef) error {
 	r.attrByKey = make(map[attrKey]int64, len(attrs))
 	r.elemByKey = make(map[elemKey]int64, len(elems))
 	r.nextAttrID, r.nextElemID = 0, 0
+	// Restore may shrink or rewrite the definition set, so the grow-only
+	// assumption behind resolution caching does not hold across it; the
+	// bump forces every cached resolution stale.
+	r.gen.Add(1)
 	for i := range attrs {
 		d := attrs[i]
 		key := attrKey{d.Name, d.Source, d.ParentID, d.Owner}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Database is a named collection of tables. Temp tables share the
@@ -23,6 +24,13 @@ type Database struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	temp   map[string]bool
+
+	// gen counts mutations: every successful Insert/Update/Delete on any
+	// table of the database bumps it. Read caches stamp entries with the
+	// generation they were computed under and compare on lookup, so
+	// invalidating all derived state after a write is one atomic add (the
+	// catalog's generation-stamped cache scheme).
+	gen atomic.Uint64
 }
 
 // NewDatabase returns an empty database.
@@ -51,6 +59,7 @@ func (db *Database) createTable(name string, temp bool, cols ...Column) (*Table,
 		return nil, fmt.Errorf("relstore: table %q already exists", name)
 	}
 	t := NewTable(s)
+	t.gen = &db.gen
 	db.tables[name] = t
 	if temp {
 		db.temp[name] = true
@@ -98,6 +107,11 @@ func (db *Database) DropTemp() {
 		delete(db.temp, name)
 	}
 }
+
+// Generation returns the database's mutation generation: a counter that
+// advances on every successful row mutation in any table. Two equal
+// readings with no writer in between guarantee identical table contents.
+func (db *Database) Generation() uint64 { return db.gen.Load() }
 
 // TableNames returns the sorted table names.
 func (db *Database) TableNames() []string {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // IndexKind selects the physical index structure.
@@ -90,11 +91,16 @@ type Table struct {
 	live    int
 	indexes map[string]*Index
 	autoID  int64 // monotonically increasing helper for AUTO columns
+
+	// gen is bumped on every successful mutation. Tables created through
+	// a Database share its generation counter; standalone tables get
+	// their own.
+	gen *atomic.Uint64
 }
 
 // NewTable creates an empty table with the given schema.
 func NewTable(s *Schema) *Table {
-	return &Table{Schema: s, indexes: make(map[string]*Index)}
+	return &Table{Schema: s, indexes: make(map[string]*Index), gen: new(atomic.Uint64)}
 }
 
 // CreateIndex builds an index over the named columns, indexing existing
@@ -198,6 +204,7 @@ func (t *Table) Insert(r Row) (int64, error) {
 		added = append(added, ix)
 	}
 	t.live++
+	t.gen.Add(1)
 	return id, nil
 }
 
@@ -225,6 +232,7 @@ func (t *Table) Delete(id int64) bool {
 	t.rows[id] = nil
 	t.free = append(t.free, id)
 	t.live--
+	t.gen.Add(1)
 	return true
 }
 
@@ -259,6 +267,7 @@ func (t *Table) Update(id int64, r Row) error {
 		added = append(added, ix)
 	}
 	t.rows[id] = nr
+	t.gen.Add(1)
 	return nil
 }
 

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+func newServerFor(t *testing.T, cat *catalog.Catalog) string {
+	t.Helper()
+	ts := httptest.NewServer(New(cat).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestCachezEndpoint(t *testing.T) {
+	ts, cat := newTestServer(t)
+
+	if _, err := cat.IngestXML("alice", xmlschema.Figure3Document); err != nil {
+		t.Fatal(err)
+	}
+	// Run the same query twice so the second hits the evaluate cache.
+	body := `{"attrs":[{"name":"theme","elems":[{"name":"themekey","op":"=","value":"convective_precipitation_amount"}]}]}`
+	for i := 0; i < 2; i++ {
+		if code, got := post(t, ts.URL+"/query", "application/json", body); code != http.StatusOK {
+			t.Fatalf("query %d: %d %s", i, code, got)
+		}
+	}
+
+	code, got := get(t, ts.URL+"/debug/cachez")
+	if code != http.StatusOK {
+		t.Fatalf("cachez: %d %s", code, got)
+	}
+	var st catalog.CacheStats
+	if err := json.Unmarshal([]byte(got), &st); err != nil {
+		t.Fatalf("cachez body not CacheStats JSON: %v\n%s", err, got)
+	}
+	if !st.Enabled {
+		t.Fatalf("caching should default on: %s", got)
+	}
+	if st.DataGeneration == 0 {
+		t.Fatalf("ingest should have advanced the data generation: %s", got)
+	}
+	if st.Evaluate.Hits == 0 || st.Evaluate.Misses == 0 {
+		t.Fatalf("expected one miss then one hit on the evaluate layer: %s", got)
+	}
+}
+
+func TestCachezEndpointDisabled(t *testing.T) {
+	cat, err := catalog.Open(xmlschema.MustLEAD(), catalog.Options{DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newServerFor(t, cat)
+	code, got := get(t, ts+"/debug/cachez")
+	if code != http.StatusOK {
+		t.Fatalf("cachez: %d %s", code, got)
+	}
+	var st catalog.CacheStats
+	if err := json.Unmarshal([]byte(got), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Enabled {
+		t.Fatalf("cache should be disabled: %s", got)
+	}
+}

@@ -36,6 +36,7 @@ func New(cat *catalog.Catalog) *Server { return &Server{Cat: cat} }
 //	GET  /schema                -> text ordering table (Figure 2)
 //	POST /define/attr           {"name","source","parent_id","owner"} -> definition
 //	POST /define/elem           {"name","source","attr_id","type","owner"} -> definition
+//	GET  /debug/cachez          -> read-cache counters + generations
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
@@ -49,8 +50,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /objects/{id}/publish", s.handlePublish(true))
 	mux.HandleFunc("POST /objects/{id}/unpublish", s.handlePublish(false))
 	mux.HandleFunc("GET /defs", s.handleDefs)
+	mux.HandleFunc("GET /debug/cachez", s.handleCachez)
 	s.registerCollectionRoutes(mux)
 	return mux
+}
+
+// handleCachez dumps the read-cache counters (hits, misses, evictions,
+// stale drops, singleflight collapses per layer) plus the current data
+// and registry generations.
+func (s *Server) handleCachez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Cat.CacheStats())
 }
 
 // handlePublish flips an object's published flag (§1 privacy: queries
