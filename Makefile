@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress cover bench experiments quick-experiments examples clean
+.PHONY: all build vet test race stress crash cover bench experiments quick-experiments examples clean
 
 all: build vet test
 
@@ -23,6 +23,13 @@ race:
 STRESS ?= 200
 stress:
 	HYBRIDCAT_STRESS=$(STRESS) $(GO) test -race -run 'Concurrent|OracleStress' -count=1 ./internal/catalog/ ./internal/relstore/ ./internal/core/ ./internal/service/
+
+# Crash matrix + fault-injection suites under the race detector: kill
+# the durable catalog at every injected fault point and require recovery
+# to match the acked-operations oracle (DESIGN.md "Durability and
+# recovery").
+crash:
+	$(GO) test -race -run 'Crash|Fault' -count=1 ./...
 
 cover:
 	$(GO) test -cover ./...

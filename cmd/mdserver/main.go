@@ -3,16 +3,23 @@
 // endpoint list.
 //
 //	mdserver -addr :8080
-//	mdserver -load catalog.snap -save catalog.snap   # persist across runs
+//	mdserver -wal catalog.wal                        # durable: WAL + crash recovery
+//	mdserver -wal catalog.wal -checkpoint-every 256  # bound recovery time
+//	mdserver -load catalog.snap -save catalog.snap   # snapshot-only persistence
 //	mdserver -ontology terms.txt                     # enable ?expand=1
 //	curl -X POST --data-binary @doc.xml 'localhost:8080/ingest?owner=alice'
 //	curl -X POST --data @query.json localhost:8080/query
 //
-// With -save, the catalog snapshot is written on SIGINT/SIGTERM before
-// exit.
+// With -wal, every mutation is committed to the write-ahead log before
+// its HTTP response is sent, and startup recovers from the latest
+// checkpoint snapshot plus the log; SIGINT/SIGTERM drains in-flight
+// requests and writes a final checkpoint. With -save (and no -wal), a
+// snapshot is written atomically on SIGINT/SIGTERM before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +29,7 @@ import (
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/gridmeta/hybridcat/internal/catalog"
 	"github.com/gridmeta/hybridcat/internal/ontology"
@@ -34,8 +42,10 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		schemaPath = flag.String("schema", "", "annotated schema DSL file (default: built-in LEAD)")
 		autoReg    = flag.Bool("autoregister", false, "auto-register unknown dynamic attributes at ingest")
-		loadPath   = flag.String("load", "", "load a catalog snapshot at startup")
-		savePath   = flag.String("save", "", "write a catalog snapshot on shutdown")
+		walPath    = flag.String("wal", "", "write-ahead log file: mutations are durable before they are acknowledged, startup recovers snapshot+log")
+		ckptEvery  = flag.Int("checkpoint-every", 1024, "with -wal: checkpoint after this many committed records (0 = only at shutdown)")
+		loadPath   = flag.String("load", "", "load a catalog snapshot at startup (ignored when -wal already has a snapshot)")
+		savePath   = flag.String("save", "", "write a catalog snapshot on shutdown (snapshot-only mode; implied by -wal)")
 		ontPath    = flag.String("ontology", "", "term hierarchy file enabling ?expand=1 queries")
 		qWorkers   = flag.Int("query-workers", 0, "worker pool size for intra-query fan-out (0 = GOMAXPROCS, 1 = sequential)")
 		cacheSize  = flag.Int("cache-size", 0, "entries per read-cache layer (0 = default)")
@@ -53,23 +63,9 @@ func main() {
 		CacheSize:    *cacheSize,
 		DisableCache: *cacheOff,
 	}
-	var cat *catalog.Catalog
-	if *loadPath != "" {
-		f, err := os.Open(*loadPath)
-		if err != nil {
-			log.Fatal("mdserver: ", err)
-		}
-		cat, err = catalog.Load(schema, opts, f)
-		f.Close()
-		if err != nil {
-			log.Fatal("mdserver: ", err)
-		}
-		log.Printf("mdserver: loaded %d objects from %s", cat.ObjectCount(), *loadPath)
-	} else {
-		cat, err = catalog.Open(schema, opts)
-		if err != nil {
-			log.Fatal("mdserver: ", err)
-		}
+	cat, err := openCatalog(schema, opts, *walPath, *ckptEvery, *loadPath)
+	if err != nil {
+		log.Fatal("mdserver: ", err)
 	}
 	srv := service.New(cat)
 	if *ontPath != "" {
@@ -85,25 +81,42 @@ func main() {
 		log.Printf("mdserver: ontology with %d terms loaded", o.Len())
 	}
 
-	if *savePath != "" {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			f, err := os.Create(*savePath)
-			if err != nil {
-				log.Fatal("mdserver: snapshot: ", err)
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: logRequests(srv.Handler()),
+		// Slow-client ceilings: a peer that trickles its headers or holds
+		// an idle keep-alive connection cannot pin a goroutine forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// SIGINT/SIGTERM: stop accepting, drain in-flight requests, then make
+	// the final state durable (checkpoint with -wal, atomic snapshot with
+	// -save).
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		<-sig
+		log.Print("mdserver: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Print("mdserver: shutdown: ", err)
+		}
+		if *walPath != "" {
+			if err := cat.Close(); err != nil {
+				log.Fatal("mdserver: final checkpoint: ", err)
 			}
-			if err := cat.Save(f); err != nil {
-				log.Fatal("mdserver: snapshot: ", err)
-			}
-			if err := f.Close(); err != nil {
+			log.Printf("mdserver: final checkpoint written to %s.snap", *walPath)
+		} else if *savePath != "" {
+			if err := cat.SaveFile(nil, *savePath); err != nil {
 				log.Fatal("mdserver: snapshot: ", err)
 			}
 			log.Printf("mdserver: snapshot written to %s", *savePath)
-			os.Exit(0)
-		}()
-	}
+		}
+	}()
 
 	workers := *qWorkers
 	if workers <= 0 {
@@ -117,11 +130,58 @@ func main() {
 		}
 		caching = fmt.Sprintf("read caches %d entries/layer (/debug/cachez)", size)
 	}
-	log.Printf("mdserver: schema %s, %d metadata attributes, listening on %s (concurrent reads, %d query workers, %s)",
-		schema.Name, len(schema.Attributes), *addr, workers, caching)
-	if err := http.ListenAndServe(*addr, logRequests(srv.Handler())); err != nil {
+	durable := "no durability"
+	if *walPath != "" {
+		durable = fmt.Sprintf("WAL %s, checkpoint every %d", *walPath, *ckptEvery)
+	}
+	log.Printf("mdserver: schema %s, %d metadata attributes, listening on %s (concurrent reads, %d query workers, %s, %s)",
+		schema.Name, len(schema.Attributes), *addr, workers, caching, durable)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal("mdserver: ", err)
 	}
+	<-done
+}
+
+// openCatalog builds the catalog according to the persistence flags:
+// -wal recovers snapshot+log and attaches durability; a legacy -load
+// snapshot seeds a durable catalog only when the WAL has no state yet;
+// plain -load and in-memory modes are unchanged.
+func openCatalog(schema *xmlschema.Schema, opts catalog.Options, walPath string, ckptEvery int, loadPath string) (*catalog.Catalog, error) {
+	if walPath != "" {
+		dopts := catalog.DurabilityOptions{WALPath: walPath, CheckpointEvery: ckptEvery}
+		cat, err := catalog.OpenDurable(schema, opts, dopts)
+		if err != nil {
+			return nil, err
+		}
+		if cat.ObjectCount() == 0 && loadPath != "" {
+			// Migrate a legacy snapshot into the durable store: load it,
+			// checkpoint it, and continue on the WAL.
+			cat.Close()
+			loaded, err := catalog.LoadFile(schema, opts, nil, loadPath)
+			if err != nil {
+				return nil, fmt.Errorf("migrating %s: %w", loadPath, err)
+			}
+			if err := loaded.SaveFile(nil, walPath+".snap"); err != nil {
+				return nil, fmt.Errorf("migrating %s: %w", loadPath, err)
+			}
+			if cat, err = catalog.OpenDurable(schema, opts, dopts); err != nil {
+				return nil, err
+			}
+			log.Printf("mdserver: migrated %d objects from %s into the durable store", cat.ObjectCount(), loadPath)
+		}
+		st := cat.DurabilityStats()
+		log.Printf("mdserver: recovered %d objects (WAL seq %d, %d bytes)", cat.ObjectCount(), st.WAL.LastSeq, st.WAL.Size)
+		return cat, nil
+	}
+	if loadPath != "" {
+		cat, err := catalog.LoadFile(schema, opts, nil, loadPath)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("mdserver: loaded %d objects from %s", cat.ObjectCount(), loadPath)
+		return cat, nil
+	}
+	return catalog.Open(schema, opts)
 }
 
 func loadSchema(path string) (*xmlschema.Schema, error) {

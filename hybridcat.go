@@ -156,6 +156,21 @@ func OpenLEAD(opts Options) (*Catalog, error) {
 	return catalog.Open(s, opts)
 }
 
+// DurabilityOptions configures write-ahead durability for OpenDurable.
+type DurabilityOptions = catalog.DurabilityOptions
+
+// ErrDurability wraps failures to make an acknowledged mutation durable;
+// the in-memory state is rolled back before it is returned.
+var ErrDurability = catalog.ErrDurability
+
+// OpenDurable builds a catalog whose mutations are committed to a
+// write-ahead log before they return, recovering any existing state from
+// the checkpoint snapshot plus the log (see DESIGN.md "Durability and
+// recovery").
+func OpenDurable(schema *Schema, opts Options, dopts DurabilityOptions) (*Catalog, error) {
+	return catalog.OpenDurable(schema, opts, dopts)
+}
+
 // LEADSchema returns the paper's partial LEAD schema (Figure 2).
 func LEADSchema() *Schema { return xmlschema.MustLEAD() }
 

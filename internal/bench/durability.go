@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/workload"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+)
+
+// R1Durability quantifies what the write-ahead log costs and what it
+// buys:
+//
+//   - ingest: the same corpus ingested with no durability, with the WAL
+//     fsyncing every commit, and with the WAL appending without fsync —
+//     separating the record-encoding overhead from the fsync cost,
+//   - recover: OpenDurable wall time against logs of increasing length
+//     (replay cost grows with the log) and against a checkpointed store
+//     (snapshot load plus an empty log), which is the bound
+//     -checkpoint-every exists to enforce.
+//
+// Files live in a throwaway temp directory so fsync hits a real file
+// system; each configuration gets its own subdirectory.
+func R1Durability(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "R1",
+		Title:   "WAL durability: ingest overhead and recovery time",
+		Claim:   "per-commit fsync dominates WAL cost; recovery is linear in log length and checkpoints bound it by snapshot size",
+		Columns: []string{"phase", "config", "docs", "wall", "per-doc", "log bytes"},
+	}
+	cfg := workload.Default()
+	cfg.Docs = o.scale(200)
+	g := workload.New(cfg)
+	docs := g.Corpus()
+
+	dir, err := os.MkdirTemp("", "hybridcat-r1-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	ingestAll := func(c *catalog.Catalog, docs []*xmldoc.Node) (time.Duration, error) {
+		if err := g.RegisterDefinitions(c); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for _, d := range docs {
+			if _, err := c.Ingest("bench", d); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	openAt := func(name string, nosync bool, every int) (*catalog.Catalog, string, error) {
+		walPath := filepath.Join(dir, name, "cat.wal")
+		if err := os.MkdirAll(filepath.Dir(walPath), 0o755); err != nil {
+			return nil, "", err
+		}
+		c, err := catalog.OpenDurable(g.Schema, catalog.Options{}, catalog.DurabilityOptions{
+			WALPath: walPath, NoSync: nosync, CheckpointEvery: every,
+		})
+		return c, walPath, err
+	}
+	logSize := func(path string) int64 {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return 0
+		}
+		return fi.Size()
+	}
+
+	// Ingest overhead. The no-WAL catalog anchors the comparison.
+	plain, err := catalog.Open(g.Schema, catalog.Options{})
+	if err != nil {
+		return nil, err
+	}
+	base, err := ingestAll(plain, docs)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("ingest", "none", len(docs), base, base/time.Duration(len(docs)), "-")
+
+	for _, mode := range []struct {
+		config string
+		nosync bool
+	}{{"wal", false}, {"wal-nosync", true}} {
+		c, walPath, err := openAt("ingest-"+mode.config, mode.nosync, 0)
+		if err != nil {
+			return nil, err
+		}
+		wall, err := ingestAll(c, docs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("ingest", mode.config, len(docs), wall, wall/time.Duration(len(docs)),
+			fmt.Sprint(logSize(walPath)))
+	}
+
+	// Recovery time vs log length: build un-checkpointed logs of
+	// increasing length, then time OpenDurable (which replays them). The
+	// builder catalog is dropped without Close so the log survives.
+	reopen := func(walPath string) (time.Duration, error) {
+		return median(o.runs(), func() error {
+			c, err := catalog.OpenDurable(g.Schema, catalog.Options{}, catalog.DurabilityOptions{WALPath: walPath})
+			if err != nil {
+				return err
+			}
+			if c.ObjectCount() == 0 {
+				return fmt.Errorf("bench R1: recovery found no objects")
+			}
+			return nil
+		})
+	}
+	for _, frac := range []int{4, 2, 1} {
+		n := len(docs) / frac
+		c, walPath, err := openAt(fmt.Sprintf("recover-%d", n), false, 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ingestAll(c, docs[:n]); err != nil {
+			return nil, err
+		}
+		wall, err := reopen(walPath)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("recover", "log-only", n, wall, wall/time.Duration(n), fmt.Sprint(logSize(walPath)))
+	}
+
+	// Checkpointed recovery: same corpus, but a checkpoint truncates the
+	// log, so reopening loads the snapshot and replays nothing.
+	c, walPath, err := openAt("recover-snap", false, 0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ingestAll(c, docs); err != nil {
+		return nil, err
+	}
+	if err := c.Checkpoint(); err != nil {
+		return nil, err
+	}
+	wall, err := reopen(walPath)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("recover", "snapshot", len(docs), wall, wall/time.Duration(len(docs)),
+		fmt.Sprint(logSize(walPath)))
+
+	t.Notes = append(t.Notes,
+		"wal fsyncs every commit before the ingest returns; wal-nosync appends the same records without fsync, isolating the sync cost",
+		"log-only recovery replays every record over an empty store; snapshot recovery loads the checkpoint and replays an empty log",
+		"expected shape: wal-nosync is close to none; wal pays one fsync per ingest; log-only recovery grows linearly with log length while snapshot recovery stays flat")
+	return t, nil
+}

@@ -31,6 +31,7 @@ var experiments = map[string]Experiment{
 	"A5": {"A5", "ablation: parallel batch ingest", A5ParallelIngest},
 	"C1": {"C1", "concurrent readers: query throughput scaling", C1ConcurrentReaders},
 	"C2": {"C2", "read caching: cold vs warm vs mutating workloads", C2CacheEffect},
+	"R1": {"R1", "WAL durability: ingest overhead and recovery time", R1Durability},
 }
 
 // IDs lists the experiment IDs in a stable order.

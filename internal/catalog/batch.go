@@ -103,43 +103,42 @@ func (c *Catalog) IngestBatch(owner string, docs []*xmldoc.Node, workers int) ([
 		return nil, &BatchError{Docs: failed}
 	}
 
-	// Phase 2: ordered insertion.
+	// Phase 2: ordered insertion. The whole batch runs as one mutation
+	// and so becomes one write-ahead log record: all-or-nothing on disk,
+	// and one fsync amortized over every document.
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.opts.AutoRegister {
-		if err := c.syncDefTables(); err != nil {
-			return nil, err
+	var ids []int64
+	err := c.mutateLocked(func() error {
+		if c.opts.AutoRegister {
+			if err := c.syncDefTables(); err != nil {
+				return err
+			}
 		}
-	}
-	objT := c.DB.MustTable(TObjects)
-	ids := make([]int64, 0, len(docs))
-	created := c.clock().UTC().Format(time.RFC3339)
-	for i, doc := range docs {
-		id := objT.NextAutoID()
-		name := doc.Tag
-		if rid := doc.Child("resourceID"); rid != nil {
-			name = rid.Text
+		objT := c.DB.MustTable(TObjects)
+		ids = make([]int64, 0, len(docs))
+		created := c.clock().UTC().Format(time.RFC3339)
+		for i, doc := range docs {
+			id := objT.NextAutoID()
+			name := doc.Tag
+			if rid := doc.Child("resourceID"); rid != nil {
+				name = rid.Text
+			}
+			if _, err := objT.Insert(relstore.Row{
+				relstore.Int(id), relstore.Str(name), relstore.Str(owner), relstore.Str(created),
+				relstore.Bool(false),
+			}); err != nil {
+				return err
+			}
+			if err := c.insertShred(id, results[i]); err != nil {
+				return &BatchError{Docs: []DocError{{Index: i, Err: err}}}
+			}
+			ids = append(ids, id)
 		}
-		if _, err := objT.Insert(relstore.Row{
-			relstore.Int(id), relstore.Str(name), relstore.Str(owner), relstore.Str(created),
-			relstore.Bool(false),
-		}); err != nil {
-			c.rollbackBatchLocked(ids, id)
-			return nil, err
-		}
-		if err := c.insertShred(id, results[i]); err != nil {
-			c.rollbackBatchLocked(ids, id)
-			return nil, &BatchError{Docs: []DocError{{Index: i, Err: err}}}
-		}
-		ids = append(ids, id)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ids, nil
-}
-
-// rollbackBatchLocked undoes a partially applied batch.
-func (c *Catalog) rollbackBatchLocked(done []int64, current int64) {
-	for _, id := range done {
-		c.removeObjectLocked(id)
-	}
-	c.removeObjectLocked(current)
 }

@@ -49,8 +49,8 @@ func TestCacheHitAndMutationInvalidation(t *testing.T) {
 	}
 
 	// Delete invalidates the same way.
-	if !c.Delete(first) {
-		t.Fatal("delete failed")
+	if ok, err := c.Delete(first); err != nil || !ok {
+		t.Fatalf("delete = %v, %v", ok, err)
 	}
 	ids, err = c.Evaluate(q)
 	if err != nil || len(ids) != 1 || ids[0] != second {

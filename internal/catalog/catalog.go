@@ -86,6 +86,14 @@ type Catalog struct {
 	// value was computed from exactly the table state of the generation
 	// it is stamped with.
 	caches catCaches
+
+	// Write-ahead capture (see durable.go). capturing/captured are only
+	// touched under the write lock: the relstore journal hook appends
+	// every applied row operation to captured while a mutation runs, so
+	// mutateLocked can commit them as one log record or roll them back.
+	capturing bool
+	captured  []relstore.TableOp
+	dur       *durability
 }
 
 // Open builds a catalog for a finalized schema: it creates the relational
@@ -105,6 +113,11 @@ func Open(schema *xmlschema.Schema, opts Options) (*Catalog, error) {
 		clock:    time.Now,
 	}
 	c.initCaches()
+	c.DB.SetJournal(func(op relstore.TableOp) {
+		if c.capturing {
+			c.captured = append(c.captured, op)
+		}
+	})
 	if err := c.createTables(); err != nil {
 		return nil, err
 	}
@@ -322,9 +335,10 @@ func (c *Catalog) RegisterAttr(name, source string, parentID int64, owner string
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return def, c.syncDefTables()
+	if err := c.mutate(c.syncDefTables); err != nil {
+		return nil, err
+	}
+	return def, nil
 }
 
 // RegisterElem registers a dynamic element definition under an attribute.
@@ -333,9 +347,10 @@ func (c *Catalog) RegisterElem(name, source string, attrID int64, dt core.DataTy
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return def, c.syncDefTables()
+	if err := c.mutate(c.syncDefTables); err != nil {
+		return nil, err
+	}
+	return def, nil
 }
 
 // Ingest shreds a document and stores it for the given owner, returning
@@ -352,26 +367,32 @@ func (c *Catalog) Ingest(owner string, doc *xmldoc.Node) (int64, error) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.opts.AutoRegister {
-		if err := c.syncDefTables(); err != nil {
-			return 0, err
+	var id int64
+	err = c.mutateLocked(func() error {
+		if c.opts.AutoRegister {
+			if err := c.syncDefTables(); err != nil {
+				return err
+			}
 		}
-	}
-	objT := c.DB.MustTable(TObjects)
-	id := objT.NextAutoID()
-	name := doc.Tag
-	if rid := doc.Child("resourceID"); rid != nil {
-		name = rid.Text
-	}
-	if _, err := objT.Insert(relstore.Row{
-		relstore.Int(id), relstore.Str(name), relstore.Str(owner),
-		relstore.Str(c.clock().UTC().Format(time.RFC3339)), relstore.Bool(false),
-	}); err != nil {
+		objT := c.DB.MustTable(TObjects)
+		id = objT.NextAutoID()
+		name := doc.Tag
+		if rid := doc.Child("resourceID"); rid != nil {
+			name = rid.Text
+		}
+		if _, err := objT.Insert(relstore.Row{
+			relstore.Int(id), relstore.Str(name), relstore.Str(owner),
+			relstore.Str(c.clock().UTC().Format(time.RFC3339)), relstore.Bool(false),
+		}); err != nil {
+			return err
+		}
+		if err := c.insertShred(id, res); err != nil {
+			return fmt.Errorf("catalog: ingest of object %d failed: %w", id, err)
+		}
+		return nil
+	})
+	if err != nil {
 		return 0, err
-	}
-	if err := c.insertShred(id, res); err != nil {
-		c.removeObjectLocked(id)
-		return 0, fmt.Errorf("catalog: ingest of object %d failed: %w", id, err)
 	}
 	return id, nil
 }
@@ -499,20 +520,32 @@ func (c *Catalog) AddAttribute(objectID int64, owner string, frag *xmldoc.Node) 
 	if err != nil {
 		return err
 	}
-	return c.insertShred(objectID, res)
+	return c.mutateLocked(func() error {
+		if c.opts.AutoRegister {
+			if err := c.syncDefTables(); err != nil {
+				return err
+			}
+		}
+		return c.insertShred(objectID, res)
+	})
 }
 
 // Delete removes an object and all its rows, reporting whether it
-// existed.
-func (c *Catalog) Delete(id int64) bool {
+// existed. A durability failure leaves the object in place.
+func (c *Catalog) Delete(id int64) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ids, _ := c.DB.MustTable(TObjects).LookupEqual("objects_pk", relstore.Int(id))
 	if len(ids) == 0 {
-		return false
+		return false, nil
 	}
-	c.removeObjectLocked(id)
-	return true
+	if err := c.mutateLocked(func() error {
+		c.removeObjectLocked(id)
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 func (c *Catalog) removeObjectLocked(id int64) {
@@ -590,9 +623,11 @@ func (c *Catalog) SetPublished(id int64, published bool) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("catalog: no object %d", id)
 	}
-	r := relstore.CloneRow(objT.Get(ids[0]))
-	r[4] = relstore.Bool(published)
-	return objT.Update(ids[0], r)
+	return c.mutateLocked(func() error {
+		r := relstore.CloneRow(objT.Get(ids[0]))
+		r[4] = relstore.Bool(published)
+		return objT.Update(ids[0], r)
+	})
 }
 
 // visibleTo reports whether the object may appear in results for the

@@ -306,11 +306,11 @@ func TestFetchDocumentAndDelete(t *testing.T) {
 	if !xmldoc.Equal(want, doc) {
 		t.Fatalf("fetch differs: %s", xmldoc.Diff(want, doc))
 	}
-	if !c.Delete(id) {
-		t.Fatal("delete should succeed")
+	if ok, err := c.Delete(id); err != nil || !ok {
+		t.Fatalf("delete = %v, %v", ok, err)
 	}
-	if c.Delete(id) {
-		t.Error("double delete should fail")
+	if ok, err := c.Delete(id); err != nil || ok {
+		t.Errorf("double delete = %v, %v", ok, err)
 	}
 	if _, err := c.FetchDocument(id); err == nil {
 		t.Error("fetch after delete should fail")

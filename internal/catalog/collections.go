@@ -86,7 +86,10 @@ func (c *Catalog) CreateCollection(name, owner string, parentID int64) (int64, e
 	if parentID != 0 {
 		parent = relstore.Int(parentID)
 	}
-	if _, err := collT.Insert(relstore.Row{relstore.Int(id), relstore.Str(name), relstore.Str(owner), parent}); err != nil {
+	if err := c.mutateLocked(func() error {
+		_, err := collT.Insert(relstore.Row{relstore.Int(id), relstore.Str(name), relstore.Str(owner), parent})
+		return err
+	}); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -120,22 +123,31 @@ func (c *Catalog) AddToCollection(collID, objectID int64) error {
 	if len(existing) > 0 {
 		return nil
 	}
-	_, err = memT.Insert(relstore.Row{relstore.Int(collID), relstore.Int(objectID)})
-	return err
+	return c.mutateLocked(func() error {
+		_, err := memT.Insert(relstore.Row{relstore.Int(collID), relstore.Int(objectID)})
+		return err
+	})
 }
 
 // RemoveFromCollection removes a membership, reporting whether it
-// existed.
-func (c *Catalog) RemoveFromCollection(collID, objectID int64) bool {
+// existed. A durability failure leaves the membership in place.
+func (c *Catalog) RemoveFromCollection(collID, objectID int64) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	memT := c.DB.MustTable(TMembers)
 	ids, _ := memT.LookupEqual("members_pk", relstore.Int(collID), relstore.Int(objectID))
-	removed := false
-	for _, rid := range ids {
-		removed = memT.Delete(rid) || removed
+	if len(ids) == 0 {
+		return false, nil
 	}
-	return removed
+	if err := c.mutateLocked(func() error {
+		for _, rid := range ids {
+			memT.Delete(rid)
+		}
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // Collections lists all collections in ID order.

@@ -88,8 +88,13 @@ func TestCollectionLifecycle(t *testing.T) {
 	if err != nil || len(got) != 1 {
 		t.Fatalf("objects = %v, %v", got, err)
 	}
-	if !c.RemoveFromCollection(child, id) || c.RemoveFromCollection(child, id) {
-		t.Error("remove semantics wrong")
+	removed, err := c.RemoveFromCollection(child, id)
+	if err != nil || !removed {
+		t.Errorf("remove = %v, %v", removed, err)
+	}
+	removed, err = c.RemoveFromCollection(child, id)
+	if err != nil || removed {
+		t.Errorf("second remove = %v, %v", removed, err)
 	}
 }
 
@@ -177,8 +182,8 @@ func TestCollectionsContaining(t *testing.T) {
 
 func TestDeleteObjectRemovesMemberships(t *testing.T) {
 	c, p, expA, _, objs := collFixture(t)
-	if !c.Delete(objs[0]) {
-		t.Fatal("delete failed")
+	if ok, err := c.Delete(objs[0]); err != nil || !ok {
+		t.Fatalf("delete = %v, %v", ok, err)
 	}
 	a, _ := c.CollectionObjects(expA)
 	if len(a) != 1 {

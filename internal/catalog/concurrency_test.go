@@ -197,8 +197,8 @@ func TestConcurrentReadersWritersStress(t *testing.T) {
 			t.Fatalf("withExtraTheme oracle diverges from reconstruction:\nwant: %s\ngot:  %s",
 				want.String(), after.String())
 		}
-		if !c.Delete(id) {
-			t.Fatal("preflight delete failed")
+		if ok, err := c.Delete(id); err != nil || !ok {
+			t.Fatalf("preflight delete = %v, %v", ok, err)
 		}
 	}
 
@@ -292,8 +292,8 @@ func TestConcurrentReadersWritersStress(t *testing.T) {
 					id := owned[0]
 					owned = owned[1:]
 					tr.markDeleted(id)
-					if !c.Delete(id) {
-						t.Errorf("writer %d: delete of %d reported missing", w, id)
+					if ok, err := c.Delete(id); err != nil || !ok {
+						t.Errorf("writer %d: delete of %d = %v, %v", w, id, ok, err)
 						return
 					}
 				}
@@ -566,8 +566,10 @@ func TestCachedUncachedOracleStress(t *testing.T) {
 					id := liveIDs[0]
 					liveIDs = liveIDs[1:]
 					delete(dom, id)
-					if !cached.Delete(id) || !plain.Delete(id) {
-						t.Errorf("lockstep delete of %d failed", id)
+					ok1, err1 := cached.Delete(id)
+					ok2, err2 := plain.Delete(id)
+					if !ok1 || !ok2 || err1 != nil || err2 != nil {
+						t.Errorf("lockstep delete of %d failed: %v/%v, %v/%v", id, ok1, ok2, err1, err2)
 						pair.Unlock()
 						return
 					}

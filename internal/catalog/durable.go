@@ -1,0 +1,423 @@
+package catalog
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/faultio"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/wal"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+// Durability: every mutating catalog operation runs inside mutateLocked,
+// which captures the row-level table operations it applies (via the
+// relstore journal hook) and commits them as ONE write-ahead log record
+// before the operation returns. A multi-table mutation — an ingest
+// touching five tables, a whole batch — is therefore atomic on disk:
+// after a crash it is replayed entirely or not at all.
+//
+// The log is physical (row contents), not logical (catalog operations),
+// so replay is deterministic: it does not depend on the clock, on
+// auto-registration ordering, or on any other state the original
+// execution observed. Row IDs are an in-memory artifact and are not
+// stable across restarts; replay locates rows to delete or update by
+// content instead, while same-process rollback (a failed operation or a
+// failed WAL commit) uses the captured row IDs directly.
+//
+// Checkpoints bound recovery time: every CheckpointEvery commits the
+// catalog writes an atomic snapshot (temp + fsync + rename) carrying the
+// WAL high-water mark, then swaps in a fresh log. Replay skips records
+// at or below the snapshot's mark, so a crash between the snapshot
+// rename and the log swap — which leaves old records behind — recovers
+// correctly: the stale records are recognized and ignored.
+
+// ErrDurability marks a mutation that failed because its write-ahead
+// record (or a checkpoint) could not be made durable. The in-memory
+// state has been rolled back; the catalog still serves reads and may
+// accept later mutations if the underlying fault was transient.
+var ErrDurability = errors.New("catalog: durability failure")
+
+// DurabilityOptions configures OpenDurable.
+type DurabilityOptions struct {
+	// FS is the filesystem the log and snapshots live on; nil uses the
+	// real one. Tests inject a faultio.Faulty/MemFS here.
+	FS faultio.FS
+	// WALPath is the write-ahead log file. Required.
+	WALPath string
+	// SnapshotPath is the checkpoint snapshot file; defaults to
+	// WALPath + ".snap".
+	SnapshotPath string
+	// CheckpointEvery checkpoints after that many committed records;
+	// 0 disables automatic checkpoints (explicit Checkpoint/Close only).
+	CheckpointEvery int
+	// NoSync skips the per-commit fsync; for measuring fsync cost only.
+	NoSync bool
+}
+
+// durability is the catalog's attached log + checkpoint state; all
+// fields are guarded by the catalog's write lock.
+type durability struct {
+	fs       faultio.FS
+	w        *wal.Writer
+	snapPath string
+	every    int
+
+	sinceCheckpoint   int
+	checkpoints       uint64
+	lastCheckpointErr error
+}
+
+// DurabilityStats reports the durability subsystem's counters.
+type DurabilityStats struct {
+	Enabled             bool      `json:"enabled"`
+	WAL                 wal.Stats `json:"wal"`
+	Checkpoints         uint64    `json:"checkpoints"`
+	SinceCheckpoint     int       `json:"records_since_checkpoint"`
+	CheckpointEvery     int       `json:"checkpoint_every"`
+	LastCheckpointError string    `json:"last_checkpoint_error,omitempty"`
+}
+
+// OpenDurable opens a catalog backed by a write-ahead log: it recovers
+// state from the latest snapshot (if any) plus the log's intact records,
+// then attaches the log so every subsequent mutation is made durable
+// before it is acknowledged. A torn final log record (a crashed append)
+// is truncated away; a corrupt snapshot or corrupt interior log record
+// is refused.
+func OpenDurable(schema *xmlschema.Schema, opts Options, dopts DurabilityOptions) (*Catalog, error) {
+	if dopts.WALPath == "" {
+		return nil, fmt.Errorf("catalog: durability requires a WAL path")
+	}
+	fs := dopts.FS
+	if fs == nil {
+		fs = faultio.OS{}
+	}
+	snapPath := dopts.SnapshotPath
+	if snapPath == "" {
+		snapPath = dopts.WALPath + ".snap"
+	}
+
+	var c *Catalog
+	var fromSeq uint64
+	if _, err := fs.Size(snapPath); err == nil {
+		f, err := fs.Open(snapPath)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: recovery: %w", err)
+		}
+		c, fromSeq, err = loadSnapshot(schema, opts, f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("catalog: recovering snapshot %s: %w", snapPath, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("catalog: recovery: %w", err)
+	} else if c, err = Open(schema, opts); err != nil {
+		return nil, err
+	}
+
+	replayed := 0
+	w, err := wal.Open(fs, dopts.WALPath, func(rec wal.Record) error {
+		if rec.Seq <= fromSeq {
+			return nil // already contained in the snapshot
+		}
+		ops, err := decodeOps(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", rec.Seq, err)
+		}
+		if err := c.replayOps(ops); err != nil {
+			return fmt.Errorf("record %d: %w", rec.Seq, err)
+		}
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("catalog: recovering log %s: %w", dopts.WALPath, err)
+	}
+	if replayed > 0 {
+		// Replayed records may have added dynamic definitions; rebuild the
+		// registry from the (journaled, hence replayed) definition tables.
+		if err := c.restoreRegistryFromTables(); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("catalog: recovery: %w", err)
+		}
+		c.fixAutoIDs()
+	}
+	w.SetNextSeq(fromSeq + 1)
+	w.NoSync = dopts.NoSync
+	c.dur = &durability{fs: fs, w: w, snapPath: snapPath, every: dopts.CheckpointEvery}
+	return c, nil
+}
+
+// mutate runs fn under the write lock with durability semantics.
+func (c *Catalog) mutate(fn func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mutateLocked(fn)
+}
+
+// mutateLocked is the single funnel every mutation goes through. It
+// captures the row operations fn applies; if fn fails, or fn succeeds
+// but the operations cannot be committed to the write-ahead log, the
+// captured operations are rolled back in reverse order — the catalog's
+// in-memory state never diverges from what recovery would rebuild.
+// Requires c.mu held for writing.
+func (c *Catalog) mutateLocked(fn func() error) error {
+	if c.capturing {
+		// Nested mutation (a caller composing mutating helpers): the
+		// outermost frame owns capture, commit, and rollback.
+		return fn()
+	}
+	c.capturing = true
+	c.captured = c.captured[:0]
+	err := fn()
+	ops := c.captured
+	c.capturing = false
+	if err != nil {
+		c.rollbackOps(ops)
+		return err
+	}
+	if c.dur != nil && len(ops) > 0 {
+		payload, derr := encodeOps(ops)
+		if derr == nil {
+			_, derr = c.dur.w.Commit(payload)
+		}
+		if derr != nil {
+			c.rollbackOps(ops)
+			return fmt.Errorf("%w: %v", ErrDurability, derr)
+		}
+		c.dur.sinceCheckpoint++
+		if c.dur.every > 0 && c.dur.sinceCheckpoint >= c.dur.every {
+			// A failed automatic checkpoint must not fail the mutation —
+			// the record IS durable in the log; surface it via stats.
+			c.dur.lastCheckpointErr = c.checkpointLocked()
+		}
+	}
+	return nil
+}
+
+// rollbackOps undoes captured operations in reverse order using their
+// in-process row IDs. The operations applied successfully moments ago
+// under the same lock, so the inverses cannot fail; any error would mean
+// corrupted in-memory state and panics.
+func (c *Catalog) rollbackOps(ops []relstore.TableOp) {
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		t := c.DB.MustTable(op.Table)
+		switch op.Kind {
+		case relstore.OpInsert:
+			if !t.Delete(op.RowID) {
+				panic(fmt.Sprintf("catalog: rollback: insert into %s row %d vanished", op.Table, op.RowID))
+			}
+		case relstore.OpDelete:
+			if _, err := t.Insert(op.Prev); err != nil {
+				panic(fmt.Sprintf("catalog: rollback: reinsert into %s: %v", op.Table, err))
+			}
+		case relstore.OpUpdate:
+			if err := t.Update(op.RowID, op.Prev); err != nil {
+				panic(fmt.Sprintf("catalog: rollback: revert update of %s row %d: %v", op.Table, op.RowID, err))
+			}
+		}
+	}
+}
+
+// walOp is the serialized form of one journaled row operation. RowID is
+// deliberately absent: it is meaningless in another process.
+type walOp struct {
+	Table string
+	Kind  uint8
+	Row   relstore.Row // inserted/new row
+	Prev  relstore.Row // deleted/old row
+}
+
+func encodeOps(ops []relstore.TableOp) ([]byte, error) {
+	out := make([]walOp, len(ops))
+	for i, op := range ops {
+		out[i] = walOp{Table: op.Table, Kind: uint8(op.Kind), Row: op.Row, Prev: op.Prev}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeOps(payload []byte) ([]walOp, error) {
+	var ops []walOp
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ops); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// replayOps applies one log record's operations during recovery.
+func (c *Catalog) replayOps(ops []walOp) error {
+	for _, op := range ops {
+		t := c.DB.Table(op.Table)
+		if t == nil {
+			return fmt.Errorf("replay references unknown table %q", op.Table)
+		}
+		switch relstore.OpKind(op.Kind) {
+		case relstore.OpInsert:
+			if _, err := t.Insert(op.Row); err != nil {
+				return fmt.Errorf("replay insert into %s: %w", op.Table, err)
+			}
+		case relstore.OpDelete:
+			id, ok := findRowID(t, op.Prev)
+			if !ok {
+				return fmt.Errorf("replay delete from %s: row not found", op.Table)
+			}
+			t.Delete(id)
+		case relstore.OpUpdate:
+			id, ok := findRowID(t, op.Prev)
+			if !ok {
+				return fmt.Errorf("replay update of %s: row not found", op.Table)
+			}
+			if err := t.Update(id, op.Row); err != nil {
+				return fmt.Errorf("replay update of %s: %w", op.Table, err)
+			}
+		default:
+			return fmt.Errorf("replay: unknown op kind %d", op.Kind)
+		}
+	}
+	return nil
+}
+
+// findRowID locates a live row by content. Duplicate rows are
+// interchangeable — deleting either yields the same table state.
+func findRowID(t *relstore.Table, row relstore.Row) (int64, bool) {
+	found, ok := int64(0), false
+	t.Scan(func(id int64, r relstore.Row) bool {
+		if rowsIdentical(r, row) {
+			found, ok = id, true
+			return false
+		}
+		return true
+	})
+	return found, ok
+}
+
+// rowsIdentical is exact (kind-sensitive, bit-exact for floats) row
+// equality — stricter than relstore.Compare, which orders numerics
+// across kinds.
+func rowsIdentical(a, b relstore.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		av, bv := a[i], b[i]
+		if av.K != bv.K || av.I != bv.I || av.S != bv.S ||
+			math.Float64bits(av.F) != math.Float64bits(bv.F) ||
+			!bytes.Equal(av.B, bv.B) {
+			return false
+		}
+	}
+	return true
+}
+
+// restoreRegistryFromTables rebuilds the attribute/element registry from
+// the mirrored definition tables; used after log replay, which restores
+// those tables but cannot touch the registry directly.
+func (c *Catalog) restoreRegistryFromTables() error {
+	var attrs []core.AttrDef
+	c.DB.MustTable(TAttrDef).Scan(func(_ int64, r relstore.Row) bool {
+		attrs = append(attrs, core.AttrDef{
+			ID: r[0].I, Name: r[1].S, Source: r[2].S, ParentID: r[3].I,
+			SchemaOrder: int(r[4].I), Queryable: r[5].AsBool(),
+			Dynamic: r[6].AsBool(), Owner: r[7].S,
+		})
+		return true
+	})
+	var elems []core.ElemDef
+	var elemErr error
+	c.DB.MustTable(TElemDef).Scan(func(_ int64, r relstore.Row) bool {
+		dt, err := core.ParseDataType(r[4].S)
+		if err != nil {
+			elemErr = fmt.Errorf("elem_def %d: %w", r[0].I, err)
+			return false
+		}
+		elems = append(elems, core.ElemDef{
+			ID: r[0].I, AttrID: r[1].I, Name: r[2].S, Source: r[3].S,
+			Type: dt, Owner: r[5].S,
+		})
+		return true
+	})
+	if elemErr != nil {
+		return elemErr
+	}
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].ID < attrs[j].ID })
+	sort.Slice(elems, func(i, j int) bool { return elems[i].ID < elems[j].ID })
+	return c.Reg.Restore(attrs, elems)
+}
+
+// Checkpoint writes an atomic snapshot and swaps in a fresh log. Safe to
+// call at any time on a durable catalog.
+func (c *Catalog) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dur == nil {
+		return fmt.Errorf("catalog: not opened with durability")
+	}
+	return c.checkpointLocked()
+}
+
+// checkpointLocked implements the checkpoint protocol: write the
+// snapshot (carrying the log's high-water mark) atomically, then replace
+// the log. A crash or failure after the snapshot rename but before the
+// log swap is benign — recovery skips replayed records at or below the
+// snapshot's mark.
+func (c *Catalog) checkpointLocked() error {
+	d := c.dur
+	if err := c.saveFileLocked(d.fs, d.snapPath); err != nil {
+		return fmt.Errorf("%w: checkpoint snapshot: %v", ErrDurability, err)
+	}
+	// The snapshot is durable: recovery no longer needs the log records.
+	d.sinceCheckpoint = 0
+	d.checkpoints++
+	if err := d.w.Reset(d.w.LastSeq() + 1); err != nil {
+		return fmt.Errorf("%w: log reset after checkpoint: %v", ErrDurability, err)
+	}
+	return nil
+}
+
+// Close checkpoints (when durable) and releases the log. The catalog
+// must not be used afterwards.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dur == nil {
+		return nil
+	}
+	err := c.checkpointLocked()
+	if cerr := c.dur.w.Close(); err == nil {
+		err = cerr
+	}
+	c.dur = nil
+	return err
+}
+
+// DurabilityStats returns the durability counters; zero-valued when the
+// catalog was opened without durability.
+func (c *Catalog) DurabilityStats() DurabilityStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.dur == nil {
+		return DurabilityStats{}
+	}
+	s := DurabilityStats{
+		Enabled:         true,
+		WAL:             c.dur.w.Stats(),
+		Checkpoints:     c.dur.checkpoints,
+		SinceCheckpoint: c.dur.sinceCheckpoint,
+		CheckpointEvery: c.dur.every,
+	}
+	if c.dur.lastCheckpointErr != nil {
+		s.LastCheckpointError = c.dur.lastCheckpointErr.Error()
+	}
+	return s
+}

@@ -1,0 +1,337 @@
+package catalog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/faultio"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+// runWorkload applies the full crash workload, failing the test on any
+// error.
+func runWorkload(t *testing.T, c *Catalog) {
+	t.Helper()
+	for _, op := range crashWorkload(t) {
+		if err := op.run(c); err != nil {
+			t.Fatalf("%s: %v", op.name, err)
+		}
+	}
+}
+
+func TestDurableCheckpointBoundsLog(t *testing.T) {
+	mem := faultio.NewMemFS()
+	c, err := openDurableLEAD(t, mem, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, c)
+	st := c.DurabilityStats()
+	if st.Checkpoints == 0 {
+		t.Fatalf("no automatic checkpoints ran: %+v", st)
+	}
+	if st.SinceCheckpoint >= 2 {
+		t.Fatalf("uncheckpointed records accumulated: %+v", st)
+	}
+	if st.LastCheckpointError != "" {
+		t.Fatalf("checkpoint error: %s", st.LastCheckpointError)
+	}
+	// Close checkpoints and resets; the log shrinks to its bare header.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := mem.Size(crashWAL); n != 8 {
+		t.Fatalf("log size after close = %d, want 8 (header only)", n)
+	}
+	// The snapshot alone reproduces the state.
+	rec, err := openDurableLEAD(t, mem, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := newOracleLEAD(t)
+	runWorkload(t, oracle)
+	if got, want := stateFingerprint(rec), stateFingerprint(oracle); got != want {
+		t.Fatalf("state after checkpoint-only recovery diverges:\n%s", diffFingerprint(want, got))
+	}
+}
+
+// TestFaultTransientSyncRollsBack: a single failing fsync must surface
+// as ErrDurability, leave no trace of the mutation in memory, and not
+// poison later mutations once the fault clears.
+func TestFaultTransientSyncRollsBack(t *testing.T) {
+	for _, kind := range []faultio.OpKind{faultio.OpWrite, faultio.OpSync} {
+		t.Run(string(kind), func(t *testing.T) {
+			// Counting run: how many ops of this kind happen before the
+			// first ingest (workload step 7)?
+			ops := crashWorkload(t)
+			faulty := faultio.NewFaulty(faultio.NewMemFS(), faultio.Fault{})
+			c, err := openDurableLEAD(t, faulty, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, op := range ops[:6] {
+				if err := op.run(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			n := faulty.Counts()[kind]
+
+			// Real run: the (n+1)th op of the kind is the ingest's commit.
+			mem := faultio.NewMemFS()
+			faulty = faultio.NewFaulty(mem, faultio.Fault{Op: kind, N: n + 1, Mode: faultio.FailOp})
+			c, err = openDurableLEAD(t, faulty, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, op := range ops[:6] {
+				if err := op.run(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := stateFingerprint(c)
+			_, err = c.IngestXML("scientist", xmlschema.Figure3Document)
+			if !errors.Is(err, ErrDurability) {
+				t.Fatalf("ingest under fault = %v, want ErrDurability", err)
+			}
+			if got := stateFingerprint(c); got != before {
+				t.Fatalf("failed ingest left state behind:\n%s", diffFingerprint(before, got))
+			}
+			// The fault was transient: the retry must succeed and be durable.
+			if _, err := c.IngestXML("scientist", xmlschema.Figure3Document); err != nil {
+				t.Fatalf("retry after transient fault: %v", err)
+			}
+			mem.Crash()
+			rec, err := openDurableLEAD(t, mem, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.ObjectCount() != 1 {
+				t.Fatalf("recovered %d objects, want 1", rec.ObjectCount())
+			}
+		})
+	}
+}
+
+// TestFaultWedgedWriterKeepsAckedState: when the post-failure cleanup
+// also fails (sticky crash), further mutations are refused but every
+// acknowledged object remains readable.
+func TestFaultWedgedWriterKeepsAckedState(t *testing.T) {
+	ops := crashWorkload(t)
+	faulty := faultio.NewFaulty(faultio.NewMemFS(), faultio.Fault{})
+	c, err := openDurableLEAD(t, faulty, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[:7] { // through ingest-1
+		if err := op.run(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := faulty.Counts()[faultio.OpWrite]
+
+	mem := faultio.NewMemFS()
+	faulty = faultio.NewFaulty(mem, faultio.Fault{Op: faultio.OpWrite, N: n + 1, Mode: faultio.CrashOp})
+	c, err = openDurableLEAD(t, faulty, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[:7] {
+		if err := op.run(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := stateFingerprint(c)
+	if _, err := c.IngestXML("scientist", fig3Variant(t, "9")); !errors.Is(err, ErrDurability) {
+		t.Fatalf("ingest on dead disk = %v, want ErrDurability", err)
+	}
+	if _, err := c.IngestXML("scientist", fig3Variant(t, "10")); !errors.Is(err, ErrDurability) {
+		t.Fatalf("second ingest on dead disk = %v, want ErrDurability", err)
+	}
+	if got := stateFingerprint(c); got != before {
+		t.Fatalf("failed mutations altered acknowledged state:\n%s", diffFingerprint(before, got))
+	}
+	if doc, err := c.FetchDocument(1); err != nil || doc == nil {
+		t.Fatalf("read of acknowledged object after disk death: %v", err)
+	}
+}
+
+// TestFaultConcurrentMutationsAndReads exercises the durability funnel
+// under the race detector: concurrent writers with occasional injected
+// transient faults against concurrent readers, then a crash-recovery
+// equivalence check against a serial oracle of the acknowledged ops.
+func TestFaultConcurrentMutationsAndReads(t *testing.T) {
+	mem := faultio.NewMemFS()
+	c, err := openDurableLEAD(t, mem, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register the definitions up front (single-writer phase).
+	ops := crashWorkload(t)
+	for _, op := range ops[:6] {
+		if err := op.run(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const writers, perWriter = 4, 8
+	var mu sync.Mutex
+	acked := map[string]bool{} // dx value -> acknowledged
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				dx := fmt.Sprintf("%d", 1000+w*100+i)
+				if _, err := c.IngestXML("scientist", fig3Variant(t, dx)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				mu.Lock()
+				acked[dx] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				for _, o := range c.Objects() {
+					if _, err := c.FetchDocument(o.ID); err != nil {
+						t.Errorf("reader: fetch %d: %v", o.ID, err)
+						return
+					}
+				}
+				c.DurabilityStats()
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	mem.Crash()
+	rec, err := openDurableLEAD(t, mem, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rec.ObjectCount(), writers*perWriter; got != want {
+		t.Fatalf("recovered %d objects, want %d", got, want)
+	}
+	// Every acknowledged document must reconstruct with its dx intact.
+	seen := map[string]bool{}
+	for _, o := range rec.Objects() {
+		doc, err := rec.FetchDocument(o.ID)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", o.ID, err)
+		}
+		for _, a := range doc.FindAll("attr") {
+			if a.ChildText("attrlabl") == "dx" {
+				seen[a.ChildText("attrv")] = true
+			}
+		}
+	}
+	for dx := range acked {
+		if !seen[dx] {
+			t.Errorf("acknowledged document dx=%s lost in recovery", dx)
+		}
+	}
+}
+
+// TestFaultCorruptWALRefusedAtBoot: rotted interior log bytes must stop
+// recovery rather than silently load partial history.
+func TestFaultCorruptWALRefusedAtBoot(t *testing.T) {
+	mem := faultio.NewMemFS()
+	c, err := openDurableLEAD(t, mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, c)
+	data := mem.Bytes(crashWAL)
+	if len(data) < 100 {
+		t.Fatalf("log unexpectedly small: %d bytes", len(data))
+	}
+	mutated := append([]byte(nil), data...)
+	mutated[len(data)/2] ^= 0x20 // interior record body
+	mem.SetBytes(crashWAL, mutated)
+	if _, err := openDurableLEAD(t, mem, 0); err == nil {
+		t.Fatal("recovery accepted a corrupt log interior")
+	}
+}
+
+// TestDurableSnapshotCompatibleWithPlainLoad: a durable catalog's
+// checkpoint snapshot loads through the plain Load path too.
+func TestDurableSnapshotCompatibleWithPlainLoad(t *testing.T) {
+	mem := faultio.NewMemFS()
+	c, err := openDurableLEAD(t, mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, c)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(xmlschema.MustLEAD(), Options{}, mem, crashWAL+".snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := newOracleLEAD(t)
+	runWorkload(t, oracle)
+	if got, want := stateFingerprint(loaded), stateFingerprint(oracle); got != want {
+		t.Fatalf("plain load of checkpoint snapshot diverges:\n%s", diffFingerprint(want, got))
+	}
+}
+
+// TestDurableRequiresWALPath documents the configuration contract.
+func TestDurableRequiresWALPath(t *testing.T) {
+	_, err := OpenDurable(xmlschema.MustLEAD(), Options{}, DurabilityOptions{FS: faultio.NewMemFS()})
+	if err == nil {
+		t.Fatal("OpenDurable accepted an empty WAL path")
+	}
+}
+
+// TestFaultSnapshotTruncationRefused: Load must error on every strict
+// prefix of a snapshot — never panic, never half-load.
+func TestFaultSnapshotTruncationRefused(t *testing.T) {
+	c := newLEADCatalog(t, Options{})
+	ingestFig3(t, c)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Load(xmlschema.MustLEAD(), Options{}, bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes loaded successfully", cut, len(full))
+		}
+	}
+	if _, err := Load(xmlschema.MustLEAD(), Options{}, bytes.NewReader(full)); err != nil {
+		t.Fatalf("intact snapshot refused: %v", err)
+	}
+}
+
+// TestFaultSnapshotBitFlipRefused: a single flipped bit anywhere in the
+// snapshot must be detected by the container checksum (or header
+// validation) — never panic, never half-load.
+func TestFaultSnapshotBitFlipRefused(t *testing.T) {
+	c := newLEADCatalog(t, Options{})
+	ingestFig3(t, c)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for off := 0; off < len(full); off++ {
+		mutated := append([]byte(nil), full...)
+		mutated[off] ^= 0x10
+		if _, err := Load(xmlschema.MustLEAD(), Options{}, bytes.NewReader(mutated)); err == nil {
+			t.Fatalf("bit flip at offset %d of %d loaded successfully", off, len(full))
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package faultio
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error every injected fault returns; tests assert
+// with errors.Is that failures trace back to the injection, not to a
+// genuine bug.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// OpKind names the operations Faulty counts and can fail.
+type OpKind string
+
+// Countable operation kinds.
+const (
+	OpWrite    OpKind = "write"
+	OpSync     OpKind = "sync"
+	OpRename   OpKind = "rename"
+	OpCreate   OpKind = "create"
+	OpTruncate OpKind = "truncate"
+)
+
+// Mode selects what an injected fault does.
+type Mode uint8
+
+const (
+	// FailOp makes the Nth operation return ErrInjected once; later
+	// operations succeed. Models a transient I/O error (EIO, ENOSPC
+	// freed later) that a durable server must surface without losing
+	// acknowledged state.
+	FailOp Mode = iota
+	// CrashOp makes the Nth operation fail — a faulting write first
+	// applies Torn bytes of its buffer — and every subsequent operation
+	// fail too. Models the process dying at that instant; recovery is
+	// then exercised on the files left behind.
+	CrashOp
+)
+
+// Fault selects one injection point: the Nth (1-based) operation of the
+// given kind. N == 0 disables injection (the wrapper still counts).
+type Fault struct {
+	Op   OpKind
+	N    int
+	Mode Mode
+	// Torn is how many bytes of the faulting write's buffer reach the
+	// file before the failure (CrashOp writes only).
+	Torn int
+}
+
+// Faulty wraps an FS, counting operations and injecting the configured
+// fault. It is safe for concurrent use.
+type Faulty struct {
+	fs FS
+
+	mu      sync.Mutex
+	fault   Fault
+	counts  map[OpKind]int
+	crashed bool
+}
+
+// NewFaulty wraps fs with the given fault plan.
+func NewFaulty(fs FS, fault Fault) *Faulty {
+	return &Faulty{fs: fs, fault: fault, counts: make(map[OpKind]int)}
+}
+
+// Counts returns a copy of the per-kind operation counters; a fault-free
+// run's counts size the crash matrix.
+func (f *Faulty) Counts() map[OpKind]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[OpKind]int, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Crashed reports whether a CrashOp fault has fired.
+func (f *Faulty) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step counts one operation and reports whether it must fail. torn is
+// meaningful only for OpWrite on a firing CrashOp fault.
+func (f *Faulty) step(kind OpKind) (fail bool, torn int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return true, 0
+	}
+	f.counts[kind]++
+	if f.fault.N > 0 && f.fault.Op == kind && f.counts[kind] == f.fault.N {
+		if f.fault.Mode == CrashOp {
+			f.crashed = true
+		}
+		return true, f.fault.Torn
+	}
+	return false, 0
+}
+
+// Create implements FS.
+func (f *Faulty) Create(name string) (File, error) {
+	if fail, _ := f.step(OpCreate); fail {
+		return nil, ErrInjected
+	}
+	file, err := f.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, file: file}, nil
+}
+
+// Open implements FS. Reads are never failed — recovery-time read errors
+// are the corruption cases the WAL reader handles from file content.
+func (f *Faulty) Open(name string) (File, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrInjected
+	}
+	return f.fs.Open(name)
+}
+
+// OpenAppend implements FS.
+func (f *Faulty) OpenAppend(name string) (File, error) {
+	if fail, _ := f.step(OpCreate); fail {
+		return nil, ErrInjected
+	}
+	file, err := f.fs.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, file: file}, nil
+}
+
+// Rename implements FS.
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if fail, _ := f.step(OpRename); fail {
+		return ErrInjected
+	}
+	return f.fs.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *Faulty) Remove(name string) error {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return ErrInjected
+	}
+	return f.fs.Remove(name)
+}
+
+// Size implements FS.
+func (f *Faulty) Size(name string) (int64, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return 0, ErrInjected
+	}
+	return f.fs.Size(name)
+}
+
+// Truncate implements FS.
+func (f *Faulty) Truncate(name string, size int64) error {
+	if fail, _ := f.step(OpTruncate); fail {
+		return ErrInjected
+	}
+	return f.fs.Truncate(name, size)
+}
+
+// faultyFile wraps a File, routing writes and syncs through the plan.
+type faultyFile struct {
+	f    *Faulty
+	file File
+}
+
+func (ff *faultyFile) Read(p []byte) (int, error) { return ff.file.Read(p) }
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	if fail, torn := ff.f.step(OpWrite); fail {
+		if torn > 0 {
+			if torn > len(p) {
+				torn = len(p)
+			}
+			_, _ = ff.file.Write(p[:torn]) // the torn prefix reaches the file
+		}
+		return 0, ErrInjected
+	}
+	return ff.file.Write(p)
+}
+
+func (ff *faultyFile) Sync() error {
+	if fail, _ := ff.f.step(OpSync); fail {
+		return ErrInjected
+	}
+	return ff.file.Sync()
+}
+
+func (ff *faultyFile) Close() error { return ff.file.Close() }

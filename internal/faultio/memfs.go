@@ -1,0 +1,212 @@
+package faultio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// MemFS is an in-memory FS that models the volatile page cache: every
+// write lands in the file's data immediately (visible to readers), but
+// only the prefix covered by the last Sync is "on disk". Crash()
+// simulates power loss by cutting every file back to its synced prefix,
+// so code that renames or acknowledges before syncing loses data under
+// test exactly as it would in production.
+//
+// Renames move the (data, synced) pair and are treated as immediately
+// durable — the OS implementation fsyncs the directory to earn the same
+// guarantee.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	data   []byte
+	synced int // bytes guaranteed to survive Crash
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+// Crash simulates power loss: every file is cut back to its last-synced
+// prefix and unsynced bytes are gone.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.data = f.data[:f.synced]
+	}
+}
+
+// Bytes returns a copy of the file's current content (synced or not),
+// for test corruption and inspection; nil if the file does not exist.
+func (m *MemFS) Bytes(name string) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return nil
+	}
+	return append([]byte(nil), f.data...)
+}
+
+// SetBytes replaces the file's content, fully synced; for tests that
+// construct truncated or bit-flipped on-disk states directly.
+func (m *MemFS) SetBytes(name string, b []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memFile{data: append([]byte(nil), b...), synced: len(b)}
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[name] = f
+	return &memHandle{fs: m, file: f, writable: true}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return &memHandle{fs: m, file: f}, nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		f = &memFile{}
+		m.files[name] = f
+	}
+	return &memHandle{fs: m, file: f, writable: true, woff: len(f.data)}, nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[oldpath]
+	if f == nil {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	m.files[newpath] = f
+	delete(m.files, oldpath)
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.files[name] == nil {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Size implements FS.
+func (m *MemFS) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return 0, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+	}
+	return int64(len(f.data)), nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("faultio: truncate %s to %d outside [0, %d]", name, size, len(f.data))
+	}
+	f.data = f.data[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+// memHandle is one open descriptor. Reads and writes track independent
+// offsets; writes extend or overwrite data at the write offset.
+type memHandle struct {
+	fs       *MemFS
+	file     *memFile
+	writable bool
+	roff     int
+	woff     int
+	closed   bool
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if h.roff >= len(h.file.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.file.data[h.roff:])
+	h.roff += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if !h.writable {
+		return 0, fmt.Errorf("faultio: write to read-only handle")
+	}
+	f := h.file
+	// Clamp a stale offset (e.g. after an external truncate) to the end.
+	if h.woff > len(f.data) {
+		h.woff = len(f.data)
+	}
+	n := copy(f.data[h.woff:], p)
+	if n < len(p) {
+		f.data = append(f.data, p[n:]...)
+	}
+	h.woff += len(p)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.file.synced = len(h.file.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -31,6 +31,47 @@ type Database struct {
 	// invalidating all derived state after a write is one atomic add (the
 	// catalog's generation-stamped cache scheme).
 	gen atomic.Uint64
+
+	// journal, when set, receives every successful row mutation on the
+	// database's permanent tables (temp tables are scratch space and are
+	// not reported). The write-ahead capture in the catalog uses it to
+	// turn a multi-table operation into one replayable log record. The
+	// hook runs under the mutated table's lock and must not call back
+	// into the table.
+	journal atomic.Pointer[func(TableOp)]
+}
+
+// OpKind tags one journaled row mutation.
+type OpKind uint8
+
+// Journaled mutation kinds.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpUpdate
+)
+
+// TableOp describes one applied row mutation, as reported to the
+// database journal. Row is the inserted row (insert) or the new row
+// (update); Prev is the removed row (delete) or the old row (update).
+// RowID identifies the row for same-process rollback; it is not stable
+// across restarts, so replay locates rows by content instead.
+type TableOp struct {
+	Table string
+	Kind  OpKind
+	RowID int64
+	Row   Row
+	Prev  Row
+}
+
+// SetJournal installs (or, with nil, removes) the database's mutation
+// journal hook.
+func (db *Database) SetJournal(fn func(TableOp)) {
+	if fn == nil {
+		db.journal.Store(nil)
+		return
+	}
+	db.journal.Store(&fn)
 }
 
 // NewDatabase returns an empty database.
@@ -60,6 +101,9 @@ func (db *Database) createTable(name string, temp bool, cols ...Column) (*Table,
 	}
 	t := NewTable(s)
 	t.gen = &db.gen
+	if !temp {
+		t.journal = &db.journal
+	}
 	db.tables[name] = t
 	if temp {
 		db.temp[name] = true

@@ -96,6 +96,22 @@ type Table struct {
 	// a Database share its generation counter; standalone tables get
 	// their own.
 	gen *atomic.Uint64
+
+	// journal, when non-nil, points at the owning database's journal
+	// hook; permanent tables report every successful mutation through it
+	// (see Database.SetJournal). Standalone and temp tables never report.
+	journal *atomic.Pointer[func(TableOp)]
+}
+
+// record reports one applied mutation to the database journal, if any.
+// Called under t.mu after the mutation succeeded.
+func (t *Table) record(kind OpKind, rowID int64, row, prev Row) {
+	if t.journal == nil {
+		return
+	}
+	if fn := t.journal.Load(); fn != nil {
+		(*fn)(TableOp{Table: t.Schema.Name, Kind: kind, RowID: rowID, Row: row, Prev: prev})
+	}
 }
 
 // NewTable creates an empty table with the given schema.
@@ -205,6 +221,7 @@ func (t *Table) Insert(r Row) (int64, error) {
 	}
 	t.live++
 	t.gen.Add(1)
+	t.record(OpInsert, id, nr, nil)
 	return id, nil
 }
 
@@ -233,6 +250,7 @@ func (t *Table) Delete(id int64) bool {
 	t.free = append(t.free, id)
 	t.live--
 	t.gen.Add(1)
+	t.record(OpDelete, id, nil, r)
 	return true
 }
 
@@ -268,6 +286,7 @@ func (t *Table) Update(id int64, r Row) error {
 	}
 	t.rows[id] = nr
 	t.gen.Add(1)
+	t.record(OpUpdate, id, nr, old)
 	return nil
 }
 

@@ -43,13 +43,13 @@ type createCollectionReq struct {
 
 func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) {
 	var req createCollectionReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody)).Decode(&req); err != nil {
+		writeErr(w, bodyStatus(err), err)
 		return
 	}
 	id, err := s.Cat.CreateCollection(req.Name, req.Owner, req.ParentID)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, mutationStatus(err, http.StatusUnprocessableEntity), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
@@ -92,13 +92,18 @@ func (s *Server) handleMembership(add bool) http.HandlerFunc {
 		}
 		if add {
 			if err := s.Cat.AddToCollection(cid, oid); err != nil {
-				writeErr(w, http.StatusUnprocessableEntity, err)
+				writeErr(w, mutationStatus(err, http.StatusUnprocessableEntity), err)
 				return
 			}
 			writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]bool{"removed": s.Cat.RemoveFromCollection(cid, oid)})
+		removed, err := s.Cat.RemoveFromCollection(cid, oid)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"removed": removed})
 	}
 }
 

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/faultio"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+func TestOversizedBodiesGet413(t *testing.T) {
+	ts, _ := newTestServer(t)
+	bigJSON := `{"name":"` + strings.Repeat("x", maxJSONBody) + `"}`
+	for _, path := range []string{"/query", "/search", "/define/attr", "/define/elem", "/collections", "/collections/containing"} {
+		code, _ := post(t, ts.URL+path, "application/json", bigJSON)
+		if code != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s with oversized body: %d, want 413", path, code)
+		}
+	}
+	bigXML := "<doc>" + strings.Repeat("y", maxIngestBody) + "</doc>"
+	if code, _ := post(t, ts.URL+"/ingest?owner=u", "application/xml", bigXML); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("/ingest with oversized body: %d, want 413", code)
+	}
+	// Bodies under the ceiling still reach the handlers.
+	if code, _ := post(t, ts.URL+"/query", "application/json", `{"criteria":[]}`); code == http.StatusRequestEntityTooLarge {
+		t.Error("small query body rejected as too large")
+	}
+}
+
+// TestFaultDurabilityFailureMaps500: when the disk under a durable
+// catalog dies, mutating endpoints must answer 500 (not a 4xx blaming
+// the client) and acknowledged state must stay readable.
+func TestFaultDurabilityFailureMaps500(t *testing.T) {
+	mem := faultio.NewMemFS()
+	// Let the catalog boot and accept one definition, then kill the disk
+	// at the next write.
+	faulty := faultio.NewFaulty(mem, faultio.Fault{Op: faultio.OpWrite, N: 3, Mode: faultio.CrashOp})
+	cat, err := catalog.OpenDurable(xmlschema.MustLEAD(), catalog.Options{}, catalog.DurabilityOptions{
+		FS: faulty, WALPath: "svc.wal",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(cat).Handler())
+	t.Cleanup(ts.Close)
+
+	// Boot cost one write (log header); the first define commits the
+	// second; the next mutation hits the dead disk.
+	if code, body := post(t, ts.URL+"/define/attr", "application/json",
+		`{"name":"grid","source":"ARPS"}`); code != http.StatusCreated {
+		t.Fatalf("define before fault: %d %s", code, body)
+	}
+	code, body := post(t, ts.URL+"/define/attr", "application/json",
+		`{"name":"other","source":"ARPS"}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("define on dead disk: %d %s, want 500", code, body)
+	}
+	if !strings.Contains(body, "durability") {
+		t.Fatalf("error body does not name the durability failure: %s", body)
+	}
+	// Reads still work.
+	if code, _ := get(t, ts.URL+"/defs"); code != http.StatusOK {
+		t.Fatalf("read after disk death: %d", code)
+	}
+}

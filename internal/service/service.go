@@ -72,7 +72,7 @@ func (s *Server) handlePublish(published bool) http.HandlerFunc {
 			return
 		}
 		if err := s.Cat.SetPublished(id, published); err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			writeErr(w, mutationStatus(err, http.StatusNotFound), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"published": published})
@@ -89,24 +89,53 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// Request-body ceilings: an ingest document may be large; queries and
+// definition requests are small. Oversized bodies get 413 instead of a
+// silent truncation.
+const (
+	maxIngestBody = 16 << 20
+	maxJSONBody   = 1 << 20
+)
+
+// bodyStatus maps a body-read error to a status: hitting the
+// MaxBytesReader ceiling is 413, everything else 400.
+func bodyStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// mutationStatus maps a failed catalog mutation to a status: a
+// durability failure (the write-ahead record could not reach stable
+// storage; state was rolled back) is a server-side 500, anything else
+// keeps the handler's validation status.
+func mutationStatus(err error, fallback int) int {
+	if errors.Is(err, catalog.ErrDurability) {
+		return http.StatusInternalServerError
+	}
+	return fallback
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, bodyStatus(err), err)
 		return
 	}
 	id, err := s.Cat.IngestXML(r.URL.Query().Get("owner"), string(body))
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, mutationStatus(err, http.StatusUnprocessableEntity), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
 }
 
 func (s *Server) readQuery(w http.ResponseWriter, r *http.Request) (*catalog.Query, bool) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJSONBody))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, bodyStatus(err), err)
 		return nil, false
 	}
 	q, err := catalog.ParseQueryJSON(body)
@@ -252,13 +281,13 @@ type defineAttrReq struct {
 
 func (s *Server) handleDefineAttr(w http.ResponseWriter, r *http.Request) {
 	var req defineAttrReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody)).Decode(&req); err != nil {
+		writeErr(w, bodyStatus(err), err)
 		return
 	}
 	def, err := s.Cat.RegisterAttr(req.Name, req.Source, req.ParentID, req.Owner)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, mutationStatus(err, http.StatusUnprocessableEntity), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]int64{"attr_id": def.ID})
@@ -274,8 +303,8 @@ type defineElemReq struct {
 
 func (s *Server) handleDefineElem(w http.ResponseWriter, r *http.Request) {
 	var req defineElemReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody)).Decode(&req); err != nil {
+		writeErr(w, bodyStatus(err), err)
 		return
 	}
 	dt, err := core.ParseDataType(req.Type)
@@ -285,7 +314,7 @@ func (s *Server) handleDefineElem(w http.ResponseWriter, r *http.Request) {
 	}
 	def, err := s.Cat.RegisterElem(req.Name, req.Source, req.AttrID, dt, req.Owner)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, mutationStatus(err, http.StatusUnprocessableEntity), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]int64{"elem_id": def.ID})
