@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress crash cover bench experiments quick-experiments examples clean
+.PHONY: all build vet test race stress crash cover bench experiments quick-experiments examples docs clean
 
 all: build vet test
 
@@ -33,6 +33,12 @@ crash:
 
 cover:
 	$(GO) test -cover ./...
+
+# Documentation hygiene: go vet plus a doc-comment lint over the swept
+# packages — every exported declaration there must carry a godoc
+# comment (scripts/doclint.sh).
+docs: vet
+	sh scripts/doclint.sh internal/cache/*.go internal/wal/*.go internal/faultio/*.go internal/obs/*.go hybridcat.go
 
 # One testing.B benchmark per experiment (see DESIGN.md).
 bench:

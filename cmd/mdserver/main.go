@@ -20,10 +20,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/obs"
 	"github.com/gridmeta/hybridcat/internal/ontology"
 	"github.com/gridmeta/hybridcat/internal/service"
 	"github.com/gridmeta/hybridcat/internal/xmlschema"
@@ -50,6 +53,9 @@ func main() {
 		qWorkers   = flag.Int("query-workers", 0, "worker pool size for intra-query fan-out (0 = GOMAXPROCS, 1 = sequential)")
 		cacheSize  = flag.Int("cache-size", 0, "entries per read-cache layer (0 = default)")
 		cacheOff   = flag.Bool("cache-off", false, "disable the generation-stamped read caches")
+		metricsOn  = flag.Bool("metrics", true, "expose the metrics registry at GET /metrics and record query traces at /debug/tracez")
+		traceDepth = flag.Int("trace-depth", 0, "slow-query trace ring size (0 = default, negative = tracing off)")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/ and expvar at /debug/vars")
 	)
 	flag.Parse()
 
@@ -62,6 +68,10 @@ func main() {
 		QueryWorkers: *qWorkers,
 		CacheSize:    *cacheSize,
 		DisableCache: *cacheOff,
+		TraceDepth:   *traceDepth,
+	}
+	if *metricsOn {
+		opts.Metrics = obs.NewRegistry()
 	}
 	cat, err := openCatalog(schema, opts, *walPath, *ckptEvery, *loadPath)
 	if err != nil {
@@ -81,9 +91,13 @@ func main() {
 		log.Printf("mdserver: ontology with %d terms loaded", o.Len())
 	}
 
+	var handler http.Handler = srv.Handler()
+	if *pprofOn {
+		handler = withProfiling(handler)
+	}
 	httpSrv := &http.Server{
 		Addr:    *addr,
-		Handler: logRequests(srv.Handler()),
+		Handler: logRequests(handler),
 		// Slow-client ceilings: a peer that trickles its headers or holds
 		// an idle keep-alive connection cannot pin a goroutine forever.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -134,8 +148,15 @@ func main() {
 	if *walPath != "" {
 		durable = fmt.Sprintf("WAL %s, checkpoint every %d", *walPath, *ckptEvery)
 	}
-	log.Printf("mdserver: schema %s, %d metadata attributes, listening on %s (concurrent reads, %d query workers, %s, %s)",
-		schema.Name, len(schema.Attributes), *addr, workers, caching, durable)
+	observing := "metrics off"
+	if *metricsOn {
+		observing = "metrics on (/metrics, /debug/tracez)"
+		if *pprofOn {
+			observing += ", pprof on (/debug/pprof/)"
+		}
+	}
+	log.Printf("mdserver: schema %s, %d metadata attributes, listening on %s (concurrent reads, %d query workers, %s, %s, %s)",
+		schema.Name, len(schema.Attributes), *addr, workers, caching, durable, observing)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal("mdserver: ", err)
 	}
@@ -196,6 +217,22 @@ func loadSchema(path string) (*xmlschema.Schema, error) {
 		return xmlschema.ParseXSD(path, string(data), "")
 	}
 	return xmlschema.ParseDSL(path, string(data))
+}
+
+// withProfiling mounts the net/http/pprof handlers and the expvar
+// dump in front of the service mux. Opt-in via -pprof: the profiling
+// endpoints expose stack traces and heap contents, which a metadata
+// service should not serve by default.
+func withProfiling(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/", next)
+	return mux
 }
 
 func logRequests(next http.Handler) http.Handler {

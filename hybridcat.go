@@ -18,6 +18,12 @@
 // of schemas like LEAD's) are resolved by registered (name, source)
 // identity rather than document structure, and validated on insert.
 //
+// Catalogs can be opened durable — OpenDurable commits every mutation
+// to a write-ahead log before acknowledging it and recovers from the
+// latest checkpoint snapshot plus the log — and observed: a
+// MetricsRegistry passed in Options.Metrics collects per-layer counters
+// and latency histograms plus a ring of the slowest query traces.
+//
 // Quickstart:
 //
 //	cat, _ := hybridcat.OpenLEAD(hybridcat.Options{})
@@ -37,6 +43,7 @@ import (
 
 	"github.com/gridmeta/hybridcat/internal/catalog"
 	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/obs"
 	"github.com/gridmeta/hybridcat/internal/ontology"
 	"github.com/gridmeta/hybridcat/internal/relstore"
 	"github.com/gridmeta/hybridcat/internal/xmldoc"
@@ -235,3 +242,19 @@ func ParseQueryJSON(data []byte) (*Query, error) { return catalog.ParseQueryJSON
 
 // MarshalQueryJSON renders a query in the JSON wire format.
 func MarshalQueryJSON(q *Query) ([]byte, error) { return catalog.MarshalQueryJSON(q) }
+
+// MetricsRegistry is a sharded, atomic metrics registry. Pass one in
+// Options.Metrics and the catalog publishes counters and histograms for
+// every layer it drives (relational store, read caches, WAL, query
+// pipeline); render it with WriteProm or WriteJSON, or diff Snapshot
+// calls around a workload. See DESIGN.md "Observability".
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// QueryTrace is one recorded catalog operation with its per-stage
+// Figure-4 timings. With metrics on, the catalog keeps the slowest
+// traces in a ring readable via Catalog.Traces (served by mdserver at
+// /debug/tracez).
+type QueryTrace = obs.Trace

@@ -79,7 +79,7 @@ func C2CacheEffect(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	clob, _, err := loadStore(KindClob, g, docs)
+	clob, _, err := loadStore(KindClob, g, docs, o)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"sort"
+
+	"github.com/gridmeta/hybridcat/internal/obs"
 )
 
 // Experiment is one runnable experiment.
@@ -32,6 +34,7 @@ var experiments = map[string]Experiment{
 	"C1": {"C1", "concurrent readers: query throughput scaling", C1ConcurrentReaders},
 	"C2": {"C2", "read caching: cold vs warm vs mutating workloads", C2CacheEffect},
 	"R1": {"R1", "WAL durability: ingest overhead and recovery time", R1Durability},
+	"O1": {"O1", "observability overhead: metrics+tracing on vs off", O1MetricsOverhead},
 }
 
 // IDs lists the experiment IDs in a stable order.
@@ -50,11 +53,23 @@ func Lookup(id string) (Experiment, bool) {
 	return e, ok
 }
 
-// Run executes one experiment by ID.
+// Run executes one experiment by ID. With a metrics registry in the
+// options, the registry is snapshotted around the run and the counter
+// deltas land in Table.Instruments — wall-clock numbers come out paired
+// with the instrument-derived work counts that produced them.
 func Run(id string, o Options) (*Table, error) {
 	e, ok := experiments[id]
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
 	}
-	return e.Run(o)
+	if o.Metrics == nil {
+		return e.Run(o)
+	}
+	before := o.Metrics.Snapshot()
+	tab, err := e.Run(o)
+	if err != nil {
+		return nil, err
+	}
+	tab.Instruments = obs.DiffSnapshots(before, o.Metrics.Snapshot())
+	return tab, nil
 }

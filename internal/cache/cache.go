@@ -21,7 +21,8 @@ package cache
 
 import (
 	"sync"
-	"sync/atomic"
+
+	"github.com/gridmeta/hybridcat/internal/obs"
 )
 
 // Stats is a point-in-time snapshot of one cache's counters.
@@ -43,7 +44,10 @@ type Cache[K comparable, V any] struct {
 	hash   func(K) uint64
 	cap    int // total capacity across shards
 
-	hits, misses, evictions, stale, collapses atomic.Uint64
+	// Counters are obs handles so a registry can adopt them; New starts
+	// them detached. They are swapped only by Instrument, before the
+	// cache is shared (see Instrument).
+	hits, misses, evictions, stale, collapses *obs.Counter
 }
 
 // entry is one cached value; entries form the shard's LRU list.
@@ -84,6 +88,8 @@ func New[K comparable, V any](capacity int, hash func(K) uint64) *Cache[K, V] {
 		nShards /= 2
 	}
 	c := &Cache[K, V]{shards: make([]shard[K, V], nShards), hash: hash, cap: capacity}
+	c.hits, c.misses, c.evictions = obs.NewCounter(), obs.NewCounter(), obs.NewCounter()
+	c.stale, c.collapses = obs.NewCounter(), obs.NewCounter()
 	per := (capacity + nShards - 1) / nShards
 	for i := range c.shards {
 		c.shards[i].cap = per
@@ -116,18 +122,18 @@ func (s *shard[K, V]) get(c *Cache[K, V], gen uint64, key K) (V, bool) {
 	var zero V
 	e := s.entries[key]
 	if e == nil {
-		c.misses.Add(1)
+		c.misses.Inc()
 		return zero, false
 	}
 	if e.gen != gen {
 		s.unlink(e)
 		delete(s.entries, key)
-		c.stale.Add(1)
-		c.misses.Add(1)
+		c.stale.Inc()
+		c.misses.Inc()
 		return zero, false
 	}
 	s.moveFront(e)
-	c.hits.Add(1)
+	c.hits.Inc()
 	return e.val, true
 }
 
@@ -157,7 +163,7 @@ func (s *shard[K, V]) put(c *Cache[K, V], gen uint64, key K, val V) {
 		victim := s.tail
 		s.unlink(victim)
 		delete(s.entries, victim.key)
-		c.evictions.Add(1)
+		c.evictions.Inc()
 	}
 }
 
@@ -180,7 +186,7 @@ func (c *Cache[K, V]) GetOrCompute(gen uint64, key K, load func() (V, error)) (V
 	if fl := s.inflight[key]; fl != nil && fl.gen == gen {
 		s.mu.Unlock()
 		<-fl.done
-		c.collapses.Add(1)
+		c.collapses.Inc()
 		return fl.val, fl.err
 	}
 	fl := &call[V]{gen: gen, done: make(chan struct{})}
@@ -214,17 +220,40 @@ func (c *Cache[K, V]) Purge() {
 	}
 }
 
+// Instrument re-homes the cache's counters onto reg under the
+// cache_hits_total / cache_misses_total / cache_evictions_total /
+// cache_stale_total / cache_collapses_total families labeled
+// {layer="..."}, and registers cache_entries and cache_capacity gauges
+// sampled at exposition time. Stats keeps reporting the same numbers
+// through the shared handles. Call it once, after New and before the
+// cache is shared between goroutines; counts recorded while detached
+// are not carried over. No-op on a nil cache or nil registry.
+func (c *Cache[K, V]) Instrument(reg *obs.Registry, layer string) {
+	if c == nil || reg == nil {
+		return
+	}
+	l := obs.L("layer", layer)
+	c.hits = reg.Counter("cache_hits_total", l)
+	c.misses = reg.Counter("cache_misses_total", l)
+	c.evictions = reg.Counter("cache_evictions_total", l)
+	c.stale = reg.Counter("cache_stale_total", l)
+	c.collapses = reg.Counter("cache_collapses_total", l)
+	reg.GaugeFunc("cache_entries", func() int64 { return int64(c.Len()) }, l)
+	cap := int64(c.cap)
+	reg.GaugeFunc("cache_capacity", func() int64 { return cap }, l)
+}
+
 // Stats snapshots the counters. A nil cache reports zeros.
 func (c *Cache[K, V]) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
 	st := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Stale:     c.stale.Load(),
-		Collapses: c.collapses.Load(),
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
+		Stale:     c.stale.Value(),
+		Collapses: c.collapses.Value(),
 		Capacity:  c.cap,
 	}
 	for i := range c.shards {

@@ -76,6 +76,10 @@ func (c *Catalog) initCaches() {
 	c.caches.resolve = cache.New[string, resolvedQuery](size, cache.StringHash)
 	c.caches.probe = cache.New[string, []relstore.Row](size, cache.StringHash)
 	c.caches.response = cache.New[int64, string](size, cache.Int64Hash)
+	c.caches.eval.Instrument(c.obsv.reg, "evaluate")
+	c.caches.resolve.Instrument(c.obsv.reg, "resolve")
+	c.caches.probe.Instrument(c.obsv.reg, "probe")
+	c.caches.response.Instrument(c.obsv.reg, "response")
 }
 
 // CachingEnabled reports whether the read caches are active.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/obs"
 	"github.com/gridmeta/hybridcat/internal/relstore"
 	"github.com/gridmeta/hybridcat/internal/xmldoc"
 	"github.com/gridmeta/hybridcat/internal/xmlschema"
@@ -57,6 +58,15 @@ type Options struct {
 	// DisableCache turns the generation-stamped read caches off; every
 	// evaluation and response build recomputes from the base tables.
 	DisableCache bool
+	// Metrics, when non-nil, instruments the catalog and everything under
+	// it (relstore tables, cache layers, the WAL, the query pipeline)
+	// onto the given registry, and enables the slow-query trace ring.
+	// Nil — the default — disables all instrumentation at nil-check cost.
+	Metrics *obs.Registry
+	// TraceDepth bounds the ring of slowest per-query traces kept for
+	// /debug/tracez. 0 uses DefaultTraceDepth; negative disables tracing
+	// while keeping metrics. Ignored without Metrics.
+	TraceDepth int
 }
 
 // Catalog is a hybrid XML-relational metadata catalog over one community
@@ -94,6 +104,14 @@ type Catalog struct {
 	capturing bool
 	captured  []relstore.TableOp
 	dur       *durability
+
+	// obsv holds the instrument handles and the slow-trace ring (see
+	// obs.go); zero-valued (all no-ops) without Options.Metrics.
+	obsv catObs
+	// curTrace is the trace of the mutation currently holding the write
+	// lock, so mutateLocked can stamp its WAL commit span; guarded by the
+	// write lock.
+	curTrace *obs.Trace
 }
 
 // Open builds a catalog for a finalized schema: it creates the relational
@@ -112,6 +130,8 @@ func Open(schema *xmlschema.Schema, opts Options) (*Catalog, error) {
 		opts:     opts,
 		clock:    time.Now,
 	}
+	c.initObs()
+	c.DB.SetMetrics(c.obsv.reg)
 	c.initCaches()
 	c.DB.SetJournal(func(op relstore.TableOp) {
 		if c.capturing {

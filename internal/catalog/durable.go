@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"time"
 
 	"github.com/gridmeta/hybridcat/internal/core"
 	"github.com/gridmeta/hybridcat/internal/faultio"
@@ -134,6 +135,8 @@ func OpenDurable(schema *xmlschema.Schema, opts Options, dopts DurabilityOptions
 			return fmt.Errorf("record %d: %w", rec.Seq, err)
 		}
 		replayed++
+		c.obsv.replayRecords.Inc()
+		c.obsv.replayOps.Add(uint64(len(ops)))
 		return nil
 	})
 	if err != nil {
@@ -150,6 +153,7 @@ func OpenDurable(schema *xmlschema.Schema, opts Options, dopts DurabilityOptions
 	}
 	w.SetNextSeq(fromSeq + 1)
 	w.NoSync = dopts.NoSync
+	w.SetMetrics(c.obsv.reg)
 	c.dur = &durability{fs: fs, w: w, snapPath: snapPath, every: dopts.CheckpointEvery}
 	return c, nil
 }
@@ -173,6 +177,12 @@ func (c *Catalog) mutateLocked(fn func() error) error {
 		// outermost frame owns capture, commit, and rollback.
 		return fn()
 	}
+	// The outermost frame is also the traced "mutate" operation; the
+	// write lock guards curTrace, which carries the WAL commit span.
+	tr, done := c.beginOp("mutate", c.obsv.opMutate)
+	defer done()
+	c.curTrace = tr
+	defer func() { c.curTrace = nil }()
 	c.capturing = true
 	c.captured = c.captured[:0]
 	err := fn()
@@ -185,7 +195,13 @@ func (c *Catalog) mutateLocked(fn func() error) error {
 	if c.dur != nil && len(ops) > 0 {
 		payload, derr := encodeOps(ops)
 		if derr == nil {
+			start := time.Now()
 			_, derr = c.dur.w.Commit(payload)
+			if derr == nil {
+				d := time.Since(start)
+				c.obsv.walCommitNanos.Observe(d.Nanoseconds())
+				c.curTrace.AddStage("wal_commit", start, d, int64(len(ops)))
+			}
 		}
 		if derr != nil {
 			c.rollbackOps(ops)
@@ -379,6 +395,7 @@ func (c *Catalog) checkpointLocked() error {
 	// The snapshot is durable: recovery no longer needs the log records.
 	d.sinceCheckpoint = 0
 	d.checkpoints++
+	c.obsv.checkpoints.Inc()
 	if err := d.w.Reset(d.w.LastSeq() + 1); err != nil {
 		return fmt.Errorf("%w: log reset after checkpoint: %v", ErrDurability, err)
 	}

@@ -1,0 +1,129 @@
+package catalog
+
+import (
+	"time"
+
+	"github.com/gridmeta/hybridcat/internal/obs"
+)
+
+// DefaultTraceDepth is the slow-trace ring capacity when Options.Metrics
+// is set and Options.TraceDepth is zero.
+const DefaultTraceDepth = 32
+
+// catObs groups the catalog's instrument handles. Every field is nil
+// when the catalog was opened without Options.Metrics; nil handles are
+// no-ops, so the pipeline code records unconditionally.
+//
+// Families (see DESIGN.md "Observability" for the naming scheme):
+//
+//	catalog_op_nanos{op}      top-level operation latency
+//	query_stage_nanos{stage}  Figure-4 stage latency
+//	query_criterion_rows      materialized rows per criterion probe
+//	query_path_total{path}    parallel vs sequential fan-out decisions
+//	catalog_wal_commit_nanos  full WAL commit (append + fsync) latency
+//	catalog_checkpoints_total
+//	catalog_recovery_replayed_records_total / _ops_total
+type catObs struct {
+	reg  *obs.Registry
+	ring *obs.TraceRing
+
+	opEvaluate *obs.Histogram
+	opSearch   *obs.Histogram
+	opResponse *obs.Histogram
+	opMutate   *obs.Histogram
+
+	stageProbe     *obs.Histogram
+	stageRollup    *obs.Histogram
+	stageIntersect *obs.Histogram
+	stageResponse  *obs.Histogram
+
+	criterionRows  *obs.Histogram
+	pathParallel   *obs.Counter
+	pathSequential *obs.Counter
+
+	walCommitNanos *obs.Histogram
+	checkpoints    *obs.Counter
+	replayRecords  *obs.Counter
+	replayOps      *obs.Counter
+}
+
+// initObs resolves the catalog's instrument handles from Options.Metrics
+// and builds the slow-trace ring; called once from Open, before any
+// table or cache is used.
+func (c *Catalog) initObs() {
+	reg := c.opts.Metrics
+	if reg == nil {
+		return
+	}
+	depth := c.opts.TraceDepth
+	if depth == 0 {
+		depth = DefaultTraceDepth
+	}
+	op := func(name string) *obs.Histogram { return reg.Histogram("catalog_op_nanos", obs.L("op", name)) }
+	stage := func(name string) *obs.Histogram {
+		return reg.Histogram("query_stage_nanos", obs.L("stage", name))
+	}
+	c.obsv = catObs{
+		reg:  reg,
+		ring: obs.NewTraceRing(depth), // negative depth disables tracing
+
+		opEvaluate: op("evaluate"),
+		opSearch:   op("search"),
+		opResponse: op("response"),
+		opMutate:   op("mutate"),
+
+		stageProbe:     stage("probe"),
+		stageRollup:    stage("rollup"),
+		stageIntersect: stage("intersect"),
+		stageResponse:  stage("response"),
+
+		criterionRows:  reg.Histogram("query_criterion_rows"),
+		pathParallel:   reg.Counter("query_path_total", obs.L("path", "parallel")),
+		pathSequential: reg.Counter("query_path_total", obs.L("path", "sequential")),
+
+		walCommitNanos: reg.Histogram("catalog_wal_commit_nanos"),
+		checkpoints:    reg.Counter("catalog_checkpoints_total"),
+		replayRecords:  reg.Counter("catalog_recovery_replayed_records_total"),
+		replayOps:      reg.Counter("catalog_recovery_replayed_ops_total"),
+	}
+}
+
+// Metrics returns the catalog's metrics registry, or nil when the
+// catalog was opened without one.
+func (c *Catalog) Metrics() *obs.Registry { return c.obsv.reg }
+
+// Traces returns the ring of slowest recorded traces, or nil when
+// tracing is off (no registry, or a negative TraceDepth).
+func (c *Catalog) Traces() *obs.TraceRing { return c.obsv.ring }
+
+// noopStage is the shared no-op stage closure for uninstrumented paths.
+var noopStage = func(int64) {}
+
+// beginOp opens a top-level traced operation: a trace destined for the
+// slow ring plus a total-latency observation on h. The returned closure
+// finishes both; with no registry everything degenerates to no-ops.
+func (c *Catalog) beginOp(name string, h *obs.Histogram) (*obs.Trace, func()) {
+	if c.obsv.reg == nil {
+		return nil, func() {}
+	}
+	tr := c.obsv.ring.Begin(name)
+	start := time.Now()
+	return tr, func() {
+		h.Observe(time.Since(start).Nanoseconds())
+		c.obsv.ring.Finish(tr)
+	}
+}
+
+// stageTimer times one pipeline stage into both the trace and the stage
+// histogram; either (or both) may be nil.
+func (c *Catalog) stageTimer(tr *obs.Trace, name string, h *obs.Histogram) func(rows int64) {
+	if tr == nil && h == nil {
+		return noopStage
+	}
+	end := tr.StartStage(name)
+	start := time.Now()
+	return func(rows int64) {
+		end(rows)
+		h.Observe(time.Since(start).Nanoseconds())
+	}
+}

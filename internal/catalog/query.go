@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/obs"
 	"github.com/gridmeta/hybridcat/internal/relstore"
 )
 
@@ -144,67 +145,91 @@ func (c *Catalog) resolve(q *Query) ([]*qNode, []*qNode, error) {
 // IDs, ascending. Evaluations share the catalog's read lock, so any
 // number of them run concurrently.
 func (c *Catalog) Evaluate(q *Query) ([]int64, error) {
+	tr, done := c.beginOp("evaluate", c.obsv.opEvaluate)
+	defer done()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.evaluateLocked(q)
+	return c.evaluateTraced(q, tr)
 }
 
-// evaluateLocked answers the query through the evaluate cache layer;
-// the caller holds c.mu. A hit skips the whole pipeline; concurrent
-// misses for the same key at the same generation collapse onto one
-// computation (singleflight). The cached slice is cloned on every hit so
-// callers may mutate their result freely.
+// evaluateLocked answers the query without trace recording; internal
+// read paths (collections, context scoping) use it. The caller holds
+// c.mu.
 func (c *Catalog) evaluateLocked(q *Query) ([]int64, error) {
+	return c.evaluateTraced(q, nil)
+}
+
+// evaluateTraced answers the query through the evaluate cache layer,
+// stamping tr (which may be nil) along the way; the caller holds c.mu.
+// A hit skips the whole pipeline; concurrent misses for the same key at
+// the same generation collapse onto one computation (singleflight). The
+// cached slice is cloned on every hit so callers may mutate their
+// result freely.
+func (c *Catalog) evaluateTraced(q *Query, tr *obs.Trace) ([]int64, error) {
 	if len(q.Attrs) == 0 {
 		return nil, fmt.Errorf("catalog: query has no attribute criteria")
 	}
 	if c.caches.eval == nil {
-		return c.evaluateUncached(q, "")
+		return c.evaluateUncached(q, "", tr)
 	}
 	key := queryCacheKey(q)
+	computed := false
 	ids, err := c.caches.eval.GetOrCompute(c.DB.Generation(), key, func() ([]int64, error) {
-		return c.evaluateUncached(q, key)
+		computed = true
+		return c.evaluateUncached(q, key, tr)
 	})
 	if err != nil {
 		return nil, err
+	}
+	if !computed {
+		// Answered from the evaluate cache (or by joining another
+		// caller's in-flight computation) — no pipeline stages ran.
+		tr.Annotate("evaluate-cache hit")
 	}
 	return slices.Clone(ids), nil
 }
 
 // evaluateUncached is the Figure-4 pipeline body; the caller holds c.mu.
 // key is the canonical query key when caching is on ("" otherwise),
-// reused for the resolve layer.
-func (c *Catalog) evaluateUncached(q *Query, key string) ([]int64, error) {
+// reused for the resolve layer. tr (which may be nil) receives one span
+// per pipeline stage; the stage histograms are recorded regardless.
+func (c *Catalog) evaluateUncached(q *Query, key string, tr *obs.Trace) ([]int64, error) {
+	// Stage 1+2 (Figure 4 left column): resolve the criteria tree, then
+	// per criteria node the attribute instances directly satisfying its
+	// element predicates, computed with index probes + group-by counting.
+	endProbe := c.stageTimer(tr, "probe", c.obsv.stageProbe)
 	all, tops, err := c.resolveCached(q, key)
 	if err != nil {
 		return nil, err
 	}
-
-	// Stage 1+2 (Figure 4 left column): per criteria node, the attribute
-	// instances directly satisfying its element predicates, computed with
-	// index probes + group-by counting.
-	satisfied, err := c.directSatisfyAll(all)
+	satisfied, err := c.directSatisfyAll(all, tr)
 	if err != nil {
 		return nil, err
 	}
+	endProbe(int64(len(all)))
 
-	// Stage 3 (Figure 4 right column): containment rollup, children
-	// before parents. all is in DFS preorder, so reverse order visits
-	// children first.
+	// Stage 3 (Figure 4 right column): containment rollup through the
+	// sub-attribute inverted list, children before parents. all is in DFS
+	// preorder, so reverse order visits children first.
+	endRollup := c.stageTimer(tr, "rollup", c.obsv.stageRollup)
+	rolled := int64(0)
 	for i := len(all) - 1; i >= 0; i-- {
 		n := all[i]
 		if len(n.children) == 0 {
 			continue
 		}
-		rolled, err := c.containmentRollup(n, satisfied)
+		narrowed, err := c.containmentRollup(n, satisfied)
 		if err != nil {
 			return nil, err
 		}
-		satisfied[n.id] = rolled
+		satisfied[n.id] = narrowed
+		rolled++
 	}
+	endRollup(rolled)
 
 	// Stage 4: objects containing a satisfying instance of every
 	// top-level criterion.
+	endIntersect := c.stageTimer(tr, "intersect", c.obsv.stageIntersect)
 	var tagged []relstore.Iterator
 	for _, top := range tops {
 		tagged = append(tagged, relstore.Project(
@@ -227,7 +252,9 @@ func (c *Catalog) evaluateUncached(q *Query, key string) ([]int64, error) {
 		ids = append(ids, r[0].I)
 	}
 	slices.Sort(ids)
-	return c.filterVisible(q.Owner, ids), nil
+	visible := c.filterVisible(q.Owner, ids)
+	endIntersect(int64(len(visible)))
+	return visible, nil
 }
 
 // satisfiedCols is the row layout flowing between the pipeline stages.
@@ -247,9 +274,18 @@ var satisfiedCols = []string{"object_id", "seq_id"}
 // queries at the same generation — reuse one probe's rows, and
 // concurrent duplicates collapse via singleflight. The cached row
 // slices are shared read-only; each consumer gets its own cursor.
-func (c *Catalog) directSatisfyAll(all []*qNode) (map[int]relstore.Iterator, error) {
+func (c *Catalog) directSatisfyAll(all []*qNode, tr *obs.Trace) (map[int]relstore.Iterator, error) {
 	satisfied := make(map[int]relstore.Iterator, len(all))
 	workers := c.fanoutWorkers(len(all), c.DB.MustTable(TElemData).Len())
+	if workers > 1 {
+		c.obsv.pathParallel.Inc()
+		if tr != nil {
+			tr.Annotate(fmt.Sprintf("path=parallel workers=%d", workers))
+		}
+	} else {
+		c.obsv.pathSequential.Inc()
+		tr.Annotate("path=sequential")
+	}
 	if workers <= 1 && c.caches.probe == nil {
 		for _, n := range all {
 			it, err := c.directSatisfied(n)
@@ -264,6 +300,7 @@ func (c *Catalog) directSatisfyAll(all []*qNode) (map[int]relstore.Iterator, err
 	err := runParallel(workers, len(all), func(i int) error {
 		var err error
 		rows[i], err = c.directSatisfiedRows(all[i])
+		c.obsv.criterionRows.Observe(int64(len(rows[i])))
 		return err
 	})
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/gridmeta/hybridcat/internal/obs"
 	"github.com/gridmeta/hybridcat/internal/relstore"
 	"github.com/gridmeta/hybridcat/internal/xmldoc"
 )
@@ -39,9 +40,11 @@ const (
 //
 // Responses come back in the order of ids; unknown IDs are skipped.
 func (c *Catalog) BuildResponse(ids []int64) ([]Response, error) {
+	tr, done := c.beginOp("response", c.obsv.opResponse)
+	defer done()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.buildResponseLocked(ids)
+	return c.buildResponseTraced(ids, tr)
 }
 
 // buildResponseLocked builds responses while the caller holds c.mu. The
@@ -57,9 +60,17 @@ func (c *Catalog) BuildResponse(ids []int64) ([]Response, error) {
 // and are never cached, so a later ingest of that ID is visible
 // immediately.
 func (c *Catalog) buildResponseLocked(ids []int64) ([]Response, error) {
+	return c.buildResponseTraced(ids, nil)
+}
+
+// buildResponseTraced is buildResponseLocked with a (possibly nil)
+// trace: the whole build is one "response" stage span, annotated with
+// the response-cache hit/miss split.
+func (c *Catalog) buildResponseTraced(ids []int64, tr *obs.Trace) ([]Response, error) {
 	if len(ids) == 0 {
 		return nil, nil
 	}
+	end := c.stageTimer(tr, "response", c.obsv.stageResponse)
 	// De-duplicate, preserving first-occurrence order.
 	uniq := make([]int64, 0, len(ids))
 	seen := make(map[int64]bool, len(ids))
@@ -80,6 +91,9 @@ func (c *Catalog) buildResponseLocked(ids []int64) ([]Response, error) {
 			} else {
 				need = append(need, id)
 			}
+		}
+		if tr != nil {
+			tr.Annotate(fmt.Sprintf("response-cache hits=%d misses=%d", len(uniq)-len(need), len(need)))
 		}
 	}
 	if len(need) > 0 {
@@ -118,6 +132,7 @@ func (c *Catalog) buildResponseLocked(ids []int64) ([]Response, error) {
 			out = append(out, Response{ObjectID: id, XML: xml})
 		}
 	}
+	end(int64(len(out)))
 	return out, nil
 }
 
@@ -242,13 +257,15 @@ func (e *eventIter) Next() (relstore.Row, bool) {
 // lock, so the evaluated IDs and the built documents are one consistent
 // snapshot.
 func (c *Catalog) Search(q *Query) ([]Response, error) {
+	tr, done := c.beginOp("search", c.obsv.opSearch)
+	defer done()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	ids, err := c.evaluateLocked(q)
+	ids, err := c.evaluateTraced(q, tr)
 	if err != nil {
 		return nil, err
 	}
-	return c.buildResponseLocked(ids)
+	return c.buildResponseTraced(ids, tr)
 }
 
 // FetchDocument reconstructs one object's full document.

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketEdges pins the bucket boundaries: 0 lands in bucket
+// 0, each power of two opens a new bucket, and 2^k - 1 closes one.
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, // negative clamps to zero
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1 << 46, 47},       // last regular bucket
+		{1<<47 - 1, 47},     // still last bucket
+		{1 << 47, 47},       // overflow absorbs into last bucket
+		{1<<62 + 12345, 47}, // far overflow
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+
+	h := NewHistogram()
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(cases))
+	}
+	b := h.Buckets()
+	if b[0] != 2 { // -5 and 0
+		t.Errorf("bucket 0 = %d, want 2", b[0])
+	}
+	if b[2] != 2 { // 2 and 3
+		t.Errorf("bucket 2 = %d, want 2", b[2])
+	}
+	if b[47] != 4 { // the four largest observations
+		t.Errorf("bucket 47 = %d, want 4", b[47])
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	if BucketBound(0) != 0 {
+		t.Errorf("BucketBound(0) = %d", BucketBound(0))
+	}
+	if BucketBound(1) != 1 {
+		t.Errorf("BucketBound(1) = %d", BucketBound(1))
+	}
+	if BucketBound(4) != 15 {
+		t.Errorf("BucketBound(4) = %d, want 15", BucketBound(4))
+	}
+	// Bound of bucket i must cover every v with bucketIndex(v) == i.
+	for _, v := range []int64{1, 5, 100, 1e6, 1e12} {
+		i := bucketIndex(v)
+		if uint64(v) > BucketBound(i) {
+			t.Errorf("value %d exceeds its bucket bound %d", v, BucketBound(i))
+		}
+	}
+}
+
+// TestNilHandles verifies every method is a safe no-op on nil handles —
+// the disabled-instrumentation contract the hot paths rely on.
+func TestNilHandles(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Error("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(9)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram counts")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Error("nil registry must return nil handles")
+	}
+	r.GaugeFunc("x", func() int64 { return 1 })
+	if err := r.WriteProm(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+// TestRegistryIdentity verifies handle sharing and label ordering.
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs", L("ep", "/query"), L("code", "200"))
+	b := r.Counter("reqs", L("code", "200"), L("ep", "/query")) // reordered labels
+	if a != b {
+		t.Fatal("label order must not split identities")
+	}
+	other := r.Counter("reqs", L("ep", "/query"), L("code", "500"))
+	if a == other {
+		t.Fatal("distinct label values must be distinct instruments")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatal("shared instrument did not share state")
+	}
+}
+
+// TestConcurrentRegistry hammers get-or-create and mutation from many
+// goroutines; run under -race this is the registry's concurrency test.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared_total").Inc()
+				r.Counter("mine_total", L("w", fmt.Sprint(w%4))).Inc()
+				r.Histogram("lat_nanos").Observe(int64(i))
+				r.Gauge("depth").Set(int64(i))
+				if i%100 == 0 {
+					r.Snapshot()
+					r.WriteProm(&strings.Builder{})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*iters {
+		t.Fatalf("shared_total = %d, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("lat_nanos").Count(); got != workers*iters {
+		t.Fatalf("lat_nanos count = %d, want %d", got, workers*iters)
+	}
+}
+
+// TestWriteProm checks the text exposition: TYPE lines, cumulative
+// non-empty buckets plus +Inf, sum and count series.
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", L("layer", "evaluate")).Add(3)
+	r.Gauge("entries", L("layer", "evaluate")).Set(7)
+	r.GaugeFunc("capacity", func() int64 { return 4096 })
+	h := r.Histogram("lat_nanos", L("stage", "probe"))
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE hits_total counter",
+		`hits_total{layer="evaluate"} 3`,
+		"# TYPE entries gauge",
+		`entries{layer="evaluate"} 7`,
+		"capacity 4096",
+		"# TYPE lat_nanos histogram",
+		`lat_nanos_bucket{stage="probe",le="0"} 1`,
+		`lat_nanos_bucket{stage="probe",le="3"} 3`,   // cumulative: 1 + 2
+		`lat_nanos_bucket{stage="probe",le="127"} 4`, // 100 lands in (63,127]
+		`lat_nanos_bucket{stage="probe",le="+Inf"} 4`,
+		`lat_nanos_sum{stage="probe"} 106`,
+		`lat_nanos_count{stage="probe"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `le="1"`) {
+		t.Errorf("empty bucket le=1 must be elided:\n%s", out)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	h := r.Histogram("lat_nanos")
+	c.Add(5)
+	h.Observe(10)
+	before := r.Snapshot()
+	c.Add(2)
+	h.Observe(30)
+	d := DiffSnapshots(before, r.Snapshot())
+	if d["ops_total"] != 2 {
+		t.Errorf("ops_total delta = %v", d["ops_total"])
+	}
+	if d["lat_nanos_count"] != 1 || d["lat_nanos_sum"] != 30 {
+		t.Errorf("histogram deltas = %v", d)
+	}
+	if _, ok := d["unchanged"]; ok {
+		t.Error("zero deltas must be dropped")
+	}
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage is one timed span inside a Trace. Offsets and durations are
+// monotonic-clock nanoseconds relative to the trace start.
+type Stage struct {
+	Name     string `json:"stage"`
+	OffsetNS int64  `json:"offset_ns"`
+	DurNS    int64  `json:"duration_ns"`
+	Rows     int64  `json:"rows,omitempty"`
+	Note     string `json:"note,omitempty"`
+}
+
+// Trace records one operation (a query, search, or ingest) as a named
+// sequence of stages plus free-form annotations. A nil Trace is a valid
+// disabled trace: every method is a no-op, so pipeline code threads a
+// possibly-nil trace without branching. Traces are built by one
+// goroutine and published only through TraceRing.Finish.
+type Trace struct {
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	TotalNS int64     `json:"total_ns"`
+	Stages  []Stage   `json:"stages"`
+	Notes   []string  `json:"notes,omitempty"`
+
+	begin time.Time // monotonic anchor for offsets
+}
+
+// NewTrace starts a trace anchored at the current monotonic clock.
+func NewTrace(name string) *Trace {
+	now := time.Now()
+	return &Trace{Name: name, Start: now, begin: now}
+}
+
+// StartStage opens a stage and returns the closure that ends it; call
+// it with the row count the stage produced (0 when not meaningful).
+// Safe on a nil trace (the returned closure is a no-op).
+func (t *Trace) StartStage(name string) func(rows int64) {
+	if t == nil {
+		return noopEnd
+	}
+	start := time.Now()
+	return func(rows int64) {
+		t.Stages = append(t.Stages, Stage{
+			Name:     name,
+			OffsetNS: start.Sub(t.begin).Nanoseconds(),
+			DurNS:    time.Since(start).Nanoseconds(),
+			Rows:     rows,
+		})
+	}
+}
+
+var noopEnd = func(int64) {}
+
+// AddStage records an already-measured span (used when the caller timed
+// the span itself). Safe on a nil trace.
+func (t *Trace) AddStage(name string, start time.Time, d time.Duration, rows int64) {
+	if t == nil {
+		return
+	}
+	t.Stages = append(t.Stages, Stage{
+		Name:     name,
+		OffsetNS: start.Sub(t.begin).Nanoseconds(),
+		DurNS:    d.Nanoseconds(),
+		Rows:     rows,
+	})
+}
+
+// Annotate appends a free-form note (cache hit/miss, path taken). Safe
+// on a nil trace.
+func (t *Trace) Annotate(note string) {
+	if t == nil {
+		return
+	}
+	t.Notes = append(t.Notes, note)
+}
+
+// TraceRing retains the slowest finished traces, capacity-bounded. It
+// is not a FIFO: a finished trace is kept only if the ring has room or
+// the trace is slower than the current fastest resident, which is
+// evicted. /debug/tracez serves its contents. A nil TraceRing is valid
+// and drops everything.
+type TraceRing struct {
+	mu      sync.Mutex
+	cap     int
+	traces  []*Trace // sorted ascending by TotalNS; traces[0] is evicted first
+	offered uint64
+}
+
+// NewTraceRing returns a ring keeping the capacity slowest traces.
+// Returns nil (a disabled ring) when capacity <= 0.
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		return nil
+	}
+	return &TraceRing{cap: capacity}
+}
+
+// Begin starts a trace destined for this ring, or nil when the ring is
+// disabled — callers thread the result without checking.
+func (r *TraceRing) Begin(name string) *Trace {
+	if r == nil {
+		return nil
+	}
+	return NewTrace(name)
+}
+
+// Finish stamps the trace's total duration and offers it to the ring.
+// Safe when either the ring or the trace is nil.
+func (r *TraceRing) Finish(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	t.TotalNS = time.Since(t.begin).Nanoseconds()
+	r.Offer(t)
+}
+
+// Offer inserts a finished trace, evicting the fastest resident when
+// full; traces faster than every resident are dropped. Safe on nil.
+func (r *TraceRing) Offer(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.offered++
+	if len(r.traces) >= r.cap {
+		if t.TotalNS <= r.traces[0].TotalNS {
+			return
+		}
+		copy(r.traces, r.traces[1:])
+		r.traces = r.traces[:len(r.traces)-1]
+	}
+	i := sort.Search(len(r.traces), func(i int) bool { return r.traces[i].TotalNS > t.TotalNS })
+	r.traces = append(r.traces, nil)
+	copy(r.traces[i+1:], r.traces[i:])
+	r.traces[i] = t
+}
+
+// Slowest returns the resident traces, slowest first. Empty on nil.
+func (r *TraceRing) Slowest() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, len(r.traces))
+	for i, t := range r.traces {
+		out[len(out)-1-i] = t
+	}
+	return out
+}
+
+// Offered returns how many traces have been offered since the last
+// Reset (0 on nil).
+func (r *TraceRing) Offered() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.offered
+}
+
+// Reset drops all resident traces and zeroes the offered count. Safe on
+// nil.
+func (r *TraceRing) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.traces = nil
+	r.offered = 0
+}

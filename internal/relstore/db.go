@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"github.com/gridmeta/hybridcat/internal/obs"
 )
 
 // Database is a named collection of tables. Temp tables share the
@@ -39,6 +41,34 @@ type Database struct {
 	// hook runs under the mutated table's lock and must not call back
 	// into the table.
 	journal atomic.Pointer[func(TableOp)]
+
+	// metrics, when non-nil, supplies per-table row read/write/lookup
+	// counters for permanent tables. Guarded by mu.
+	metrics *obs.Registry
+}
+
+// SetMetrics attaches per-table instrumentation from reg to every
+// existing and future permanent table of the database, under the
+// relstore_row_reads_total / relstore_row_writes_total /
+// relstore_index_lookups_total families labeled {table="..."}. Temp
+// tables are scratch space and are not instrumented. Passing nil is a
+// no-op (the disabled default).
+func (db *Database) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	db.mu.Lock()
+	db.metrics = reg
+	tables := make([]*Table, 0, len(db.tables))
+	for name, t := range db.tables {
+		if !db.temp[name] {
+			tables = append(tables, t)
+		}
+	}
+	db.mu.Unlock()
+	for _, t := range tables {
+		t.setMetrics(reg)
+	}
 }
 
 // OpKind tags one journaled row mutation.
@@ -103,6 +133,9 @@ func (db *Database) createTable(name string, temp bool, cols ...Column) (*Table,
 	t.gen = &db.gen
 	if !temp {
 		t.journal = &db.journal
+		if db.metrics != nil {
+			t.setMetrics(db.metrics)
+		}
 	}
 	db.tables[name] = t
 	if temp {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"github.com/gridmeta/hybridcat/internal/obs"
 )
 
 // IndexKind selects the physical index structure.
@@ -101,6 +103,24 @@ type Table struct {
 	// hook; permanent tables report every successful mutation through it
 	// (see Database.SetJournal). Standalone and temp tables never report.
 	journal *atomic.Pointer[func(TableOp)]
+
+	// Instrument handles (nil when the owning database has no metrics
+	// registry; nil handles are no-ops). Installed by setMetrics and only
+	// ever touched under t.mu, so no extra synchronization is needed.
+	mReads   *obs.Counter // rows surfaced by Get and Scan
+	mWrites  *obs.Counter // successful Insert/Update/Delete
+	mLookups *obs.Counter // index probes (LookupEqual/LookupRange calls)
+}
+
+// setMetrics attaches the table's per-table counters from reg, labeled
+// with the table name (see Database.SetMetrics).
+func (t *Table) setMetrics(reg *obs.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := obs.L("table", t.Schema.Name)
+	t.mReads = reg.Counter("relstore_row_reads_total", l)
+	t.mWrites = reg.Counter("relstore_row_writes_total", l)
+	t.mLookups = reg.Counter("relstore_index_lookups_total", l)
 }
 
 // record reports one applied mutation to the database journal, if any.
@@ -221,6 +241,7 @@ func (t *Table) Insert(r Row) (int64, error) {
 	}
 	t.live++
 	t.gen.Add(1)
+	t.mWrites.Inc()
 	t.record(OpInsert, id, nr, nil)
 	return id, nil
 }
@@ -231,6 +252,9 @@ func (t *Table) Get(id int64) Row {
 	defer t.mu.RUnlock()
 	if id < 0 || id >= int64(len(t.rows)) {
 		return nil
+	}
+	if t.rows[id] != nil {
+		t.mReads.Inc()
 	}
 	return t.rows[id]
 }
@@ -250,6 +274,7 @@ func (t *Table) Delete(id int64) bool {
 	t.free = append(t.free, id)
 	t.live--
 	t.gen.Add(1)
+	t.mWrites.Inc()
 	t.record(OpDelete, id, nil, r)
 	return true
 }
@@ -286,6 +311,7 @@ func (t *Table) Update(id int64, r Row) error {
 	}
 	t.rows[id] = nr
 	t.gen.Add(1)
+	t.mWrites.Inc()
 	t.record(OpUpdate, id, nr, old)
 	return nil
 }
@@ -302,10 +328,13 @@ func (t *Table) Len() int {
 func (t *Table) Scan(fn func(id int64, r Row) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	var visited uint64
+	defer func() { t.mReads.Add(visited) }()
 	for id, r := range t.rows {
 		if r == nil {
 			continue
 		}
+		visited++
 		if !fn(int64(id), r) {
 			return
 		}
@@ -324,6 +353,7 @@ func (t *Table) LookupEqual(indexName string, vals ...Value) ([]int64, error) {
 	if len(vals) != len(ix.Cols) {
 		return nil, fmt.Errorf("relstore: index %s: got %d key values, want %d", indexName, len(vals), len(ix.Cols))
 	}
+	t.mLookups.Inc()
 	key := EncodeKey(vals...)
 	switch ix.Kind {
 	case HashIndex:
@@ -365,6 +395,7 @@ func (t *Table) LookupRange(indexName string, lo, hi RangeBound) ([]int64, error
 	if ix.Kind != BTreeIndex {
 		return nil, fmt.Errorf("relstore: index %s: range scan requires a B-tree index", indexName)
 	}
+	t.mLookups.Inc()
 	var loKey, hiKey []byte
 	if lo.Set {
 		loKey = EncodeKey(lo.Vals...)

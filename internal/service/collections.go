@@ -27,12 +27,12 @@ func (s *Server) SetOntology(o *ontology.Ontology) { s.ont = o }
 // and extends POST /query with ?collection=N (containment scope) and
 // ?expand=1 (ontology expansion).
 func (s *Server) registerCollectionRoutes(mux *http.ServeMux) {
-	mux.HandleFunc("POST /collections", s.handleCreateCollection)
-	mux.HandleFunc("GET /collections", s.handleListCollections)
-	mux.HandleFunc("PUT /collections/{id}/objects/{oid}", s.handleMembership(true))
-	mux.HandleFunc("DELETE /collections/{id}/objects/{oid}", s.handleMembership(false))
-	mux.HandleFunc("GET /collections/{id}/objects", s.handleCollectionObjects)
-	mux.HandleFunc("POST /collections/containing", s.handleContaining)
+	s.route(mux, "POST /collections", s.handleCreateCollection)
+	s.route(mux, "GET /collections", s.handleListCollections)
+	s.route(mux, "PUT /collections/{id}/objects/{oid}", s.handleMembership(true))
+	s.route(mux, "DELETE /collections/{id}/objects/{oid}", s.handleMembership(false))
+	s.route(mux, "GET /collections/{id}/objects", s.handleCollectionObjects)
+	s.route(mux, "POST /collections/containing", s.handleContaining)
 }
 
 type createCollectionReq struct {

@@ -36,30 +36,37 @@ func New(cat *catalog.Catalog) *Server { return &Server{Cat: cat} }
 //	GET  /schema                -> text ordering table (Figure 2)
 //	POST /define/attr           {"name","source","parent_id","owner"} -> definition
 //	POST /define/elem           {"name","source","attr_id","type","owner"} -> definition
+//	GET  /metrics               -> metrics registry (Prometheus text; ?format=json)
+//	GET  /debug/tracez          -> slowest query traces with stage timings
 //	GET  /debug/cachez          -> read-cache counters + generations
+//	GET  /debug/durabilityz     -> WAL/checkpoint/recovery counters
+//
+// When the catalog has a metrics registry, every route is additionally
+// wrapped with per-endpoint request counters and latency histograms
+// (see instrument in debug.go).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /search", s.handleSearch)
-	mux.HandleFunc("GET /objects", s.handleObjects)
-	mux.HandleFunc("GET /fetch", s.handleFetch)
-	mux.HandleFunc("GET /schema", s.handleSchema)
-	mux.HandleFunc("POST /define/attr", s.handleDefineAttr)
-	mux.HandleFunc("POST /define/elem", s.handleDefineElem)
-	mux.HandleFunc("POST /objects/{id}/publish", s.handlePublish(true))
-	mux.HandleFunc("POST /objects/{id}/unpublish", s.handlePublish(false))
-	mux.HandleFunc("GET /defs", s.handleDefs)
-	mux.HandleFunc("GET /debug/cachez", s.handleCachez)
+	s.route(mux, "POST /ingest", s.handleIngest)
+	s.route(mux, "POST /query", s.handleQuery)
+	s.route(mux, "POST /search", s.handleSearch)
+	s.route(mux, "GET /objects", s.handleObjects)
+	s.route(mux, "GET /fetch", s.handleFetch)
+	s.route(mux, "GET /schema", s.handleSchema)
+	s.route(mux, "POST /define/attr", s.handleDefineAttr)
+	s.route(mux, "POST /define/elem", s.handleDefineElem)
+	s.route(mux, "POST /objects/{id}/publish", s.handlePublish(true))
+	s.route(mux, "POST /objects/{id}/unpublish", s.handlePublish(false))
+	s.route(mux, "GET /defs", s.handleDefs)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/tracez", debugHandler(s.handleTracez))
+	mux.HandleFunc("GET /debug/cachez", debugHandler(func(*http.Request) (any, error) {
+		return s.Cat.CacheStats(), nil
+	}))
+	mux.HandleFunc("GET /debug/durabilityz", debugHandler(func(*http.Request) (any, error) {
+		return s.Cat.DurabilityStats(), nil
+	}))
 	s.registerCollectionRoutes(mux)
 	return mux
-}
-
-// handleCachez dumps the read-cache counters (hits, misses, evictions,
-// stale drops, singleflight collapses per layer) plus the current data
-// and registry generations.
-func (s *Server) handleCachez(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Cat.CacheStats())
 }
 
 // handlePublish flips an object's published flag (§1 privacy: queries

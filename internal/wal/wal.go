@@ -40,8 +40,10 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"github.com/gridmeta/hybridcat/internal/faultio"
+	"github.com/gridmeta/hybridcat/internal/obs"
 )
 
 const (
@@ -90,6 +92,35 @@ type Writer struct {
 	seq    uint64
 	broken error
 	stats  Stats
+	m      walMetrics
+}
+
+// walMetrics are the writer's registry handles; all nil (no-ops) until
+// SetMetrics installs them.
+type walMetrics struct {
+	appends    *obs.Counter
+	bytes      *obs.Counter
+	fsyncs     *obs.Counter
+	fsyncNanos *obs.Histogram
+	resets     *obs.Counter
+}
+
+// SetMetrics attaches registry instrumentation: wal_appends_total,
+// wal_append_bytes_total, wal_fsyncs_total, wal_resets_total counters
+// and a wal_fsync_nanos latency histogram. The Stats counters keep
+// working independently. Call before the writer is used; nil reg is a
+// no-op (the disabled default).
+func (w *Writer) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	w.m = walMetrics{
+		appends:    reg.Counter("wal_appends_total"),
+		bytes:      reg.Counter("wal_append_bytes_total"),
+		fsyncs:     reg.Counter("wal_fsyncs_total"),
+		fsyncNanos: reg.Histogram("wal_fsync_nanos"),
+		resets:     reg.Counter("wal_resets_total"),
+	}
 }
 
 // Open opens (or creates) the log at path, replaying every intact record
@@ -228,12 +259,17 @@ func (w *Writer) Commit(payload []byte) (uint64, error) {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	w.stats.Appends++
+	w.m.appends.Inc()
+	w.m.bytes.Add(uint64(len(buf)))
 	if !w.NoSync {
+		start := time.Now()
 		if err := w.f.Sync(); err != nil {
 			w.rollback()
 			return 0, fmt.Errorf("wal: sync: %w", err)
 		}
 		w.stats.Syncs++
+		w.m.fsyncs.Inc()
+		w.m.fsyncNanos.Observe(time.Since(start).Nanoseconds())
 	}
 	w.seq = seq
 	w.off += int64(len(buf))
@@ -245,10 +281,13 @@ func (w *Writer) Sync() error {
 	if w.broken != nil {
 		return w.broken
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	w.stats.Syncs++
+	w.m.fsyncs.Inc()
+	w.m.fsyncNanos.Observe(time.Since(start).Nanoseconds())
 	return nil
 }
 
@@ -308,6 +347,7 @@ func (w *Writer) Reset(nextSeq uint64) error {
 		w.seq = nextSeq - 1
 	}
 	w.stats.Resets++
+	w.m.resets.Inc()
 	return nil
 }
 

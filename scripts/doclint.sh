@@ -1,0 +1,26 @@
+#!/bin/sh
+# doclint.sh: fail if any exported top-level declaration in the given
+# files lacks a doc comment. Stdlib-only repo, so this is a grep-level
+# check rather than a full linter: a line declaring an exported func,
+# method, type, var, or const must be directly preceded by a // comment.
+#
+#   sh scripts/doclint.sh internal/cache/*.go hybridcat.go
+#
+# Test files are skipped; make docs passes the swept packages.
+status=0
+for f in "$@"; do
+	case "$f" in
+	*_test.go) continue ;;
+	esac
+	awk -v file="$f" '
+		/^(func|type|var|const) [A-Z]/ || /^func \([A-Za-z0-9_]+ \*?[A-Z][^)]*\) [A-Z]/ {
+			if (prev !~ /^\/\//) {
+				printf "%s:%d: exported declaration without doc comment: %s\n", file, NR, $0
+				bad = 1
+			}
+		}
+		{ prev = $0 }
+		END { exit bad }
+	' "$f" || status=1
+done
+exit $status
