@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress crash cover bench experiments quick-experiments examples docs clean
+.PHONY: all build vet test race stress crash mvcc cover bench experiments quick-experiments examples docs clean
 
 all: build vet test
 
@@ -30,6 +30,15 @@ stress:
 # recovery").
 crash:
 	$(GO) test -race -run 'Crash|Fault' -count=1 ./...
+
+# MVCC verification: the snapshot-isolation oracle suite and the
+# swap-point crash matrix under the race detector, the fuzz targets'
+# seed corpora, and a one-repetition smoke of the MV1 contention
+# experiment (DESIGN.md "MVCC snapshots and the lock-free read path").
+mvcc:
+	$(GO) test -race -run 'SnapshotIsolation|CrashMatrixSwapPoints' -count=1 ./internal/relstore/ ./internal/catalog/
+	$(GO) test -race -run 'Fuzz' -count=1 ./internal/catalog/ ./internal/baseline/
+	$(GO) run ./cmd/mdbench -exp MV1 -quick
 
 cover:
 	$(GO) test -cover ./...

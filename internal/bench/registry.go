@@ -15,26 +15,27 @@ type Experiment struct {
 }
 
 var experiments = map[string]Experiment{
-	"F1": {"F1", "Figure 1 pipeline round trip", F1RoundTrip},
-	"F2": {"F2", "Figure 2 schema partitioning and ordering", F2SchemaOrdering},
-	"F3": {"F3", "Figure 3 shredding example", F3Shred},
-	"F4": {"F4", "Figure 4 worked query", F4WorkedQuery},
-	"E1": {"E1", "relational vs native XML throughput", E1Throughput},
-	"E2": {"E2", "query latency vs corpus size", E2QueryScale},
-	"E3": {"E3", "query latency vs nesting depth", E3NestingDepth},
-	"E4": {"E4", "response construction time", E4ResponseBuild},
-	"E5": {"E5", "storage per approach", E5Storage},
-	"E6": {"E6", "dynamic attribute ingest and validation", E6DynamicAttrs},
-	"E7": {"E7", "ordering maintenance on insert", E7OrderingUpdate},
-	"A1": {"A1", "ablation: inverted list", A1InvertedList},
-	"A2": {"A2", "ablation: CLOB granularity", A2ClobGranularity},
-	"A3": {"A3", "ablation: typed columns", A3TypedColumns},
-	"A4": {"A4", "ablation: SQL layer overhead", A4SQLOverhead},
-	"A5": {"A5", "ablation: parallel batch ingest", A5ParallelIngest},
-	"C1": {"C1", "concurrent readers: query throughput scaling", C1ConcurrentReaders},
-	"C2": {"C2", "read caching: cold vs warm vs mutating workloads", C2CacheEffect},
-	"R1": {"R1", "WAL durability: ingest overhead and recovery time", R1Durability},
-	"O1": {"O1", "observability overhead: metrics+tracing on vs off", O1MetricsOverhead},
+	"F1":  {"F1", "Figure 1 pipeline round trip", F1RoundTrip},
+	"F2":  {"F2", "Figure 2 schema partitioning and ordering", F2SchemaOrdering},
+	"F3":  {"F3", "Figure 3 shredding example", F3Shred},
+	"F4":  {"F4", "Figure 4 worked query", F4WorkedQuery},
+	"E1":  {"E1", "relational vs native XML throughput", E1Throughput},
+	"E2":  {"E2", "query latency vs corpus size", E2QueryScale},
+	"E3":  {"E3", "query latency vs nesting depth", E3NestingDepth},
+	"E4":  {"E4", "response construction time", E4ResponseBuild},
+	"E5":  {"E5", "storage per approach", E5Storage},
+	"E6":  {"E6", "dynamic attribute ingest and validation", E6DynamicAttrs},
+	"E7":  {"E7", "ordering maintenance on insert", E7OrderingUpdate},
+	"A1":  {"A1", "ablation: inverted list", A1InvertedList},
+	"A2":  {"A2", "ablation: CLOB granularity", A2ClobGranularity},
+	"A3":  {"A3", "ablation: typed columns", A3TypedColumns},
+	"A4":  {"A4", "ablation: SQL layer overhead", A4SQLOverhead},
+	"A5":  {"A5", "ablation: parallel batch ingest", A5ParallelIngest},
+	"C1":  {"C1", "concurrent readers: query throughput scaling", C1ConcurrentReaders},
+	"MV1": {"MV1", "MVCC snapshots: reader throughput under writer contention", MV1Contention},
+	"C2":  {"C2", "read caching: cold vs warm vs mutating workloads", C2CacheEffect},
+	"R1":  {"R1", "WAL durability: ingest overhead and recovery time", R1Durability},
+	"O1":  {"O1", "observability overhead: metrics+tracing on vs off", O1MetricsOverhead},
 }
 
 // IDs lists the experiment IDs in a stable order.

@@ -115,7 +115,7 @@ func (c *Catalog) IngestBatch(owner string, docs []*xmldoc.Node, workers int) ([
 				return err
 			}
 		}
-		objT := c.DB.MustTable(TObjects)
+		objT := c.wtab(TObjects)
 		ids = make([]int64, 0, len(docs))
 		created := c.clock().UTC().Format(time.RFC3339)
 		for i, doc := range docs {

@@ -24,23 +24,24 @@ import (
 //     HashJoin/ancestor reconstruction.
 //
 // All four are generation-stamped: evaluate/probe/response by the
-// relstore database generation (bumped by every row mutation — ingest,
-// delete, publish, membership, definition mirroring), resolve by the
-// registry generation (bumped by dynamic registration). A mutation
-// invalidates by bumping the counter; no cache entry is ever tracked or
-// walked.
+// epoch of the reader's pinned snapshot (every committed transaction —
+// ingest, delete, publish, membership, definition mirroring — publishes
+// a new epoch), resolve by the pinned registry generation (bumped by
+// dynamic registration). A mutation invalidates by publishing a new
+// epoch; no cache entry is ever tracked or walked.
 //
-// Consistency argument: every cache read and write happens while the
-// caller holds c.mu (read side), and generations advance only under
-// mutations, which hold c.mu write-side for their table writes. So a
-// value stored under data generation g was computed from exactly the
-// table state of generation g, and is served only while the observed
-// generation is still g. The resolve layer relies on the weaker
-// grow-only contract documented in the cache package: the registry may
-// gain definitions between a compute and its store (registration mutates
-// the registry before taking c.mu), which can only make a cached
-// resolution "newer" than its stamp — indistinguishable from the
-// resolving query having run a moment later.
+// Consistency argument: a reader pins an immutable snapshot at epoch g
+// before touching any table, computes only from that snapshot, and
+// stamps what it stores with g — so a value stamped g was computed from
+// exactly the table state of epoch g, no lock required. The cache
+// serves an entry only to readers presenting the same stamp, so a
+// reader pinned at g can never see a value computed at any other epoch,
+// even while writers publish g+1, g+2, ... concurrently. (A
+// behind-the-current reader may re-store an old-stamped value over a
+// newer one; that costs a recompute later, never correctness.) The
+// resolve layer stamps with the pinned *registry* generation, which
+// survives data-only epochs; resolved trees are pure functions of the
+// pinned definition set, so equal generation means equal resolution.
 
 // DefaultCacheSize is the per-layer entry cap when Options.CacheSize is
 // zero.
@@ -113,15 +114,16 @@ func (c *Catalog) CacheStats() CacheStats {
 
 // resolveCached resolves the query through the resolve layer, keyed by
 // the same canonical query key as the evaluate layer but stamped by the
-// registry generation, so resolved criteria trees survive data
+// pinned registry generation, so resolved criteria trees survive data
 // mutations. Resolution errors are never cached: a criterion that fails
 // today may resolve after the next registration.
-func (c *Catalog) resolveCached(q *Query, key string) ([]*qNode, []*qNode, error) {
+func (v *view) resolveCached(q *Query, key string) ([]*qNode, []*qNode, error) {
+	c := v.c
 	if c.caches.resolve == nil || key == "" {
-		return c.resolve(q)
+		return v.resolve(q)
 	}
-	rq, err := c.caches.resolve.GetOrCompute(c.Reg.Generation(), key, func() (resolvedQuery, error) {
-		all, tops, err := c.resolve(q)
+	rq, err := c.caches.resolve.GetOrCompute(v.reg.Generation(), key, func() (resolvedQuery, error) {
+		all, tops, err := v.resolve(q)
 		if err != nil {
 			return resolvedQuery{}, err
 		}
@@ -212,9 +214,9 @@ func probeKeyOf(n *qNode) string {
 // directly-satisfied instance rows, materialized. Concurrent computes of
 // the same key — e.g. the per-criterion fan-out of two overlapping
 // queries — collapse onto one index probe via singleflight.
-func (c *Catalog) directSatisfiedRows(n *qNode) ([]relstore.Row, error) {
-	return c.caches.probe.GetOrCompute(c.DB.Generation(), n.probeKey, func() ([]relstore.Row, error) {
-		it, err := c.directSatisfied(n)
+func (v *view) directSatisfiedRows(n *qNode) ([]relstore.Row, error) {
+	return v.c.caches.probe.GetOrCompute(v.snap.Epoch(), n.probeKey, func() ([]relstore.Row, error) {
+		it, err := v.directSatisfied(n)
 		if err != nil {
 			return nil, err
 		}

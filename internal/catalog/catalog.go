@@ -79,15 +79,15 @@ type Catalog struct {
 	shredder *core.Shredder
 	opts     Options
 
-	// mu is the catalog-wide reader/writer lock: mutations (ingest,
-	// delete, publish, collection membership, dynamic registration) take
-	// the write lock for multi-table consistency; the whole read path
-	// (Evaluate, BuildResponse, fetch, collection/context queries) shares
-	// the read lock, so any number of queries overlap with each other and
-	// block only while a writer holds the lock. Read methods take the
-	// lock exactly once at their public boundary and delegate to
-	// unexported *Locked helpers — an RLock is not recursively safe in Go
-	// (a writer queued between two RLocks of one goroutine deadlocks).
+	// mu serializes mutations (ingest, delete, publish, collection
+	// membership, dynamic registration) and guards the durability state
+	// (c.dur, c.tx, capture buffers, curTrace). The read path does NOT
+	// take it: every read operation pins an immutable snapshot via
+	// pinView and runs lock-free against it (see view.go), overlapping
+	// freely with writers — who build the next version copy-on-write and
+	// publish it with one atomic pointer swap. Only Save and
+	// DurabilityStats still take the read side, to exclude writers while
+	// walking multiple live tables or the durability counters.
 	mu    sync.RWMutex
 	clock func() time.Time
 
@@ -100,10 +100,23 @@ type Catalog struct {
 	// Write-ahead capture (see durable.go). capturing/captured are only
 	// touched under the write lock: the relstore journal hook appends
 	// every applied row operation to captured while a mutation runs, so
-	// mutateLocked can commit them as one log record or roll them back.
+	// mutateLocked can commit them as one log record before the version
+	// swap, or abort the builder.
 	capturing bool
 	captured  []relstore.TableOp
 	dur       *durability
+
+	// tx is the relstore transaction of the mutation currently holding
+	// the write lock (nil outside mutations); interior helpers address
+	// tables through c.wtab so their writes land in this builder instead
+	// of auto-committing per row. Guarded by the write lock.
+	tx *relstore.Tx
+
+	// crashAfterWALCommit, when set by the fault-injection tests, runs
+	// after the WAL record is durable but before the version swap; a
+	// non-nil return aborts the builder, simulating a crash in that
+	// window.
+	crashAfterWALCommit func() error
 
 	// obsv holds the instrument handles and the slow-trace ring (see
 	// obs.go); zero-valued (all no-ops) without Options.Metrics.
@@ -144,10 +157,15 @@ func Open(schema *xmlschema.Schema, opts Options) (*Catalog, error) {
 	if err := c.initCollections(); err != nil {
 		return nil, err
 	}
-	if err := c.loadSchemaTables(); err != nil {
-		return nil, err
-	}
-	if err := c.syncDefTables(); err != nil {
+	// Batch the bulk seeding into one transaction: one published version
+	// instead of a copy-on-write commit per row.
+	err = c.withTx(func() error {
+		if err := c.loadSchemaTables(); err != nil {
+			return err
+		}
+		return c.syncDefTables()
+	})
+	if err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -269,8 +287,8 @@ func (c *Catalog) createTables() error {
 // loadSchemaTables fills schema_nodes and node_ancestors from the
 // finalized schema's global ordering (Figure 2).
 func (c *Catalog) loadSchemaTables() error {
-	nodes := c.DB.MustTable(TSchemaNodes)
-	ancs := c.DB.MustTable(TNodeAncestors)
+	nodes := c.wtab(TSchemaNodes)
+	ancs := c.wtab(TNodeAncestors)
 	for _, n := range c.Schema.Ordered {
 		parent := 0
 		if n.Parent != nil {
@@ -297,8 +315,8 @@ func (c *Catalog) loadSchemaTables() error {
 // Open and after dynamic registration so the definition tables stay
 // queryable through SQL.
 func (c *Catalog) syncDefTables() error {
-	attrT := c.DB.MustTable(TAttrDef)
-	elemT := c.DB.MustTable(TElemDef)
+	attrT := c.wtab(TAttrDef)
+	elemT := c.wtab(TElemDef)
 	have := make(map[int64]bool)
 	attrT.Scan(func(_ int64, r relstore.Row) bool {
 		have[r[0].I] = true
@@ -394,7 +412,7 @@ func (c *Catalog) Ingest(owner string, doc *xmldoc.Node) (int64, error) {
 				return err
 			}
 		}
-		objT := c.DB.MustTable(TObjects)
+		objT := c.wtab(TObjects)
 		id = objT.NextAutoID()
 		name := doc.Tag
 		if rid := doc.Child("resourceID"); rid != nil {
@@ -428,13 +446,13 @@ func (c *Catalog) IngestXML(owner, xml string) (int64, error) {
 
 func (c *Catalog) insertShred(id int64, res *core.ShredResult) error {
 	oid := relstore.Int(id)
-	attrT := c.DB.MustTable(TAttrData)
+	attrT := c.wtab(TAttrData)
 	for _, a := range res.Attrs {
 		if _, err := attrT.Insert(relstore.Row{oid, relstore.Int(a.AttrID), relstore.Int(int64(a.Seq)), relstore.Null()}); err != nil {
 			return err
 		}
 	}
-	elemT := c.DB.MustTable(TElemData)
+	elemT := c.wtab(TElemData)
 	for _, e := range res.Elems {
 		nval := relstore.Null()
 		if e.HasNum {
@@ -449,7 +467,7 @@ func (c *Catalog) insertShred(id int64, res *core.ShredResult) error {
 			return err
 		}
 	}
-	subT := c.DB.MustTable(TSubAttrs)
+	subT := c.wtab(TSubAttrs)
 	for _, sa := range res.SubAttrs {
 		// With the inverted list disabled (A1 ablation) only direct-parent
 		// links are kept; queries then chase parents recursively.
@@ -465,7 +483,7 @@ func (c *Catalog) insertShred(id int64, res *core.ShredResult) error {
 			return err
 		}
 	}
-	clobT := c.DB.MustTable(TClobs)
+	clobT := c.wtab(TClobs)
 	for _, cl := range res.Clobs {
 		attrID := relstore.Null()
 		seq := relstore.Null()
@@ -576,13 +594,13 @@ func (c *Catalog) removeObjectLocked(id int64) {
 		TSubAttrs: "sub_attrs_by_object",
 		TMembers:  "members_by_object",
 	} {
-		t := c.DB.MustTable(table)
+		t := c.wtab(table)
 		ids, _ := t.LookupEqual(index, relstore.Int(id))
 		for _, rid := range ids {
 			t.Delete(rid)
 		}
 	}
-	clobT := c.DB.MustTable(TClobs)
+	clobT := c.wtab(TClobs)
 	ids, _ := clobT.LookupRange("clobs_by_object",
 		relstore.RangeBound{Vals: []relstore.Value{relstore.Int(id)}, Inclusive: true, Set: true},
 		relstore.RangeBound{Vals: []relstore.Value{relstore.Int(id)}, Inclusive: true, Set: true})
@@ -593,15 +611,11 @@ func (c *Catalog) removeObjectLocked(id int64) {
 
 // ObjectCount returns the number of cataloged objects.
 func (c *Catalog) ObjectCount() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	return c.DB.MustTable(TObjects).Len()
 }
 
 // StorageBytes reports the catalog's resident data size (E5).
 func (c *Catalog) StorageBytes() int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	return c.DB.StorageBytes()
 }
 
@@ -616,8 +630,6 @@ type ObjectInfo struct {
 
 // Objects lists cataloged objects in ID order.
 func (c *Catalog) Objects() []ObjectInfo {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var out []ObjectInfo
 	it := relstore.Sort(relstore.ScanTable(c.DB.MustTable(TObjects)), relstore.SortSpec{Col: 0})
 	for {
@@ -644,21 +656,21 @@ func (c *Catalog) SetPublished(id int64, published bool) error {
 		return fmt.Errorf("catalog: no object %d", id)
 	}
 	return c.mutateLocked(func() error {
-		r := relstore.CloneRow(objT.Get(ids[0]))
+		t := c.wtab(TObjects)
+		r := relstore.CloneRow(t.Get(ids[0]))
 		r[4] = relstore.Bool(published)
-		return objT.Update(ids[0], r)
+		return t.Update(ids[0], r)
 	})
 }
 
 // visibleTo reports whether the object may appear in results for the
 // given querying user: owners see their own objects, everyone sees
 // published ones, and the empty user is the catalog-internal superuser.
-// The caller holds c.mu (read or write).
-func (c *Catalog) visibleTo(user string, objectID int64) bool {
+func (v *view) visibleTo(user string, objectID int64) bool {
 	if user == "" {
 		return true
 	}
-	objT := c.DB.MustTable(TObjects)
+	objT := v.tab(TObjects)
 	ids, _ := objT.LookupEqual("objects_pk", relstore.Int(objectID))
 	if len(ids) == 0 {
 		return false
@@ -667,15 +679,14 @@ func (c *Catalog) visibleTo(user string, objectID int64) bool {
 	return r[2].S == user || r[4].AsBool()
 }
 
-// filterVisible keeps the object IDs visible to the user. The caller
-// holds c.mu (read or write).
-func (c *Catalog) filterVisible(user string, ids []int64) []int64 {
+// filterVisible keeps the object IDs visible to the user.
+func (v *view) filterVisible(user string, ids []int64) []int64 {
 	if user == "" {
 		return ids
 	}
 	out := ids[:0]
 	for _, id := range ids {
-		if c.visibleTo(user, id) {
+		if v.visibleTo(user, id) {
 			out = append(out, id)
 		}
 	}

@@ -87,7 +87,7 @@ func (c *Catalog) CreateCollection(name, owner string, parentID int64) (int64, e
 		parent = relstore.Int(parentID)
 	}
 	if err := c.mutateLocked(func() error {
-		_, err := collT.Insert(relstore.Row{relstore.Int(id), relstore.Str(name), relstore.Str(owner), parent})
+		_, err := c.wtab(TCollections).Insert(relstore.Row{relstore.Int(id), relstore.Str(name), relstore.Str(owner), parent})
 		return err
 	}); err != nil {
 		return 0, err
@@ -124,7 +124,7 @@ func (c *Catalog) AddToCollection(collID, objectID int64) error {
 		return nil
 	}
 	return c.mutateLocked(func() error {
-		_, err := memT.Insert(relstore.Row{relstore.Int(collID), relstore.Int(objectID)})
+		_, err := c.wtab(TMembers).Insert(relstore.Row{relstore.Int(collID), relstore.Int(objectID)})
 		return err
 	})
 }
@@ -140,8 +140,9 @@ func (c *Catalog) RemoveFromCollection(collID, objectID int64) (bool, error) {
 		return false, nil
 	}
 	if err := c.mutateLocked(func() error {
+		t := c.wtab(TMembers)
 		for _, rid := range ids {
-			memT.Delete(rid)
+			t.Delete(rid)
 		}
 		return nil
 	}); err != nil {
@@ -152,8 +153,6 @@ func (c *Catalog) RemoveFromCollection(collID, objectID int64) (bool, error) {
 
 // Collections lists all collections in ID order.
 func (c *Catalog) Collections() []CollectionInfo {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var out []CollectionInfo
 	c.DB.MustTable(TCollections).Scan(func(_ int64, r relstore.Row) bool {
 		info := CollectionInfo{ID: r[0].I, Name: r[1].S, Owner: r[2].S}
@@ -168,9 +167,9 @@ func (c *Catalog) Collections() []CollectionInfo {
 }
 
 // subtreeCollections returns collID and all transitive child collection
-// IDs. The caller holds c.mu (read or write).
-func (c *Catalog) subtreeCollections(collID int64) ([]int64, error) {
-	collT := c.DB.MustTable(TCollections)
+// IDs, walked entirely within the pinned snapshot.
+func (v *view) subtreeCollections(collID int64) ([]int64, error) {
+	collT := v.tab(TCollections)
 	ids, err := collT.LookupEqual("collections_pk", relstore.Int(collID))
 	if err != nil {
 		return nil, err
@@ -202,18 +201,16 @@ func (c *Catalog) subtreeCollections(collID int64) ([]int64, error) {
 // CollectionObjects returns the object IDs in the collection subtree,
 // ascending and de-duplicated.
 func (c *Catalog) CollectionObjects(collID int64) ([]int64, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.collectionObjectsLocked(collID)
+	return c.pinView().collectionObjects(collID)
 }
 
-// collectionObjectsLocked is CollectionObjects with c.mu already held.
-func (c *Catalog) collectionObjectsLocked(collID int64) ([]int64, error) {
-	colls, err := c.subtreeCollections(collID)
+// collectionObjects is CollectionObjects within one pinned view.
+func (v *view) collectionObjects(collID int64) ([]int64, error) {
+	colls, err := v.subtreeCollections(collID)
 	if err != nil {
 		return nil, err
 	}
-	memT := c.DB.MustTable(TMembers)
+	memT := v.tab(TMembers)
 	seen := map[int64]bool{}
 	var out []int64
 	for _, cid := range colls {
@@ -238,16 +235,17 @@ func (c *Catalog) collectionObjectsLocked(collID int64) ([]int64, error) {
 // containment viewpoint: only objects aggregated under the collection
 // can match.
 func (c *Catalog) EvaluateInContext(collID int64, q *Query) ([]int64, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	scope, err := c.collectionObjectsLocked(collID)
+	// One pinned view covers both the scope walk and the evaluation, so
+	// membership and match results come from the same epoch.
+	v := c.pinView()
+	scope, err := v.collectionObjects(collID)
 	if err != nil {
 		return nil, err
 	}
 	if len(scope) == 0 {
 		return nil, nil
 	}
-	ids, err := c.evaluateLocked(q)
+	ids, err := v.evaluateTraced(q, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -268,9 +266,8 @@ func (c *Catalog) EvaluateInContext(collID int64, q *Query) ([]int64, error) {
 // paper's §7 calls out: which collections (directly or through their
 // subtree) contain at least one object matching the query.
 func (c *Catalog) CollectionsContaining(q *Query) ([]int64, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	ids, err := c.evaluateLocked(q)
+	v := c.pinView()
+	ids, err := v.evaluateTraced(q, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +279,7 @@ func (c *Catalog) CollectionsContaining(q *Query) ([]int64, error) {
 		matched[id] = true
 	}
 	// Direct memberships of matching objects.
-	memT := c.DB.MustTable(TMembers)
+	memT := v.tab(TMembers)
 	direct := map[int64]bool{}
 	for _, id := range ids {
 		rows, err := memT.LookupEqual("members_by_object", relstore.Int(id))
@@ -296,7 +293,7 @@ func (c *Catalog) CollectionsContaining(q *Query) ([]int64, error) {
 		}
 	}
 	// Ancestors of those collections also contain the objects.
-	collT := c.DB.MustTable(TCollections)
+	collT := v.tab(TCollections)
 	parentOf := map[int64]int64{}
 	collT.Scan(func(_ int64, r relstore.Row) bool {
 		if !r[3].IsNull() {

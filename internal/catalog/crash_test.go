@@ -318,6 +318,74 @@ func diffFingerprint(want, got string) string {
 	return fmt.Sprintf("lengths differ: want %d lines, got %d", len(w), len(g))
 }
 
+// TestCrashMatrixSwapPoints covers the crash window the filesystem
+// matrix cannot name precisely: after the WAL record is durable but
+// before the version-pointer swap publishes it. The crashAfterWALCommit
+// hook kills each workload step exactly there. Two things must hold:
+// the live catalog must not have published the record (the snapshot
+// epoch is unchanged and the caller got ErrDurability, so the op is
+// unacknowledged), and recovery from the surviving bytes must land on
+// the acked+1 branch of the oracle, because the record did reach the
+// log before the process died.
+func TestCrashMatrixSwapPoints(t *testing.T) {
+	ops := crashWorkload(t)
+	for k := range ops {
+		k := k
+		t.Run(fmt.Sprintf("swap-%d-%s", k, ops[k].name), func(t *testing.T) {
+			mem := faultio.NewMemFS()
+			oracle := newOracleLEAD(t)
+			c, err := openDurableLEAD(t, mem, matrixCheckpointEvery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < k; i++ {
+				if err := ops[i].run(c); err != nil {
+					t.Fatalf("%s: %v", ops[i].name, err)
+				}
+				if err := ops[i].run(oracle); err != nil {
+					t.Fatalf("oracle %s: %v", ops[i].name, err)
+				}
+			}
+
+			injected := errors.New("crash between WAL append and pointer swap")
+			c.crashAfterWALCommit = func() error { return injected }
+			preEpoch := c.DB.Generation()
+			err = ops[k].run(c)
+			if err == nil {
+				t.Fatalf("%s succeeded despite the swap-point crash", ops[k].name)
+			}
+			if !errors.Is(err, ErrDurability) {
+				t.Fatalf("%s failed with %v, want ErrDurability", ops[k].name, err)
+			}
+			if got := c.DB.Generation(); got != preEpoch {
+				t.Fatalf("%s: version pointer swapped (epoch %d -> %d) although the commit failed",
+					ops[k].name, preEpoch, got)
+			}
+
+			// The process dies; the page cache is dropped. The WAL record
+			// was fsynced before the hook fired, so it survives.
+			mem.Crash()
+			rec, err := openDurableLEAD(t, mem, matrixCheckpointEvery)
+			if err != nil {
+				t.Fatalf("recovery after swap-point crash at %q: %v", ops[k].name, err)
+			}
+			if err := ops[k].run(oracle); err != nil {
+				t.Fatalf("oracle %s: %v", ops[k].name, err)
+			}
+			if got, want := stateFingerprint(rec), stateFingerprint(oracle); got != want {
+				t.Fatalf("swap-point crash during %q: recovery must replay the durable record (acked+1):\n%s",
+					ops[k].name, diffFingerprint(want, got))
+			}
+			if _, err := rec.CreateCollection("post-crash", "ops", 0); err != nil {
+				t.Fatalf("mutation after recovery: %v", err)
+			}
+			if err := rec.Close(); err != nil {
+				t.Fatalf("close after recovery: %v", err)
+			}
+		})
+	}
+}
+
 // TestCrashRecoveryFullWorkload crashes only at the very end: every
 // operation acknowledged, nothing checkpointed since the last automatic
 // one, recovery must reproduce the full oracle state.

@@ -106,9 +106,10 @@ func (c *Catalog) DumpDefinitionsJSON() ([]byte, error) {
 // result set: objects [offset, offset+limit) of the ascending ID order.
 // total is the full match count. limit <= 0 means no limit.
 func (c *Catalog) SearchPage(q *Query, offset, limit int) (resp []Response, total int, err error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	ids, err := c.evaluateLocked(q)
+	// One pinned view covers the evaluation and the page's response
+	// build, so the page is internally consistent.
+	v := c.pinView()
+	ids, err := v.evaluateTraced(q, nil)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -120,6 +121,6 @@ func (c *Catalog) SearchPage(q *Query, offset, limit int) (resp []Response, tota
 	if limit > 0 && limit < len(ids) {
 		ids = ids[:limit]
 	}
-	resp, err = c.buildResponseLocked(ids)
+	resp, err = v.buildResponseTraced(ids, nil)
 	return resp, total, err
 }

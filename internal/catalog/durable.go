@@ -18,19 +18,24 @@ import (
 )
 
 // Durability: every mutating catalog operation runs inside mutateLocked,
-// which captures the row-level table operations it applies (via the
-// relstore journal hook) and commits them as ONE write-ahead log record
-// before the operation returns. A multi-table mutation — an ingest
-// touching five tables, a whole batch — is therefore atomic on disk:
-// after a crash it is replayed entirely or not at all.
+// which applies fn's row operations to a copy-on-write relstore
+// transaction, captures them (via the relstore journal hook), commits
+// them as ONE write-ahead log record, and only then publishes the built
+// version with the atomic pointer swap. The journaled commit is
+// therefore build-version → append WAL → swap pointer: a mutation that
+// fails, or whose record cannot be made durable, simply aborts the
+// builder — there is no rollback code to get wrong, and readers never
+// observe a state the log does not contain. A multi-table mutation — an
+// ingest touching five tables, a whole batch — is atomic both on disk
+// and in memory: after a crash it is replayed entirely or not at all,
+// and no concurrent reader ever sees it half-applied.
 //
 // The log is physical (row contents), not logical (catalog operations),
 // so replay is deterministic: it does not depend on the clock, on
 // auto-registration ordering, or on any other state the original
 // execution observed. Row IDs are an in-memory artifact and are not
 // stable across restarts; replay locates rows to delete or update by
-// content instead, while same-process rollback (a failed operation or a
-// failed WAL commit) uses the captured row IDs directly.
+// content instead.
 //
 // Checkpoints bound recovery time: every CheckpointEvery commits the
 // catalog writes an atomic snapshot (temp + fsync + rename) carrying the
@@ -122,24 +127,35 @@ func OpenDurable(schema *xmlschema.Schema, opts Options, dopts DurabilityOptions
 		return nil, err
 	}
 
+	// Replay all intact records into one relstore transaction: later
+	// records must observe earlier ones (content-based row lookup), and
+	// one commit publishes the whole recovered state at a single epoch.
 	replayed := 0
-	w, err := wal.Open(fs, dopts.WALPath, func(rec wal.Record) error {
-		if rec.Seq <= fromSeq {
-			return nil // already contained in the snapshot
-		}
-		ops, err := decodeOps(rec.Payload)
-		if err != nil {
-			return fmt.Errorf("record %d: %w", rec.Seq, err)
-		}
-		if err := c.replayOps(ops); err != nil {
-			return fmt.Errorf("record %d: %w", rec.Seq, err)
-		}
-		replayed++
-		c.obsv.replayRecords.Inc()
-		c.obsv.replayOps.Add(uint64(len(ops)))
-		return nil
+	var w *wal.Writer
+	err := c.withTx(func() error {
+		var werr error
+		w, werr = wal.Open(fs, dopts.WALPath, func(rec wal.Record) error {
+			if rec.Seq <= fromSeq {
+				return nil // already contained in the snapshot
+			}
+			ops, err := decodeOps(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("record %d: %w", rec.Seq, err)
+			}
+			if err := c.replayOps(ops); err != nil {
+				return fmt.Errorf("record %d: %w", rec.Seq, err)
+			}
+			replayed++
+			c.obsv.replayRecords.Inc()
+			c.obsv.replayOps.Add(uint64(len(ops)))
+			return nil
+		})
+		return werr
 	})
 	if err != nil {
+		if w != nil {
+			w.Close()
+		}
 		return nil, fmt.Errorf("catalog: recovering log %s: %w", dopts.WALPath, err)
 	}
 	if replayed > 0 {
@@ -165,16 +181,18 @@ func (c *Catalog) mutate(fn func() error) error {
 	return c.mutateLocked(fn)
 }
 
-// mutateLocked is the single funnel every mutation goes through. It
-// captures the row operations fn applies; if fn fails, or fn succeeds
-// but the operations cannot be committed to the write-ahead log, the
-// captured operations are rolled back in reverse order — the catalog's
-// in-memory state never diverges from what recovery would rebuild.
-// Requires c.mu held for writing.
+// mutateLocked is the single funnel every mutation goes through,
+// implementing the journaled commit as build-version → append WAL →
+// swap pointer. fn's row operations apply to a copy-on-write relstore
+// transaction (fn must address tables through c.wtab) and are captured
+// via the journal hook; if fn fails, or the captured operations cannot
+// be committed to the write-ahead log, the builder is aborted and the
+// published version never changes — readers cannot observe a state
+// recovery would not rebuild. Requires c.mu held for writing.
 func (c *Catalog) mutateLocked(fn func() error) error {
 	if c.capturing {
 		// Nested mutation (a caller composing mutating helpers): the
-		// outermost frame owns capture, commit, and rollback.
+		// outermost frame owns the transaction, capture, and commit.
 		return fn()
 	}
 	// The outermost frame is also the traced "mutate" operation; the
@@ -183,13 +201,16 @@ func (c *Catalog) mutateLocked(fn func() error) error {
 	defer done()
 	c.curTrace = tr
 	defer func() { c.curTrace = nil }()
+	tx := c.DB.Begin()
+	c.tx = tx
 	c.capturing = true
 	c.captured = c.captured[:0]
 	err := fn()
 	ops := c.captured
 	c.capturing = false
 	if err != nil {
-		c.rollbackOps(ops)
+		c.tx = nil
+		tx.Abort()
 		return err
 	}
 	if c.dur != nil && len(ops) > 0 {
@@ -203,43 +224,60 @@ func (c *Catalog) mutateLocked(fn func() error) error {
 				c.curTrace.AddStage("wal_commit", start, d, int64(len(ops)))
 			}
 		}
+		if derr == nil && c.crashAfterWALCommit != nil {
+			// Fault-injection point for the crash matrix: the record is
+			// durable but the pointer swap has not happened yet.
+			derr = c.crashAfterWALCommit()
+		}
 		if derr != nil {
-			c.rollbackOps(ops)
+			c.tx = nil
+			tx.Abort()
 			return fmt.Errorf("%w: %v", ErrDurability, derr)
 		}
+	}
+	c.tx = nil
+	tx.Commit()
+	c.obsv.versionSwaps.Inc()
+	if c.dur != nil && len(ops) > 0 {
 		c.dur.sinceCheckpoint++
 		if c.dur.every > 0 && c.dur.sinceCheckpoint >= c.dur.every {
 			// A failed automatic checkpoint must not fail the mutation —
-			// the record IS durable in the log; surface it via stats.
+			// the record IS durable in the log; surface it via stats. The
+			// snapshot runs after the swap, so it sees the new version.
 			c.dur.lastCheckpointErr = c.checkpointLocked()
 		}
 	}
 	return nil
 }
 
-// rollbackOps undoes captured operations in reverse order using their
-// in-process row IDs. The operations applied successfully moments ago
-// under the same lock, so the inverses cannot fail; any error would mean
-// corrupted in-memory state and panics.
-func (c *Catalog) rollbackOps(ops []relstore.TableOp) {
-	for i := len(ops) - 1; i >= 0; i-- {
-		op := ops[i]
-		t := c.DB.MustTable(op.Table)
-		switch op.Kind {
-		case relstore.OpInsert:
-			if !t.Delete(op.RowID) {
-				panic(fmt.Sprintf("catalog: rollback: insert into %s row %d vanished", op.Table, op.RowID))
-			}
-		case relstore.OpDelete:
-			if _, err := t.Insert(op.Prev); err != nil {
-				panic(fmt.Sprintf("catalog: rollback: reinsert into %s: %v", op.Table, err))
-			}
-		case relstore.OpUpdate:
-			if err := t.Update(op.RowID, op.Prev); err != nil {
-				panic(fmt.Sprintf("catalog: rollback: revert update of %s row %d: %v", op.Table, op.RowID, err))
-			}
-		}
+// withTx runs fn with c.tx bound to one relstore transaction, without
+// journal capture or WAL involvement: the recovery paths (log replay,
+// snapshot load) use it to batch restored rows into a single published
+// version, and nested use composes with an already-open transaction.
+func (c *Catalog) withTx(fn func() error) error {
+	if c.tx != nil {
+		return fn()
 	}
+	tx := c.DB.Begin()
+	c.tx = tx
+	err := fn()
+	c.tx = nil
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	tx.Commit()
+	return nil
+}
+
+// wtab returns the handle mutations (and reads that must observe the
+// in-flight mutation) address the named table through: the open
+// transaction's when one is bound, the live database's otherwise.
+func (c *Catalog) wtab(name string) *relstore.Table {
+	if c.tx != nil {
+		return c.tx.MustTable(name)
+	}
+	return c.DB.MustTable(name)
 }
 
 // walOp is the serialized form of one journaled row operation. RowID is
@@ -271,10 +309,12 @@ func decodeOps(payload []byte) ([]walOp, error) {
 	return ops, nil
 }
 
-// replayOps applies one log record's operations during recovery.
+// replayOps applies one log record's operations during recovery. It
+// runs inside the recovery transaction (see OpenDurable), so each
+// record's content-based row lookups observe every earlier record.
 func (c *Catalog) replayOps(ops []walOp) error {
 	for _, op := range ops {
-		t := c.DB.Table(op.Table)
+		t := c.tx.Table(op.Table)
 		if t == nil {
 			return fmt.Errorf("replay references unknown table %q", op.Table)
 		}

@@ -16,9 +16,8 @@ func (c *Catalog) ExplainQuery(q *Query) ([]string, error) {
 	if len(q.Attrs) == 0 {
 		return nil, fmt.Errorf("catalog: query has no attribute criteria")
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	all, tops, err := c.resolve(q)
+	v := c.pinView()
+	all, tops, err := v.resolve(q)
 	if err != nil {
 		return nil, err
 	}
@@ -29,7 +28,7 @@ func (c *Catalog) ExplainQuery(q *Query) ([]string, error) {
 	// and the rows can feed the rollup.
 	satisfied := make(map[int][]relstore.Row, len(all))
 	for _, n := range all {
-		it, err := c.directSatisfied(n)
+		it, err := v.directSatisfied(n)
 		if err != nil {
 			return nil, err
 		}
@@ -54,7 +53,7 @@ func (c *Catalog) ExplainQuery(q *Query) ([]string, error) {
 		for id, rows := range satisfied {
 			iters[id] = relstore.NewSliceIter(cols, rows)
 		}
-		rolled, err := c.containmentRollup(n, iters)
+		rolled, err := v.containmentRollup(n, iters)
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +77,7 @@ func (c *Catalog) ExplainQuery(q *Query) ([]string, error) {
 	}
 	matches := 0
 	for id, m := range perObject {
-		if len(m) == len(tops) && c.visibleTo(q.Owner, id) {
+		if len(m) == len(tops) && v.visibleTo(q.Owner, id) {
 			matches++
 		}
 	}

@@ -23,6 +23,10 @@ const DefaultTraceDepth = 32
 //	catalog_wal_commit_nanos  full WAL commit (append + fsync) latency
 //	catalog_checkpoints_total
 //	catalog_recovery_replayed_records_total / _ops_total
+//	catalog_snapshot_epoch            published relstore version epoch
+//	catalog_registry_generation       definition-registry generation
+//	catalog_version_swaps_total       committed version publications
+//	catalog_snapshot_pins_total       read-path snapshot pins
 type catObs struct {
 	reg  *obs.Registry
 	ring *obs.TraceRing
@@ -45,6 +49,9 @@ type catObs struct {
 	checkpoints    *obs.Counter
 	replayRecords  *obs.Counter
 	replayOps      *obs.Counter
+
+	versionSwaps *obs.Counter
+	snapshotPins *obs.Counter
 }
 
 // initObs resolves the catalog's instrument handles from Options.Metrics
@@ -85,7 +92,14 @@ func (c *Catalog) initObs() {
 		checkpoints:    reg.Counter("catalog_checkpoints_total"),
 		replayRecords:  reg.Counter("catalog_recovery_replayed_records_total"),
 		replayOps:      reg.Counter("catalog_recovery_replayed_ops_total"),
+
+		versionSwaps: reg.Counter("catalog_version_swaps_total"),
+		snapshotPins: reg.Counter("catalog_snapshot_pins_total"),
 	}
+	// Epoch gauges read the atomic pointers directly, so scraping them
+	// never touches a lock.
+	reg.GaugeFunc("catalog_snapshot_epoch", func() int64 { return int64(c.DB.Generation()) })
+	reg.GaugeFunc("catalog_registry_generation", func() int64 { return int64(c.Reg.Generation()) })
 }
 
 // Metrics returns the catalog's metrics registry, or nil when the

@@ -151,32 +151,41 @@ func loadSnapshot(schema *xmlschema.Schema, opts Options, r io.Reader) (*Catalog
 	if err := c.Reg.Restore(snap.Attrs, snap.Elems); err != nil {
 		return nil, 0, err
 	}
-	// Refresh the mirrored definition tables (Open seeded structural
-	// rows; drop and re-mirror so IDs match the restored registry).
-	for _, name := range []string{TAttrDef, TElemDef} {
-		t := c.DB.MustTable(name)
-		var ids []int64
-		t.Scan(func(id int64, _ relstore.Row) bool {
-			ids = append(ids, id)
-			return true
-		})
-		for _, id := range ids {
-			t.Delete(id)
-		}
-	}
-	if err := c.syncDefTables(); err != nil {
-		return nil, 0, err
-	}
-	// Replay data rows through the normal insert path so every index
-	// rebuilds, and advance the auto-ID counters past restored IDs.
-	for _, name := range dataTables {
-		t := c.DB.MustTable(name)
-		for _, row := range snap.Tables[name] {
-			if _, err := t.Insert(row); err != nil {
-				return nil, 0, fmt.Errorf("catalog: restoring %s: %w", name, err)
+	// The whole restore runs as one relstore transaction: one published
+	// version, not a copy-on-write commit per restored row.
+	err = c.withTx(func() error {
+		// Refresh the mirrored definition tables (Open seeded structural
+		// rows; drop and re-mirror so IDs match the restored registry).
+		for _, name := range []string{TAttrDef, TElemDef} {
+			t := c.wtab(name)
+			var ids []int64
+			t.Scan(func(id int64, _ relstore.Row) bool {
+				ids = append(ids, id)
+				return true
+			})
+			for _, id := range ids {
+				t.Delete(id)
 			}
 		}
+		if err := c.syncDefTables(); err != nil {
+			return err
+		}
+		// Replay data rows through the normal insert path so every index
+		// rebuilds.
+		for _, name := range dataTables {
+			t := c.wtab(name)
+			for _, row := range snap.Tables[name] {
+				if _, err := t.Insert(row); err != nil {
+					return fmt.Errorf("catalog: restoring %s: %w", name, err)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
+	// Advance the auto-ID counters past restored IDs.
 	c.fixAutoIDs()
 	return c, snap.WalSeq, nil
 }

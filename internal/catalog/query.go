@@ -96,8 +96,9 @@ type qElem struct {
 }
 
 // resolve shreds the query into numbered nodes (the paper's "queries are
-// first shredded" step), resolving every identity against the registry.
-func (c *Catalog) resolve(q *Query) ([]*qNode, []*qNode, error) {
+// first shredded" step), resolving every identity against the view's
+// pinned registry.
+func (v *view) resolve(q *Query) ([]*qNode, []*qNode, error) {
 	var all, tops []*qNode
 	var build func(crit *AttrCriteria, parent *qNode) (*qNode, error)
 	build = func(crit *AttrCriteria, parent *qNode) (*qNode, error) {
@@ -105,7 +106,7 @@ func (c *Catalog) resolve(q *Query) ([]*qNode, []*qNode, error) {
 		if parent != nil {
 			parentID = parent.def.ID
 		}
-		def := c.Reg.LookupAttr(crit.Name, crit.Source, parentID, q.Owner)
+		def := v.reg.LookupAttr(crit.Name, crit.Source, parentID, q.Owner)
 		if def == nil {
 			return nil, fmt.Errorf("%w: attribute %q (source %q)", ErrUnknownDefinition, crit.Name, crit.Source)
 		}
@@ -115,7 +116,7 @@ func (c *Catalog) resolve(q *Query) ([]*qNode, []*qNode, error) {
 		n := &qNode{id: len(all) + 1, parent: parent, def: def}
 		all = append(all, n)
 		for _, ep := range crit.Elems {
-			edef := c.Reg.LookupElem(ep.Name, ep.Source, def.ID, q.Owner)
+			edef := v.reg.LookupElem(ep.Name, ep.Source, def.ID, q.Owner)
 			if edef == nil {
 				return nil, fmt.Errorf("%w: element %q (source %q) in attribute %q", ErrUnknownDefinition, ep.Name, ep.Source, crit.Name)
 			}
@@ -142,41 +143,33 @@ func (c *Catalog) resolve(q *Query) ([]*qNode, []*qNode, error) {
 }
 
 // Evaluate runs the Figure-4 pipeline and returns the matching object
-// IDs, ascending. Evaluations share the catalog's read lock, so any
-// number of them run concurrently.
+// IDs, ascending. Each evaluation pins a snapshot at its start and runs
+// lock-free against it, so any number of them run concurrently — with
+// each other and with writers.
 func (c *Catalog) Evaluate(q *Query) ([]int64, error) {
 	tr, done := c.beginOp("evaluate", c.obsv.opEvaluate)
 	defer done()
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.evaluateTraced(q, tr)
-}
-
-// evaluateLocked answers the query without trace recording; internal
-// read paths (collections, context scoping) use it. The caller holds
-// c.mu.
-func (c *Catalog) evaluateLocked(q *Query) ([]int64, error) {
-	return c.evaluateTraced(q, nil)
+	return c.pinView().evaluateTraced(q, tr)
 }
 
 // evaluateTraced answers the query through the evaluate cache layer,
-// stamping tr (which may be nil) along the way; the caller holds c.mu.
-// A hit skips the whole pipeline; concurrent misses for the same key at
-// the same generation collapse onto one computation (singleflight). The
-// cached slice is cloned on every hit so callers may mutate their
-// result freely.
-func (c *Catalog) evaluateTraced(q *Query, tr *obs.Trace) ([]int64, error) {
+// stamping tr (which may be nil) along the way. A hit skips the whole
+// pipeline; concurrent misses for the same key at the same pinned epoch
+// collapse onto one computation (singleflight). The cached slice is
+// cloned on every hit so callers may mutate their result freely.
+func (v *view) evaluateTraced(q *Query, tr *obs.Trace) ([]int64, error) {
+	c := v.c
 	if len(q.Attrs) == 0 {
 		return nil, fmt.Errorf("catalog: query has no attribute criteria")
 	}
 	if c.caches.eval == nil {
-		return c.evaluateUncached(q, "", tr)
+		return v.evaluateUncached(q, "", tr)
 	}
 	key := queryCacheKey(q)
 	computed := false
-	ids, err := c.caches.eval.GetOrCompute(c.DB.Generation(), key, func() ([]int64, error) {
+	ids, err := c.caches.eval.GetOrCompute(v.snap.Epoch(), key, func() ([]int64, error) {
 		computed = true
-		return c.evaluateUncached(q, key, tr)
+		return v.evaluateUncached(q, key, tr)
 	})
 	if err != nil {
 		return nil, err
@@ -189,20 +182,22 @@ func (c *Catalog) evaluateTraced(q *Query, tr *obs.Trace) ([]int64, error) {
 	return slices.Clone(ids), nil
 }
 
-// evaluateUncached is the Figure-4 pipeline body; the caller holds c.mu.
-// key is the canonical query key when caching is on ("" otherwise),
-// reused for the resolve layer. tr (which may be nil) receives one span
-// per pipeline stage; the stage histograms are recorded regardless.
-func (c *Catalog) evaluateUncached(q *Query, key string, tr *obs.Trace) ([]int64, error) {
+// evaluateUncached is the Figure-4 pipeline body, run entirely against
+// the view's pinned snapshot. key is the canonical query key when
+// caching is on ("" otherwise), reused for the resolve layer. tr (which
+// may be nil) receives one span per pipeline stage; the stage
+// histograms are recorded regardless.
+func (v *view) evaluateUncached(q *Query, key string, tr *obs.Trace) ([]int64, error) {
+	c := v.c
 	// Stage 1+2 (Figure 4 left column): resolve the criteria tree, then
 	// per criteria node the attribute instances directly satisfying its
 	// element predicates, computed with index probes + group-by counting.
 	endProbe := c.stageTimer(tr, "probe", c.obsv.stageProbe)
-	all, tops, err := c.resolveCached(q, key)
+	all, tops, err := v.resolveCached(q, key)
 	if err != nil {
 		return nil, err
 	}
-	satisfied, err := c.directSatisfyAll(all, tr)
+	satisfied, err := v.directSatisfyAll(all, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +213,7 @@ func (c *Catalog) evaluateUncached(q *Query, key string, tr *obs.Trace) ([]int64
 		if len(n.children) == 0 {
 			continue
 		}
-		narrowed, err := c.containmentRollup(n, satisfied)
+		narrowed, err := v.containmentRollup(n, satisfied)
 		if err != nil {
 			return nil, err
 		}
@@ -252,7 +247,7 @@ func (c *Catalog) evaluateUncached(q *Query, key string, tr *obs.Trace) ([]int64
 		ids = append(ids, r[0].I)
 	}
 	slices.Sort(ids)
-	visible := c.filterVisible(q.Owner, ids)
+	visible := v.filterVisible(q.Owner, ids)
 	endIntersect(int64(len(visible)))
 	return visible, nil
 }
@@ -274,9 +269,10 @@ var satisfiedCols = []string{"object_id", "seq_id"}
 // queries at the same generation — reuse one probe's rows, and
 // concurrent duplicates collapse via singleflight. The cached row
 // slices are shared read-only; each consumer gets its own cursor.
-func (c *Catalog) directSatisfyAll(all []*qNode, tr *obs.Trace) (map[int]relstore.Iterator, error) {
+func (v *view) directSatisfyAll(all []*qNode, tr *obs.Trace) (map[int]relstore.Iterator, error) {
+	c := v.c
 	satisfied := make(map[int]relstore.Iterator, len(all))
-	workers := c.fanoutWorkers(len(all), c.DB.MustTable(TElemData).Len())
+	workers := c.fanoutWorkers(len(all), v.tab(TElemData).Len())
 	if workers > 1 {
 		c.obsv.pathParallel.Inc()
 		if tr != nil {
@@ -288,7 +284,7 @@ func (c *Catalog) directSatisfyAll(all []*qNode, tr *obs.Trace) (map[int]relstor
 	}
 	if workers <= 1 && c.caches.probe == nil {
 		for _, n := range all {
-			it, err := c.directSatisfied(n)
+			it, err := v.directSatisfied(n)
 			if err != nil {
 				return nil, err
 			}
@@ -299,7 +295,7 @@ func (c *Catalog) directSatisfyAll(all []*qNode, tr *obs.Trace) (map[int]relstor
 	rows := make([][]relstore.Row, len(all))
 	err := runParallel(workers, len(all), func(i int) error {
 		var err error
-		rows[i], err = c.directSatisfiedRows(all[i])
+		rows[i], err = v.directSatisfiedRows(all[i])
 		c.obsv.criterionRows.Observe(int64(len(rows[i])))
 		return err
 	})
@@ -314,10 +310,10 @@ func (c *Catalog) directSatisfyAll(all []*qNode, tr *obs.Trace) (map[int]relstor
 
 // directSatisfied computes the instances of n's attribute definition that
 // satisfy all of n's element predicates: rows [object_id, seq_id].
-func (c *Catalog) directSatisfied(n *qNode) (relstore.Iterator, error) {
+func (v *view) directSatisfied(n *qNode) (relstore.Iterator, error) {
 	if len(n.elems) == 0 {
 		// No element criteria: every instance of the definition.
-		attrT := c.DB.MustTable(TAttrData)
+		attrT := v.tab(TAttrData)
 		ids, err := attrT.LookupEqual("attr_data_by_attr", relstore.Int(n.def.ID))
 		if err != nil {
 			return nil, err
@@ -329,7 +325,7 @@ func (c *Catalog) directSatisfied(n *qNode) (relstore.Iterator, error) {
 	// count (the paper's required-element-count check).
 	var parts []relstore.Iterator
 	for k, qe := range n.elems {
-		probe, err := c.probeElem(qe)
+		probe, err := v.probeElem(qe)
 		if err != nil {
 			return nil, err
 		}
@@ -346,17 +342,17 @@ func (c *Catalog) directSatisfied(n *qNode) (relstore.Iterator, error) {
 // probeElem returns rows [object_id, seq_id] of attribute instances with
 // an element row matching the predicate, using the typed B-tree indexes.
 // OneOf predicates union one equality probe per accepted value.
-func (c *Catalog) probeElem(qe qElem) (relstore.Iterator, error) {
+func (v *view) probeElem(qe qElem) (relstore.Iterator, error) {
 	if len(qe.pred.OneOf) > 0 {
 		if qe.pred.Op != relstore.OpEq {
 			return nil, fmt.Errorf("catalog: OneOf requires an equality predicate")
 		}
 		var parts []relstore.Iterator
-		for _, v := range qe.pred.OneOf {
+		for _, val := range qe.pred.OneOf {
 			single := qe
 			single.pred.OneOf = nil
-			single.pred.Value = v
-			it, err := c.probeElem(single)
+			single.pred.Value = val
+			it, err := v.probeElem(single)
 			if err != nil {
 				return nil, err
 			}
@@ -364,7 +360,7 @@ func (c *Catalog) probeElem(qe qElem) (relstore.Iterator, error) {
 		}
 		return relstore.Distinct(relstore.Union(parts...)), nil
 	}
-	elemT := c.DB.MustTable(TElemData)
+	elemT := v.tab(TElemData)
 	eid := relstore.Int(qe.def.ID)
 	var ids []int64
 	var err error
@@ -449,11 +445,11 @@ func notNullNval(r relstore.Row) bool { return !r[6].IsNull() }
 // (§4). With the inverted list disabled (A1 ablation) it falls back to
 // recursive parent-chasing over direct-parent links, which the ablation
 // benchmark contrasts.
-func (c *Catalog) containmentRollup(n *qNode, satisfied map[int]relstore.Iterator) (relstore.Iterator, error) {
-	if c.opts.DisableInvertedList {
-		return c.recursiveRollup(n, satisfied)
+func (v *view) containmentRollup(n *qNode, satisfied map[int]relstore.Iterator) (relstore.Iterator, error) {
+	if v.c.opts.DisableInvertedList {
+		return v.recursiveRollup(n, satisfied)
 	}
-	subT := c.DB.MustTable(TSubAttrs)
+	subT := v.tab(TSubAttrs)
 	var parts []relstore.Iterator
 	for _, child := range n.children {
 		// Inverted-list rows of the child's definition, narrowed to
@@ -485,8 +481,8 @@ func (c *Catalog) containmentRollup(n *qNode, satisfied map[int]relstore.Iterato
 // only direct-parent (depth-1) links stored, the ancestor instances of
 // each satisfied child must be found by chasing parents level by level —
 // the per-level self-joins that hinder the edge-table approach (§6).
-func (c *Catalog) recursiveRollup(n *qNode, satisfied map[int]relstore.Iterator) (relstore.Iterator, error) {
-	subT := c.DB.MustTable(TSubAttrs)
+func (v *view) recursiveRollup(n *qNode, satisfied map[int]relstore.Iterator) (relstore.Iterator, error) {
+	subT := v.tab(TSubAttrs)
 	type inst struct{ object, attrID, seq int64 }
 	var parts []relstore.Iterator
 	for _, child := range n.children {

@@ -42,31 +42,25 @@ const (
 func (c *Catalog) BuildResponse(ids []int64) ([]Response, error) {
 	tr, done := c.beginOp("response", c.obsv.opResponse)
 	defer done()
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.buildResponseTraced(ids, tr)
+	return c.pinView().buildResponseTraced(ids, tr)
 }
 
-// buildResponseLocked builds responses while the caller holds c.mu. The
-// per-object builds are independent, so with enough CLOB rows the
-// requested IDs split into contiguous chunks built by a bounded worker
-// pool; each worker runs the full sorted-outer-union plan over only its
-// chunk's rows, and the chunk maps merge back in the caller's order.
+// buildResponseTraced builds responses against the view's pinned
+// snapshot; the whole build is one "response" stage span on the
+// (possibly nil) trace, annotated with the response-cache hit/miss
+// split. The per-object builds are independent, so with enough CLOB
+// rows the requested IDs split into contiguous chunks built by a
+// bounded worker pool; each worker runs the full sorted-outer-union
+// plan over only its chunk's rows, and the chunk maps merge back in the
+// caller's order.
 //
 // With the response cache on, per-object documents recalled at the
-// current data generation skip the build entirely; only cache misses go
-// through the §5 plan, and their results are stored for the next
-// overlapping result set. Objects that do not exist produce no map entry
-// and are never cached, so a later ingest of that ID is visible
-// immediately.
-func (c *Catalog) buildResponseLocked(ids []int64) ([]Response, error) {
-	return c.buildResponseTraced(ids, nil)
-}
-
-// buildResponseTraced is buildResponseLocked with a (possibly nil)
-// trace: the whole build is one "response" stage span, annotated with
-// the response-cache hit/miss split.
-func (c *Catalog) buildResponseTraced(ids []int64, tr *obs.Trace) ([]Response, error) {
+// pinned epoch skip the build entirely; only cache misses go through
+// the §5 plan, and their results are stored for the next overlapping
+// result set. Objects that do not exist produce no map entry and are
+// never cached, so a later ingest of that ID is visible immediately.
+func (v *view) buildResponseTraced(ids []int64, tr *obs.Trace) ([]Response, error) {
+	c := v.c
 	if len(ids) == 0 {
 		return nil, nil
 	}
@@ -80,7 +74,7 @@ func (c *Catalog) buildResponseTraced(ids []int64, tr *obs.Trace) ([]Response, e
 			uniq = append(uniq, id)
 		}
 	}
-	gen := c.DB.Generation()
+	gen := v.snap.Epoch()
 	byObject := make(map[int64]string, len(uniq))
 	need := uniq
 	if c.caches.response != nil {
@@ -97,9 +91,9 @@ func (c *Catalog) buildResponseTraced(ids []int64, tr *obs.Trace) ([]Response, e
 		}
 	}
 	if len(need) > 0 {
-		workers := c.fanoutWorkers(len(need), c.DB.MustTable(TClobs).Len())
+		workers := c.fanoutWorkers(len(need), v.tab(TClobs).Len())
 		if workers <= 1 {
-			m, err := c.buildResponseChunk(need)
+			m, err := v.buildResponseChunk(need)
 			if err != nil {
 				return nil, err
 			}
@@ -111,7 +105,7 @@ func (c *Catalog) buildResponseTraced(ids []int64, tr *obs.Trace) ([]Response, e
 			chunks := chunkContiguous(need, workers)
 			maps := make([]map[int64]string, len(chunks))
 			err := runParallel(workers, len(chunks), func(i int) error {
-				m, err := c.buildResponseChunk(chunks[i])
+				m, err := v.buildResponseChunk(chunks[i])
 				maps[i] = m
 				return err
 			})
@@ -137,11 +131,11 @@ func (c *Catalog) buildResponseTraced(ids []int64, tr *obs.Trace) ([]Response, e
 }
 
 // buildResponseChunk runs the §5 set-based plan for one batch of object
-// IDs and returns each object's tagged XML. The caller holds c.mu.
-func (c *Catalog) buildResponseChunk(ids []int64) (map[int64]string, error) {
-	clobT := c.DB.MustTable(TClobs)
-	ancT := c.DB.MustTable(TNodeAncestors)
-	nodeT := c.DB.MustTable(TSchemaNodes)
+// IDs against the pinned snapshot and returns each object's tagged XML.
+func (v *view) buildResponseChunk(ids []int64) (map[int64]string, error) {
+	clobT := v.tab(TClobs)
+	ancT := v.tab(TNodeAncestors)
+	nodeT := v.tab(TSchemaNodes)
 
 	// Step 1: CLOB rows for the requested objects, via the per-object
 	// B-tree index.
@@ -253,26 +247,23 @@ func (e *eventIter) Next() (relstore.Row, bool) {
 }
 
 // Search evaluates a query and builds the tagged responses for every
-// matching object — the full Figure 1 pipeline — under one shared read
-// lock, so the evaluated IDs and the built documents are one consistent
-// snapshot.
+// matching object — the full Figure 1 pipeline — against one pinned
+// snapshot, so the evaluated IDs and the built documents are one
+// consistent version even while writers commit concurrently.
 func (c *Catalog) Search(q *Query) ([]Response, error) {
 	tr, done := c.beginOp("search", c.obsv.opSearch)
 	defer done()
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	ids, err := c.evaluateTraced(q, tr)
+	v := c.pinView()
+	ids, err := v.evaluateTraced(q, tr)
 	if err != nil {
 		return nil, err
 	}
-	return c.buildResponseTraced(ids, tr)
+	return v.buildResponseTraced(ids, tr)
 }
 
 // FetchDocument reconstructs one object's full document.
 func (c *Catalog) FetchDocument(id int64) (*xmldoc.Node, error) {
-	c.mu.RLock()
-	resp, err := c.buildResponseLocked([]int64{id})
-	c.mu.RUnlock()
+	resp, err := c.pinView().buildResponseTraced([]int64{id}, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,40 @@
+package catalog
+
+import (
+	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+// view is one read operation's pinned state: an immutable relstore
+// snapshot plus a registry snapshot, taken together at the operation's
+// start. Everything the Figure-4 pipeline and the §5 response builder
+// touch resolves through the view, so a whole query — probes, rollups,
+// intersection, response construction, worker-pool fan-out — observes
+// exactly one epoch and runs without any lock, concurrently with
+// writers publishing later versions.
+//
+// Pin order is database first, then registry. Dynamic registration
+// mutates the registry before mirroring it into the definition tables,
+// so for any database epoch the registry holds at least the definitions
+// that epoch's rows reference; pinning the registry second can only see
+// *more* definitions, and the registry is grow-only, so resolution is
+// never missing a definition the pinned data uses. The reverse order
+// could pin a registry from before a definition whose mirrored rows the
+// data snapshot already contains.
+type view struct {
+	c    *Catalog
+	snap *relstore.Snapshot
+	reg  *core.RegSnap
+}
+
+// pinView pins the current database version and registry version.
+func (c *Catalog) pinView() *view {
+	v := &view{c: c, snap: c.DB.Snapshot(), reg: c.Reg.Snapshot()}
+	c.obsv.snapshotPins.Inc()
+	return v
+}
+
+// tab returns the pinned handle for an internal table.
+func (v *view) tab(name string) *relstore.Table {
+	return v.snap.MustTable(name)
+}

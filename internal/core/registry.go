@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -14,20 +15,44 @@ import (
 // schema at construction; dynamic definitions are registered at admin
 // level (visible to everyone) or user level (private, §3). The registry
 // is safe for concurrent use.
+//
+// Like the relational store, the registry is multi-version: one
+// immutable regVersion is published behind an atomic pointer, writers
+// (serialized by a mutex) clone the maps, apply the registration, and
+// swap the pointer, and readers resolve against whatever version they
+// load — lock-free, with Snapshot pinning one version across several
+// resolutions. The definition set is small (tens to a few hundred
+// entries), so a full map copy per registration costs far less than the
+// reader-side locking it removes.
 type Registry struct {
-	mu         sync.RWMutex
+	wmu     sync.Mutex // serializes writers
+	current atomic.Pointer[regVersion]
+}
+
+// regVersion is one immutable published state of the registry. gen
+// counts definition mutations (dynamic registration, restore):
+// resolution caches stamp entries with it, and because the definition
+// set only grows during normal operation, a cached positive resolution
+// can never become wrong within one generation.
+type regVersion struct {
+	gen        uint64
 	attrs      map[int64]*AttrDef
 	elems      map[int64]*ElemDef
 	attrByKey  map[attrKey]int64
 	elemByKey  map[elemKey]int64
 	nextAttrID int64
 	nextElemID int64
+}
 
-	// gen counts definition mutations (dynamic registration, restore).
-	// Resolution caches stamp entries with it; because the definition set
-	// only grows during normal operation, a cached positive resolution can
-	// never become wrong within one generation.
-	gen atomic.Uint64
+// clone returns a private copy of v with fresh maps, for a writer to
+// mutate before publishing.
+func (v *regVersion) clone() *regVersion {
+	c := *v
+	c.attrs = maps.Clone(v.attrs)
+	c.elems = maps.Clone(v.elems)
+	c.attrByKey = maps.Clone(v.attrByKey)
+	c.elemByKey = maps.Clone(v.elemByKey)
+	return &c
 }
 
 // attrKey identifies an attribute definition: name and source, the parent
@@ -50,7 +75,7 @@ type elemKey struct {
 // definition per interior sub-attribute node inside it, and one element
 // definition per leaf (all admin-owned, type string).
 func NewRegistry(schema *xmlschema.Schema) (*Registry, error) {
-	r := &Registry{
+	v := &regVersion{
 		attrs:     make(map[int64]*AttrDef),
 		elems:     make(map[int64]*ElemDef),
 		attrByKey: make(map[attrKey]int64),
@@ -63,69 +88,75 @@ func NewRegistry(schema *xmlschema.Schema) (*Registry, error) {
 			// schema order as their location.
 			continue
 		}
-		def, err := r.addAttr(node.Tag, "", 0, node.Order, node.Queryable, false, "")
+		def, err := v.addAttr(node.Tag, "", 0, node.Order, node.Queryable, false, "")
 		if err != nil {
 			return nil, err
 		}
-		if err := r.seedStructural(node, def); err != nil {
+		if err := v.seedStructural(node, def); err != nil {
 			return nil, err
 		}
 	}
+	r := &Registry{}
+	r.current.Store(v)
 	return r, nil
 }
 
 // seedStructural registers the sub-attribute and element definitions
 // inside one structural attribute subtree.
-func (r *Registry) seedStructural(node *xmlschema.Node, owner *AttrDef) error {
+func (v *regVersion) seedStructural(node *xmlschema.Node, owner *AttrDef) error {
 	if len(node.Children) == 0 {
 		// The attribute is its own element (e.g. resourceID).
-		_, err := r.addElem(node.Tag, "", owner.ID, DTString, "")
+		_, err := v.addElem(node.Tag, "", owner.ID, DTString, "")
 		return err
 	}
 	for _, c := range node.Children {
 		if len(c.Children) == 0 {
-			if _, err := r.addElem(c.Tag, "", owner.ID, DTString, ""); err != nil {
+			if _, err := v.addElem(c.Tag, "", owner.ID, DTString, ""); err != nil {
 				return err
 			}
 			continue
 		}
-		sub, err := r.addAttr(c.Tag, "", owner.ID, owner.SchemaOrder, owner.Queryable, false, "")
+		sub, err := v.addAttr(c.Tag, "", owner.ID, owner.SchemaOrder, owner.Queryable, false, "")
 		if err != nil {
 			return err
 		}
-		if err := r.seedStructural(c, sub); err != nil {
+		if err := v.seedStructural(c, sub); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (r *Registry) addAttr(name, source string, parentID int64, schemaOrder int, queryable, dynamic bool, owner string) (*AttrDef, error) {
+// addAttr and addElem mutate a draft version private to the writer; each
+// successful registration bumps gen, preserving the pre-MVCC per-
+// definition generation semantics.
+
+func (v *regVersion) addAttr(name, source string, parentID int64, schemaOrder int, queryable, dynamic bool, owner string) (*AttrDef, error) {
 	key := attrKey{name, source, parentID, owner}
-	if _, dup := r.attrByKey[key]; dup {
+	if _, dup := v.attrByKey[key]; dup {
 		return nil, fmt.Errorf("core: attribute %q (source %q) already defined", name, source)
 	}
-	r.nextAttrID++
+	v.nextAttrID++
 	def := &AttrDef{
-		ID: r.nextAttrID, Name: name, Source: source, ParentID: parentID,
+		ID: v.nextAttrID, Name: name, Source: source, ParentID: parentID,
 		SchemaOrder: schemaOrder, Queryable: queryable, Dynamic: dynamic, Owner: owner,
 	}
-	r.attrs[def.ID] = def
-	r.attrByKey[key] = def.ID
-	r.gen.Add(1)
+	v.attrs[def.ID] = def
+	v.attrByKey[key] = def.ID
+	v.gen++
 	return def, nil
 }
 
-func (r *Registry) addElem(name, source string, attrID int64, dt DataType, owner string) (*ElemDef, error) {
+func (v *regVersion) addElem(name, source string, attrID int64, dt DataType, owner string) (*ElemDef, error) {
 	key := elemKey{name, source, attrID, owner}
-	if _, dup := r.elemByKey[key]; dup {
+	if _, dup := v.elemByKey[key]; dup {
 		return nil, fmt.Errorf("core: element %q (source %q) already defined in attribute %d", name, source, attrID)
 	}
-	r.nextElemID++
-	def := &ElemDef{ID: r.nextElemID, AttrID: attrID, Name: name, Source: source, Type: dt, Owner: owner}
-	r.elems[def.ID] = def
-	r.elemByKey[key] = def.ID
-	r.gen.Add(1)
+	v.nextElemID++
+	def := &ElemDef{ID: v.nextElemID, AttrID: attrID, Name: name, Source: source, Type: dt, Owner: owner}
+	v.elems[def.ID] = def
+	v.elemByKey[key] = def.ID
+	v.gen++
 	return def, nil
 }
 
@@ -136,180 +167,261 @@ func (r *Registry) addElem(name, source string, attrID int64, dt DataType, owner
 // container whose documents carry it. owner is empty for admin-level
 // definitions.
 func (r *Registry) RegisterAttr(name, source string, parentID int64, schemaOrder int, owner string) (*AttrDef, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	v := r.current.Load()
 	if parentID != 0 {
-		if _, ok := r.attrs[parentID]; !ok {
+		if _, ok := v.attrs[parentID]; !ok {
 			return nil, fmt.Errorf("core: parent attribute %d not defined", parentID)
 		}
 	}
-	return r.addAttr(name, source, parentID, schemaOrder, true, true, owner)
+	draft := v.clone()
+	def, err := draft.addAttr(name, source, parentID, schemaOrder, true, true, owner)
+	if err != nil {
+		return nil, err
+	}
+	r.current.Store(draft)
+	return def, nil
 }
 
 // RegisterElem registers a dynamic element definition under an attribute
 // definition, with a data type enforced on insert.
 func (r *Registry) RegisterElem(name, source string, attrID int64, dt DataType, owner string) (*ElemDef, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.attrs[attrID]; !ok {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	v := r.current.Load()
+	if _, ok := v.attrs[attrID]; !ok {
 		return nil, fmt.Errorf("core: attribute %d not defined", attrID)
 	}
-	return r.addElem(name, source, attrID, dt, owner)
+	draft := v.clone()
+	def, err := draft.addElem(name, source, attrID, dt, owner)
+	if err != nil {
+		return nil, err
+	}
+	r.current.Store(draft)
+	return def, nil
 }
 
 // EnsureAttr atomically looks up or registers an admin-level dynamic
 // attribute definition; used by auto-registering shreds, which may race
 // on the same identity.
 func (r *Registry) EnsureAttr(name, source string, parentID int64, schemaOrder int, user string) (*AttrDef, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	v := r.current.Load()
 	if user != "" {
-		if id, ok := r.attrByKey[attrKey{name, source, parentID, user}]; ok {
-			return r.attrs[id], nil
+		if id, ok := v.attrByKey[attrKey{name, source, parentID, user}]; ok {
+			return v.attrs[id], nil
 		}
 	}
-	if id, ok := r.attrByKey[attrKey{name, source, parentID, ""}]; ok {
-		return r.attrs[id], nil
+	if id, ok := v.attrByKey[attrKey{name, source, parentID, ""}]; ok {
+		return v.attrs[id], nil
 	}
-	return r.addAttr(name, source, parentID, schemaOrder, true, true, "")
+	draft := v.clone()
+	def, err := draft.addAttr(name, source, parentID, schemaOrder, true, true, "")
+	if err != nil {
+		return nil, err
+	}
+	r.current.Store(draft)
+	return def, nil
 }
 
 // EnsureElem atomically looks up or registers an admin-level element
 // definition.
 func (r *Registry) EnsureElem(name, source string, attrID int64, dt DataType, user string) (*ElemDef, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	v := r.current.Load()
 	if user != "" {
-		if id, ok := r.elemByKey[elemKey{name, source, attrID, user}]; ok {
-			return r.elems[id], nil
+		if id, ok := v.elemByKey[elemKey{name, source, attrID, user}]; ok {
+			return v.elems[id], nil
 		}
 	}
-	if id, ok := r.elemByKey[elemKey{name, source, attrID, ""}]; ok {
-		return r.elems[id], nil
+	if id, ok := v.elemByKey[elemKey{name, source, attrID, ""}]; ok {
+		return v.elems[id], nil
 	}
-	return r.addElem(name, source, attrID, dt, "")
+	draft := v.clone()
+	def, err := draft.addElem(name, source, attrID, dt, "")
+	if err != nil {
+		return nil, err
+	}
+	r.current.Store(draft)
+	return def, nil
+}
+
+// lookupAttr resolves within one version, preferring a user-private
+// definition over an admin one.
+func (v *regVersion) lookupAttr(name, source string, parentID int64, user string) *AttrDef {
+	if user != "" {
+		if id, ok := v.attrByKey[attrKey{name, source, parentID, user}]; ok {
+			return v.attrs[id]
+		}
+	}
+	if id, ok := v.attrByKey[attrKey{name, source, parentID, ""}]; ok {
+		return v.attrs[id]
+	}
+	return nil
+}
+
+// lookupElem resolves an element within one version, preferring a
+// user-private definition.
+func (v *regVersion) lookupElem(name, source string, attrID int64, user string) *ElemDef {
+	if user != "" {
+		if id, ok := v.elemByKey[elemKey{name, source, attrID, user}]; ok {
+			return v.elems[id]
+		}
+	}
+	if id, ok := v.elemByKey[elemKey{name, source, attrID, ""}]; ok {
+		return v.elems[id]
+	}
+	return nil
+}
+
+func (v *regVersion) sortedAttrs() []*AttrDef {
+	out := make([]*AttrDef, 0, len(v.attrs))
+	for _, d := range v.attrs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (v *regVersion) sortedElems() []*ElemDef {
+	out := make([]*ElemDef, 0, len(v.elems))
+	for _, d := range v.elems {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // LookupAttr resolves an attribute definition by identity, preferring a
 // user-private definition over an admin one.
 func (r *Registry) LookupAttr(name, source string, parentID int64, user string) *AttrDef {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if user != "" {
-		if id, ok := r.attrByKey[attrKey{name, source, parentID, user}]; ok {
-			return r.attrs[id]
-		}
-	}
-	if id, ok := r.attrByKey[attrKey{name, source, parentID, ""}]; ok {
-		return r.attrs[id]
-	}
-	return nil
+	return r.current.Load().lookupAttr(name, source, parentID, user)
 }
 
 // LookupElem resolves an element definition within an attribute,
 // preferring a user-private definition.
 func (r *Registry) LookupElem(name, source string, attrID int64, user string) *ElemDef {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if user != "" {
-		if id, ok := r.elemByKey[elemKey{name, source, attrID, user}]; ok {
-			return r.elems[id]
-		}
-	}
-	if id, ok := r.elemByKey[elemKey{name, source, attrID, ""}]; ok {
-		return r.elems[id]
-	}
-	return nil
+	return r.current.Load().lookupElem(name, source, attrID, user)
 }
 
 // Generation returns the registry's definition-mutation counter.
-func (r *Registry) Generation() uint64 { return r.gen.Load() }
+func (r *Registry) Generation() uint64 { return r.current.Load().gen }
+
+// Snapshot pins the current version for lock-free resolution. All
+// lookups through the snapshot observe exactly one definition set, even
+// while writers publish later versions.
+func (r *Registry) Snapshot() *RegSnap {
+	return &RegSnap{v: r.current.Load()}
+}
+
+// RegSnap is a pinned, immutable view of the registry as of one
+// version; see Registry.Snapshot.
+type RegSnap struct {
+	v *regVersion
+}
+
+// Generation returns the pinned version's definition-mutation counter.
+func (s *RegSnap) Generation() uint64 { return s.v.gen }
+
+// LookupAttr resolves an attribute definition in the pinned version,
+// preferring a user-private definition over an admin one.
+func (s *RegSnap) LookupAttr(name, source string, parentID int64, user string) *AttrDef {
+	return s.v.lookupAttr(name, source, parentID, user)
+}
+
+// LookupElem resolves an element definition in the pinned version,
+// preferring a user-private definition.
+func (s *RegSnap) LookupElem(name, source string, attrID int64, user string) *ElemDef {
+	return s.v.lookupElem(name, source, attrID, user)
+}
+
+// AttrByID returns the pinned version's attribute definition with the
+// given ID, or nil.
+func (s *RegSnap) AttrByID(id int64) *AttrDef { return s.v.attrs[id] }
+
+// ElemByID returns the pinned version's element definition with the
+// given ID, or nil.
+func (s *RegSnap) ElemByID(id int64) *ElemDef { return s.v.elems[id] }
+
+// Attrs returns the pinned version's attribute definitions sorted by ID.
+func (s *RegSnap) Attrs() []*AttrDef { return s.v.sortedAttrs() }
+
+// Elems returns the pinned version's element definitions sorted by ID.
+func (s *RegSnap) Elems() []*ElemDef { return s.v.sortedElems() }
 
 // Restore replaces the registry's contents with the given definitions
 // (used when loading a catalog snapshot). Definitions are copied; the ID
 // counters resume above the highest restored IDs.
 func (r *Registry) Restore(attrs []AttrDef, elems []ElemDef) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.attrs = make(map[int64]*AttrDef, len(attrs))
-	r.elems = make(map[int64]*ElemDef, len(elems))
-	r.attrByKey = make(map[attrKey]int64, len(attrs))
-	r.elemByKey = make(map[elemKey]int64, len(elems))
-	r.nextAttrID, r.nextElemID = 0, 0
-	// Restore may shrink or rewrite the definition set, so the grow-only
-	// assumption behind resolution caching does not hold across it; the
-	// bump forces every cached resolution stale.
-	r.gen.Add(1)
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	old := r.current.Load()
+	v := &regVersion{
+		// Restore may shrink or rewrite the definition set, so the
+		// grow-only assumption behind resolution caching does not hold
+		// across it; the bump forces every cached resolution stale.
+		gen:       old.gen + 1,
+		attrs:     make(map[int64]*AttrDef, len(attrs)),
+		elems:     make(map[int64]*ElemDef, len(elems)),
+		attrByKey: make(map[attrKey]int64, len(attrs)),
+		elemByKey: make(map[elemKey]int64, len(elems)),
+	}
 	for i := range attrs {
 		d := attrs[i]
 		key := attrKey{d.Name, d.Source, d.ParentID, d.Owner}
-		if _, dup := r.attrByKey[key]; dup {
+		if _, dup := v.attrByKey[key]; dup {
 			return fmt.Errorf("core: restore: duplicate attribute %q (source %q)", d.Name, d.Source)
 		}
-		if _, dup := r.attrs[d.ID]; dup || d.ID == 0 {
+		if _, dup := v.attrs[d.ID]; dup || d.ID == 0 {
 			return fmt.Errorf("core: restore: bad attribute id %d", d.ID)
 		}
-		r.attrs[d.ID] = &d
-		r.attrByKey[key] = d.ID
-		if d.ID > r.nextAttrID {
-			r.nextAttrID = d.ID
+		v.attrs[d.ID] = &d
+		v.attrByKey[key] = d.ID
+		if d.ID > v.nextAttrID {
+			v.nextAttrID = d.ID
 		}
 	}
 	for i := range elems {
 		d := elems[i]
-		if _, ok := r.attrs[d.AttrID]; !ok {
+		if _, ok := v.attrs[d.AttrID]; !ok {
 			return fmt.Errorf("core: restore: element %q references missing attribute %d", d.Name, d.AttrID)
 		}
 		key := elemKey{d.Name, d.Source, d.AttrID, d.Owner}
-		if _, dup := r.elemByKey[key]; dup {
+		if _, dup := v.elemByKey[key]; dup {
 			return fmt.Errorf("core: restore: duplicate element %q (source %q)", d.Name, d.Source)
 		}
-		if _, dup := r.elems[d.ID]; dup || d.ID == 0 {
+		if _, dup := v.elems[d.ID]; dup || d.ID == 0 {
 			return fmt.Errorf("core: restore: bad element id %d", d.ID)
 		}
-		r.elems[d.ID] = &d
-		r.elemByKey[key] = d.ID
-		if d.ID > r.nextElemID {
-			r.nextElemID = d.ID
+		v.elems[d.ID] = &d
+		v.elemByKey[key] = d.ID
+		if d.ID > v.nextElemID {
+			v.nextElemID = d.ID
 		}
 	}
+	r.current.Store(v)
 	return nil
 }
 
 // AttrByID returns the attribute definition with the given ID, or nil.
 func (r *Registry) AttrByID(id int64) *AttrDef {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.attrs[id]
+	return r.current.Load().attrs[id]
 }
 
 // ElemByID returns the element definition with the given ID, or nil.
 func (r *Registry) ElemByID(id int64) *ElemDef {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.elems[id]
+	return r.current.Load().elems[id]
 }
 
 // Attrs returns all attribute definitions sorted by ID.
 func (r *Registry) Attrs() []*AttrDef {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*AttrDef, 0, len(r.attrs))
-	for _, d := range r.attrs {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return r.current.Load().sortedAttrs()
 }
 
 // Elems returns all element definitions sorted by ID.
 func (r *Registry) Elems() []*ElemDef {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*ElemDef, 0, len(r.elems))
-	for _, d := range r.elems {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return r.current.Load().sortedElems()
 }

@@ -2,14 +2,26 @@ package relstore
 
 import "bytes"
 
-// btree is a B+ tree mapping order-preserving encoded keys to row IDs.
-// Keys are unique: non-unique indexes append the row ID to the encoded
-// column key. Leaves are chained for range scans. Deletion rebalances by
-// borrowing from or merging with siblings, keeping every non-root node at
-// least half full.
+// btree is a copy-on-write B+ tree mapping order-preserving encoded keys
+// to row IDs. Keys are unique: non-unique indexes append the row ID to
+// the encoded column key. Deletion rebalances by borrowing from or
+// merging with siblings, keeping every non-root node at least half full.
+//
+// Mutation is by path copying: every node carries the epoch of the
+// transaction that allocated it, and a mutation first replaces each node
+// on the root-to-leaf path whose epoch differs from the tree's with a
+// private copy. Nodes from older committed versions are therefore never
+// modified, so readers holding a pinned snapshot can walk the tree with
+// no synchronization while writers build the next version. A whole-tree
+// clone for the next epoch is O(1): share the root, bump the epoch.
+//
+// There is deliberately no leaf chain — a next pointer would make every
+// leaf split mutate its left sibling, destroying structural sharing.
+// Range scans descend with an in-order walk instead.
 type btree struct {
-	root *bnode
-	size int
+	root  *bnode
+	size  int
+	epoch uint64
 }
 
 // maxKeys is the fan-out bound: nodes split when they exceed maxKeys
@@ -21,21 +33,46 @@ const (
 )
 
 type bnode struct {
+	epoch    uint64
 	leaf     bool
 	keys     [][]byte
 	vals     []int64  // leaf only, parallel to keys
 	children []*bnode // internal only, len(children) == len(keys)+1
-	next     *bnode   // leaf chain
 }
 
 func newBtree() *btree {
 	return &btree{root: &bnode{leaf: true}}
 }
 
+// clone returns a tree sharing this tree's nodes, tagged with the given
+// epoch so its first mutations path-copy instead of modifying shared
+// state.
+func (t *btree) clone(epoch uint64) *btree {
+	return &btree{root: t.root, size: t.size, epoch: epoch}
+}
+
+// mut returns n if it already belongs to this tree's epoch, otherwise a
+// private copy tagged with it. Aborted transactions simply drop their
+// copies: nothing reachable from a published root ever carries an
+// unpublished epoch, so epoch reuse after an abort is safe.
+func (t *btree) mut(n *bnode) *bnode {
+	if n.epoch == t.epoch {
+		return n
+	}
+	c := &bnode{epoch: t.epoch, leaf: n.leaf}
+	c.keys = append(make([][]byte, 0, len(n.keys)+1), n.keys...)
+	if n.leaf {
+		c.vals = append(make([]int64, 0, len(n.vals)+1), n.vals...)
+	} else {
+		c.children = append(make([]*bnode, 0, len(n.children)+1), n.children...)
+	}
+	return c
+}
+
 // Len returns the number of entries.
 func (t *btree) Len() int { return t.size }
 
-// search returns the index of the first key in n >= key.
+// searchKeys returns the index of the first key in keys >= key.
 func searchKeys(keys [][]byte, key []byte) int {
 	lo, hi := 0, len(keys)
 	for lo < hi {
@@ -49,7 +86,8 @@ func searchKeys(keys [][]byte, key []byte) int {
 	return lo
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. Safe for concurrent use with
+// writers building a later epoch.
 func (t *btree) Get(key []byte) (int64, bool) {
 	n := t.root
 	for !n.leaf {
@@ -66,22 +104,26 @@ func (t *btree) Get(key []byte) (int64, bool) {
 	return 0, false
 }
 
-// Insert stores val under key, replacing any existing entry.
+// Insert stores val under key, replacing any existing entry. Must only
+// be called on a tree private to the writing transaction.
 func (t *btree) Insert(key []byte, val int64) {
+	t.root = t.mut(t.root)
 	promoted, right, replaced := t.insert(t.root, key, val)
 	if !replaced {
 		t.size++
 	}
 	if right != nil {
 		t.root = &bnode{
+			epoch:    t.epoch,
 			keys:     [][]byte{promoted},
 			children: []*bnode{t.root, right},
 		}
 	}
 }
 
-// insert adds key to the subtree at n. When n splits it returns the
-// promoted separator and the new right sibling.
+// insert adds key to the subtree at n, which is already a private copy.
+// When n splits it returns the promoted separator and the new right
+// sibling.
 func (t *btree) insert(n *bnode, key []byte, val int64) (promoted []byte, right *bnode, replaced bool) {
 	if n.leaf {
 		i := searchKeys(n.keys, key)
@@ -100,7 +142,9 @@ func (t *btree) insert(n *bnode, key []byte, val int64) (promoted []byte, right 
 		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
 			i++
 		}
-		p, r, rep := t.insert(n.children[i], key, val)
+		child := t.mut(n.children[i])
+		n.children[i] = child
+		p, r, rep := t.insert(child, key, val)
 		replaced = rep
 		if r != nil {
 			n.keys = append(n.keys, nil)
@@ -120,17 +164,16 @@ func (t *btree) insert(n *bnode, key []byte, val int64) (promoted []byte, right 
 func (t *btree) split(n *bnode, replaced bool) ([]byte, *bnode, bool) {
 	mid := len(n.keys) / 2
 	if n.leaf {
-		r := &bnode{leaf: true, next: n.next}
+		r := &bnode{epoch: t.epoch, leaf: true}
 		r.keys = append(r.keys, n.keys[mid:]...)
 		r.vals = append(r.vals, n.vals[mid:]...)
 		n.keys = n.keys[:mid:mid]
 		n.vals = n.vals[:mid:mid]
-		n.next = r
 		// For leaves the separator is the first key of the right node and
 		// stays in the leaf (B+ tree style).
 		return r.keys[0], r, replaced
 	}
-	r := &bnode{}
+	r := &bnode{epoch: t.epoch}
 	r.keys = append(r.keys, n.keys[mid+1:]...)
 	r.children = append(r.children, n.children[mid+1:]...)
 	promoted := n.keys[mid]
@@ -141,8 +184,10 @@ func (t *btree) split(n *bnode, replaced bool) ([]byte, *bnode, bool) {
 
 // Delete removes key, reporting whether it was present. Underfull nodes
 // rebalance on the way back up; a root left with a single child is
-// collapsed.
+// collapsed. Must only be called on a tree private to the writing
+// transaction.
 func (t *btree) Delete(key []byte) bool {
+	t.root = t.mut(t.root)
 	deleted := t.del(t.root, key)
 	if !t.root.leaf && len(t.root.keys) == 0 {
 		t.root = t.root.children[0]
@@ -153,6 +198,8 @@ func (t *btree) Delete(key []byte) bool {
 	return deleted
 }
 
+// del removes key from the subtree at n, which is already a private
+// copy.
 func (t *btree) del(n *bnode, key []byte) bool {
 	if n.leaf {
 		i := searchKeys(n.keys, key)
@@ -167,19 +214,24 @@ func (t *btree) del(n *bnode, key []byte) bool {
 	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
 		i++
 	}
-	deleted := t.del(n.children[i], key)
-	if len(n.children[i].keys) < minKeys {
+	child := t.mut(n.children[i])
+	n.children[i] = child
+	deleted := t.del(child, key)
+	if len(child.keys) < minKeys {
 		t.rebalance(n, i)
 	}
 	return deleted
 }
 
 // rebalance restores the occupancy floor of parent.children[i] by
-// borrowing from a sibling with spare keys, or merging with one.
+// borrowing from a sibling with spare keys, or merging with one. The
+// parent and child are private copies already; siblings are copied
+// before they are touched.
 func (t *btree) rebalance(parent *bnode, i int) {
 	c := parent.children[i]
 	if i > 0 && len(parent.children[i-1].keys) > minKeys {
-		left := parent.children[i-1]
+		left := t.mut(parent.children[i-1])
+		parent.children[i-1] = left
 		if c.leaf {
 			last := len(left.keys) - 1
 			c.keys = append([][]byte{left.keys[last]}, c.keys...)
@@ -198,7 +250,8 @@ func (t *btree) rebalance(parent *bnode, i int) {
 		return
 	}
 	if i < len(parent.children)-1 && len(parent.children[i+1].keys) > minKeys {
-		right := parent.children[i+1]
+		right := t.mut(parent.children[i+1])
+		parent.children[i+1] = right
 		if c.leaf {
 			c.keys = append(c.keys, right.keys[0])
 			c.vals = append(c.vals, right.vals[0])
@@ -222,13 +275,15 @@ func (t *btree) rebalance(parent *bnode, i int) {
 	}
 }
 
-// merge folds parent.children[i+1] into parent.children[i].
+// merge folds parent.children[i+1] into parent.children[i]. The right
+// node is discarded, so only the left needs a private copy.
 func (t *btree) merge(parent *bnode, i int) {
-	l, r := parent.children[i], parent.children[i+1]
+	l := t.mut(parent.children[i])
+	parent.children[i] = l
+	r := parent.children[i+1]
 	if l.leaf {
 		l.keys = append(l.keys, r.keys...)
 		l.vals = append(l.vals, r.vals...)
-		l.next = r.next
 	} else {
 		l.keys = append(l.keys, parent.keys[i])
 		l.keys = append(l.keys, r.keys...)
@@ -240,35 +295,50 @@ func (t *btree) merge(parent *bnode, i int) {
 
 // Ascend visits entries with lo <= key < hi in key order. A nil lo starts
 // at the smallest key; a nil hi runs to the end. fn returning false stops
-// the scan.
+// the scan. The walk is a pure descent over immutable nodes, so it is
+// safe against concurrent writers building a later epoch.
 func (t *btree) Ascend(lo, hi []byte, fn func(key []byte, val int64) bool) {
-	n := t.root
-	for !n.leaf {
+	ascend(t.root, lo, hi, fn)
+}
+
+// ascend walks the subtree at n in order, reporting whether the scan
+// should continue. lo only constrains the first subtree descended into;
+// every later subtree is bounded below by a separator >= lo already.
+func ascend(n *bnode, lo, hi []byte, fn func(key []byte, val int64) bool) bool {
+	if n.leaf {
 		i := 0
 		if lo != nil {
 			i = searchKeys(n.keys, lo)
-			if i < len(n.keys) && bytes.Equal(n.keys[i], lo) {
-				i++
+		}
+		for ; i < len(n.keys); i++ {
+			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				return false
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return false
 			}
 		}
-		n = n.children[i]
+		return true
 	}
 	i := 0
 	if lo != nil {
 		i = searchKeys(n.keys, lo)
-	}
-	for n != nil {
-		for ; i < len(n.keys); i++ {
-			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
-				return
-			}
-			if !fn(n.keys[i], n.vals[i]) {
-				return
-			}
+		if i < len(n.keys) && bytes.Equal(n.keys[i], lo) {
+			i++
 		}
-		n = n.next
-		i = 0
 	}
+	for ; i < len(n.children); i++ {
+		// Keys in children[i] are >= the separator keys[i-1]; once that
+		// separator reaches hi the remaining subtrees are out of range.
+		if i > 0 && hi != nil && bytes.Compare(n.keys[i-1], hi) >= 0 {
+			return false
+		}
+		if !ascend(n.children[i], lo, hi, fn) {
+			return false
+		}
+		lo = nil
+	}
+	return true
 }
 
 // AscendPrefix visits all entries whose key begins with prefix.

@@ -2,7 +2,6 @@ package relstore
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -14,37 +13,36 @@ import (
 // mirroring the paper's use of temporary tables for shredded query
 // criteria (§4).
 //
-// Concurrency: the table map is guarded by an RWMutex, so lookups,
-// creation, and drops may race freely; each Table additionally guards
-// its own rows and indexes. Temp tables are the one exception to the
-// many-readers story — they share the global namespace and DropTemp
-// clears all of them at once, so they belong to a single goroutine
-// between creation and cleanup. Concurrent queries that need scratch
-// space must use distinct names and DropTable, or (as the catalog's
-// pipeline does) materialize into per-query slices instead.
+// Concurrency: the database is multi-version. One immutable version is
+// published behind an atomic pointer; readers pin it (directly via
+// Snapshot, or implicitly per call on plain table handles) and never
+// take a lock, while writers — serialized by a single writer mutex —
+// build the next version copy-on-write and publish it with one pointer
+// swap (see version.go). Mutating methods on Database and on db-bound
+// Table handles auto-commit one transaction per call; multi-op atomic
+// batches go through Begin/Commit. Temp tables are scratch space within
+// that story: they belong to the goroutine that created them between
+// creation and DropTable/DropTemp, because DropTemp clears all of them
+// at once.
 type Database struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	temp   map[string]bool
+	// current is the published version. Load to read, store only while
+	// holding wmu.
+	current atomic.Pointer[dbVersion]
 
-	// gen counts mutations: every successful Insert/Update/Delete on any
-	// table of the database bumps it. Read caches stamp entries with the
-	// generation they were computed under and compare on lookup, so
-	// invalidating all derived state after a write is one atomic add (the
-	// catalog's generation-stamped cache scheme).
-	gen atomic.Uint64
+	// wmu serializes writers: held from Begin to Commit/Abort.
+	wmu sync.Mutex
 
 	// journal, when set, receives every successful row mutation on the
 	// database's permanent tables (temp tables are scratch space and are
-	// not reported). The write-ahead capture in the catalog uses it to
-	// turn a multi-table operation into one replayable log record. The
-	// hook runs under the mutated table's lock and must not call back
-	// into the table.
+	// not reported), in apply order under the writer mutex. The
+	// write-ahead capture in the catalog uses it to turn a multi-table
+	// transaction into one replayable log record. The hook must not call
+	// back into the database's write path.
 	journal atomic.Pointer[func(TableOp)]
 
 	// metrics, when non-nil, supplies per-table row read/write/lookup
-	// counters for permanent tables. Guarded by mu.
-	metrics *obs.Registry
+	// counters for permanent tables.
+	metrics atomic.Pointer[obs.Registry]
 }
 
 // SetMetrics attaches per-table instrumentation from reg to every
@@ -57,17 +55,12 @@ func (db *Database) SetMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	db.mu.Lock()
-	db.metrics = reg
-	tables := make([]*Table, 0, len(db.tables))
-	for name, t := range db.tables {
-		if !db.temp[name] {
-			tables = append(tables, t)
+	db.metrics.Store(reg)
+	v := db.current.Load()
+	for name, tv := range v.tables {
+		if !v.temp[name] {
+			tv.state.setMetrics(reg)
 		}
-	}
-	db.mu.Unlock()
-	for _, t := range tables {
-		t.setMetrics(reg)
 	}
 }
 
@@ -84,7 +77,7 @@ const (
 // TableOp describes one applied row mutation, as reported to the
 // database journal. Row is the inserted row (insert) or the new row
 // (update); Prev is the removed row (delete) or the old row (update).
-// RowID identifies the row for same-process rollback; it is not stable
+// RowID identifies the row within this process; it is not stable
 // across restarts, so replay locates rows by content instead.
 type TableOp struct {
 	Table string
@@ -104,9 +97,14 @@ func (db *Database) SetJournal(fn func(TableOp)) {
 	db.journal.Store(&fn)
 }
 
-// NewDatabase returns an empty database.
+// NewDatabase returns an empty database at epoch zero.
 func NewDatabase() *Database {
-	return &Database{tables: make(map[string]*Table), temp: make(map[string]bool)}
+	db := &Database{}
+	db.current.Store(&dbVersion{
+		tables: make(map[string]*tableVersion),
+		temp:   make(map[string]bool),
+	})
+	return db
 }
 
 // CreateTable creates a table from column definitions.
@@ -124,31 +122,28 @@ func (db *Database) createTable(name string, temp bool, cols ...Column) (*Table,
 	if err != nil {
 		return nil, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, dup := db.tables[name]; dup {
-		return nil, fmt.Errorf("relstore: table %q already exists", name)
+	tx := db.Begin()
+	t, err := tx.createTable(s, temp)
+	if err != nil {
+		tx.Abort()
+		return nil, err
 	}
-	t := NewTable(s)
-	t.gen = &db.gen
-	if !temp {
-		t.journal = &db.journal
-		if db.metrics != nil {
-			t.setMetrics(db.metrics)
-		}
-	}
-	db.tables[name] = t
-	if temp {
-		db.temp[name] = true
-	}
+	tx.Commit()
+	// Rebind the handle from the finished transaction to the live
+	// database, so further use reads published versions.
+	t.tx = nil
 	return t, nil
 }
 
-// Table returns the named table, or nil.
+// Table returns a handle for the named table, or nil. The handle reads
+// whatever version is current at each call; pin a Snapshot for a
+// consistent multi-read view.
 func (db *Database) Table(name string) *Table {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.tables[name]
+	tv := db.current.Load().tables[name]
+	if tv == nil {
+		return nil
+	}
+	return &Table{Schema: tv.state.schema, name: name, state: tv.state, db: db}
 }
 
 // MustTable returns the named table or panics; for internal schemas whose
@@ -163,13 +158,12 @@ func (db *Database) MustTable(name string) *Table {
 
 // DropTable removes a table.
 func (db *Database) DropTable(name string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.tables[name]; !ok {
-		return fmt.Errorf("relstore: no table %q", name)
+	tx := db.Begin()
+	if err := tx.dropTable(name); err != nil {
+		tx.Abort()
+		return err
 	}
-	delete(db.tables, name)
-	delete(db.temp, name)
+	tx.Commit()
 	return nil
 }
 
@@ -177,44 +171,30 @@ func (db *Database) DropTable(name string) error {
 // caller's; see the Database comment before using temp tables from
 // concurrent queries.
 func (db *Database) DropTemp() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	for name := range db.temp {
-		delete(db.tables, name)
-		delete(db.temp, name)
-	}
+	tx := db.Begin()
+	tx.dropTemp()
+	tx.Commit()
 }
 
-// Generation returns the database's mutation generation: a counter that
-// advances on every successful row mutation in any table. Two equal
-// readings with no writer in between guarantee identical table contents.
-func (db *Database) Generation() uint64 { return db.gen.Load() }
+// Generation returns the database's mutation generation: the epoch of
+// the published version, which advances by one on every committed
+// transaction (including auto-committed single mutations). Two equal
+// readings guarantee the same immutable version, hence identical table
+// contents.
+func (db *Database) Generation() uint64 { return db.current.Load().epoch }
 
-// TableNames returns the sorted table names.
+// TableNames returns the sorted table names of the current version.
 func (db *Database) TableNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return db.Snapshot().TableNames()
 }
 
 // StorageBytes estimates the resident bytes of all live rows across all
-// tables: value payloads plus per-row slice overhead. Used by the storage
-// experiment (E5).
+// tables of the current version: value payloads plus per-row slice
+// overhead. Used by the storage experiment (E5).
 func (db *Database) StorageBytes() int64 {
-	db.mu.RLock()
-	names := make([]*Table, 0, len(db.tables))
-	for _, t := range db.tables {
-		names = append(names, t)
-	}
-	db.mu.RUnlock()
 	var total int64
-	for _, t := range names {
-		t.Scan(func(_ int64, r Row) bool {
+	for _, tv := range db.current.Load().tables {
+		tv.scan(func(_ int64, r Row) bool {
 			total += rowBytes(r)
 			return true
 		})

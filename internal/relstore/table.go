@@ -3,13 +3,11 @@ package relstore
 import (
 	"encoding/binary"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"github.com/gridmeta/hybridcat/internal/obs"
 )
 
-// IndexKind selects the physical index structure.
+// IndexKind selects the logical index contract.
 type IndexKind uint8
 
 const (
@@ -19,16 +17,19 @@ const (
 	BTreeIndex
 )
 
-// Index is a secondary index over one or more columns of a table. Indexes
-// are maintained synchronously by Insert/Update/Delete under the table
-// lock.
+// Index is a secondary index over one or more columns of a table.
+// Indexes are maintained synchronously by Insert/Update/Delete inside
+// the writing transaction. Both kinds are physically backed by the
+// copy-on-write B-tree — the order-preserving key encoding makes an
+// equality probe a prefix scan — so the Kind only gates LookupRange,
+// preserving the paper's distinction between equality-only and ordered
+// access paths.
 type Index struct {
 	Name   string
 	Cols   []int
 	Kind   IndexKind
 	Unique bool
 
-	hash map[string][]int64
 	tree *btree
 }
 
@@ -39,341 +40,264 @@ func rowIDSuffix(key []byte, rowID int64) []byte {
 }
 
 func (ix *Index) add(key []byte, rowID int64) error {
-	switch ix.Kind {
-	case HashIndex:
-		k := string(key)
-		if ix.Unique && len(ix.hash[k]) > 0 {
+	if ix.Unique {
+		if _, exists := ix.tree.Get(key); exists {
 			return fmt.Errorf("relstore: unique index %s violated", ix.Name)
 		}
-		ix.hash[k] = append(ix.hash[k], rowID)
-	case BTreeIndex:
-		if ix.Unique {
-			if _, exists := ix.tree.Get(key); exists {
-				return fmt.Errorf("relstore: unique index %s violated", ix.Name)
-			}
-			ix.tree.Insert(append([]byte(nil), key...), rowID)
-		} else {
-			ix.tree.Insert(rowIDSuffix(append([]byte(nil), key...), rowID), rowID)
-		}
+		ix.tree.Insert(append([]byte(nil), key...), rowID)
+		return nil
 	}
+	ix.tree.Insert(rowIDSuffix(append([]byte(nil), key...), rowID), rowID)
 	return nil
 }
 
 func (ix *Index) remove(key []byte, rowID int64) {
-	switch ix.Kind {
-	case HashIndex:
-		k := string(key)
-		ids := ix.hash[k]
-		for i, id := range ids {
-			if id == rowID {
-				ix.hash[k] = append(ids[:i], ids[i+1:]...)
-				break
-			}
+	if ix.Unique {
+		ix.tree.Delete(key)
+		return
+	}
+	ix.tree.Delete(rowIDSuffix(append([]byte(nil), key...), rowID))
+}
+
+// lookupEqual collects the row IDs whose indexed columns encode to key.
+func (ix *Index) lookupEqual(key []byte) []int64 {
+	if ix.Unique {
+		if id, ok := ix.tree.Get(key); ok {
+			return []int64{id}
 		}
-		if len(ix.hash[k]) == 0 {
-			delete(ix.hash, k)
-		}
-	case BTreeIndex:
-		if ix.Unique {
-			ix.tree.Delete(key)
-		} else {
-			ix.tree.Delete(rowIDSuffix(append([]byte(nil), key...), rowID))
-		}
+		return nil
+	}
+	var out []int64
+	ix.tree.AscendPrefix(key, func(_ []byte, v int64) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Table is a handle onto one table of a Database. Row IDs are stable
+// for the life of the row and may be reused after deletion.
+//
+// A handle is one of three bindings, fixed at creation:
+//
+//   - live (Database.Table): each read observes the version current at
+//     that call; each mutation auto-commits one transaction. Safe for
+//     concurrent use — reads are lock-free, writes serialize on the
+//     database's writer mutex.
+//   - pinned (Snapshot.Table): reads observe exactly the pinned
+//     version; mutations panic.
+//   - transactional (Tx.Table): reads observe the transaction's own
+//     uncommitted writes; mutations apply to its building version.
+type Table struct {
+	// Schema is the table's column layout; immutable.
+	Schema *Schema
+
+	name  string
+	state *tableState
+	db    *Database
+	pin   *dbVersion // non-nil: read-only pinned version
+	tx    *Tx        // non-nil: bound transaction
+}
+
+// version resolves the tableVersion this handle currently reads, or nil
+// if the table has been dropped from that version.
+func (t *Table) version() *tableVersion {
+	switch {
+	case t.tx != nil:
+		return t.tx.tables[t.name]
+	case t.pin != nil:
+		return t.pin.tables[t.name]
+	default:
+		return t.db.current.Load().tables[t.name]
 	}
 }
 
-// Table is an in-memory heap of rows with secondary indexes. Row IDs are
-// stable for the life of the row and may be reused after deletion. A Table
-// is safe for concurrent use.
-type Table struct {
-	mu      sync.RWMutex
-	Schema  *Schema
-	rows    []Row // nil slot = deleted
-	free    []int64
-	live    int
-	indexes map[string]*Index
-	autoID  int64 // monotonically increasing helper for AUTO columns
-
-	// gen is bumped on every successful mutation. Tables created through
-	// a Database share its generation counter; standalone tables get
-	// their own.
-	gen *atomic.Uint64
-
-	// journal, when non-nil, points at the owning database's journal
-	// hook; permanent tables report every successful mutation through it
-	// (see Database.SetJournal). Standalone and temp tables never report.
-	journal *atomic.Pointer[func(TableOp)]
-
-	// Instrument handles (nil when the owning database has no metrics
-	// registry; nil handles are no-ops). Installed by setMetrics and only
-	// ever touched under t.mu, so no extra synchronization is needed.
-	mReads   *obs.Counter // rows surfaced by Get and Scan
-	mWrites  *obs.Counter // successful Insert/Update/Delete
-	mLookups *obs.Counter // index probes (LookupEqual/LookupRange calls)
+// write runs fn against a writable transaction: the handle's own when
+// transaction-bound, otherwise one auto-committed around the call.
+// Pinned handles reject writes.
+func (t *Table) write(fn func(tx *Tx) error) error {
+	if t.pin != nil {
+		panic(fmt.Sprintf("relstore: write to snapshot-pinned table %q", t.name))
+	}
+	if t.tx != nil {
+		return fn(t.tx)
+	}
+	tx := t.db.Begin()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	tx.Commit()
+	return nil
 }
 
 // setMetrics attaches the table's per-table counters from reg, labeled
 // with the table name (see Database.SetMetrics).
-func (t *Table) setMetrics(reg *obs.Registry) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	l := obs.L("table", t.Schema.Name)
-	t.mReads = reg.Counter("relstore_row_reads_total", l)
-	t.mWrites = reg.Counter("relstore_row_writes_total", l)
-	t.mLookups = reg.Counter("relstore_index_lookups_total", l)
+func (st *tableState) setMetrics(reg *obs.Registry) {
+	l := obs.L("table", st.schema.Name)
+	st.metrics.Store(&tableMetrics{
+		reads:   reg.Counter("relstore_row_reads_total", l),
+		writes:  reg.Counter("relstore_row_writes_total", l),
+		lookups: reg.Counter("relstore_index_lookups_total", l),
+	})
 }
 
-// record reports one applied mutation to the database journal, if any.
-// Called under t.mu after the mutation succeeded.
-func (t *Table) record(kind OpKind, rowID int64, row, prev Row) {
-	if t.journal == nil {
-		return
-	}
-	if fn := t.journal.Load(); fn != nil {
-		(*fn)(TableOp{Table: t.Schema.Name, Kind: kind, RowID: rowID, Row: row, Prev: prev})
-	}
-}
-
-// NewTable creates an empty table with the given schema.
+// NewTable creates an empty standalone table with the given schema. It
+// is backed by a private single-table database, so it shares the
+// versioned concurrency story of Database-owned tables.
 func NewTable(s *Schema) *Table {
-	return &Table{Schema: s, indexes: make(map[string]*Index), gen: new(atomic.Uint64)}
+	db := NewDatabase()
+	tx := db.Begin()
+	t, err := tx.createTable(s, false)
+	if err != nil {
+		// Impossible: the private database is empty, so the only failure
+		// (duplicate name) cannot occur.
+		tx.Abort()
+		panic(err)
+	}
+	tx.Commit()
+	t.tx = nil
+	return t
 }
 
 // CreateIndex builds an index over the named columns, indexing existing
 // rows. It fails if the name is taken, a column is unknown, or a unique
 // constraint is already violated.
 func (t *Table) CreateIndex(name string, kind IndexKind, unique bool, cols ...string) (*Index, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, dup := t.indexes[name]; dup {
-		return nil, fmt.Errorf("relstore: table %s: index %q already exists", t.Schema.Name, name)
-	}
-	idx, err := t.Schema.ColIndexes(cols...)
+	var ix *Index
+	err := t.write(func(tx *Tx) error {
+		var err error
+		ix, err = tx.createIndex(t.name, name, kind, unique, cols...)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{Name: name, Cols: idx, Kind: kind, Unique: unique}
-	if kind == HashIndex {
-		ix.hash = make(map[string][]int64)
-	} else {
-		ix.tree = newBtree()
-	}
-	for id, r := range t.rows {
-		if r == nil {
-			continue
-		}
-		if err := ix.add(KeyOfColumns(r, ix.Cols), int64(id)); err != nil {
-			return nil, err
-		}
-	}
-	t.indexes[name] = ix
 	return ix, nil
 }
 
 // Index returns the named index, or nil.
 func (t *Table) Index(name string) *Index {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.indexes[name]
+	tv := t.version()
+	if tv == nil {
+		return nil
+	}
+	return tv.indexes[name]
 }
 
 // Indexes returns the table's indexes (unordered).
 func (t *Table) Indexes() []*Index {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]*Index, 0, len(t.indexes))
-	for _, ix := range t.indexes {
+	tv := t.version()
+	if tv == nil {
+		return nil
+	}
+	out := make([]*Index, 0, len(tv.indexes))
+	for _, ix := range tv.indexes {
 		out = append(out, ix)
 	}
 	return out
 }
 
 // NextAutoID returns a monotonically increasing int64, 1-based; used for
-// synthetic primary keys.
+// synthetic primary keys. The counter is shared across versions of the
+// table and never rewinds on abort, so IDs are unique but not dense.
 func (t *Table) NextAutoID() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.autoID++
-	return t.autoID
+	return t.state.autoID.Add(1)
 }
 
 // EnsureAutoID advances the auto-ID counter to at least min, so IDs
 // assigned after restoring a snapshot never collide with restored rows.
 func (t *Table) EnsureAutoID(min int64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.autoID < min {
-		t.autoID = min
+	for {
+		cur := t.state.autoID.Load()
+		if cur >= min || t.state.autoID.CompareAndSwap(cur, min) {
+			return
+		}
 	}
 }
 
 // Insert validates the row against the schema, appends it, and maintains
 // all indexes. It returns the new row ID.
 func (t *Table) Insert(r Row) (int64, error) {
-	nr, err := t.Schema.CheckRow(r)
+	var id int64
+	err := t.write(func(tx *Tx) error {
+		var err error
+		id, err = tx.insertRow(t.name, r)
+		return err
+	})
 	if err != nil {
 		return 0, err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var id int64
-	if n := len(t.free); n > 0 {
-		id = t.free[n-1]
-		t.free = t.free[:n-1]
-		t.rows[id] = nr
-	} else {
-		id = int64(len(t.rows))
-		t.rows = append(t.rows, nr)
-	}
-	// Track the indexes actually updated: map iteration order is random,
-	// so rollback must replay exactly what was applied, not re-iterate.
-	added := make([]*Index, 0, len(t.indexes))
-	for _, ix := range t.indexes {
-		if err := ix.add(KeyOfColumns(nr, ix.Cols), id); err != nil {
-			for _, ix2 := range added {
-				ix2.remove(KeyOfColumns(nr, ix2.Cols), id)
-			}
-			t.rows[id] = nil
-			t.free = append(t.free, id)
-			return 0, err
-		}
-		added = append(added, ix)
-	}
-	t.live++
-	t.gen.Add(1)
-	t.mWrites.Inc()
-	t.record(OpInsert, id, nr, nil)
 	return id, nil
 }
 
 // Get returns the row stored under id, or nil if deleted/never existed.
+// The row must not be mutated.
 func (t *Table) Get(id int64) Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if id < 0 || id >= int64(len(t.rows)) {
+	tv := t.version()
+	if tv == nil {
 		return nil
 	}
-	if t.rows[id] != nil {
-		t.mReads.Inc()
+	r := tv.row(id)
+	if r != nil {
+		tv.state.countReads(1)
 	}
-	return t.rows[id]
+	return r
 }
 
 // Delete removes the row under id, reporting whether it existed.
 func (t *Table) Delete(id int64) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if id < 0 || id >= int64(len(t.rows)) || t.rows[id] == nil {
-		return false
-	}
-	r := t.rows[id]
-	for _, ix := range t.indexes {
-		ix.remove(KeyOfColumns(r, ix.Cols), id)
-	}
-	t.rows[id] = nil
-	t.free = append(t.free, id)
-	t.live--
-	t.gen.Add(1)
-	t.mWrites.Inc()
-	t.record(OpDelete, id, nil, r)
-	return true
+	var ok bool
+	_ = t.write(func(tx *Tx) error {
+		ok = tx.deleteRow(t.name, id)
+		return nil
+	})
+	return ok
 }
 
 // Update replaces the row under id, maintaining indexes.
 func (t *Table) Update(id int64, r Row) error {
-	nr, err := t.Schema.CheckRow(r)
-	if err != nil {
-		return err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if id < 0 || id >= int64(len(t.rows)) || t.rows[id] == nil {
-		return fmt.Errorf("relstore: table %s: update of missing row %d", t.Schema.Name, id)
-	}
-	old := t.rows[id]
-	for _, ix := range t.indexes {
-		ix.remove(KeyOfColumns(old, ix.Cols), id)
-	}
-	added := make([]*Index, 0, len(t.indexes))
-	for _, ix := range t.indexes {
-		if err := ix.add(KeyOfColumns(nr, ix.Cols), id); err != nil {
-			// Roll back exactly the new entries applied, then restore the
-			// old ones (which cannot conflict: they coexisted before).
-			for _, ix2 := range added {
-				ix2.remove(KeyOfColumns(nr, ix2.Cols), id)
-			}
-			for _, ix2 := range t.indexes {
-				_ = ix2.add(KeyOfColumns(old, ix2.Cols), id)
-			}
-			return err
-		}
-		added = append(added, ix)
-	}
-	t.rows[id] = nr
-	t.gen.Add(1)
-	t.mWrites.Inc()
-	t.record(OpUpdate, id, nr, old)
-	return nil
+	return t.write(func(tx *Tx) error {
+		return tx.updateRow(t.name, id, r)
+	})
 }
 
 // Len returns the number of live rows.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.live
+	tv := t.version()
+	if tv == nil {
+		return 0
+	}
+	return tv.live
 }
 
-// Scan calls fn for every live row in row-ID order until fn returns false.
-// The row must not be mutated.
+// Scan calls fn for every live row in row-ID order until fn returns
+// false. The rows must not be mutated. The whole scan observes one
+// version, even on a live handle.
 func (t *Table) Scan(fn func(id int64, r Row) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var visited uint64
-	defer func() { t.mReads.Add(visited) }()
-	for id, r := range t.rows {
-		if r == nil {
-			continue
-		}
-		visited++
-		if !fn(int64(id), r) {
-			return
-		}
+	tv := t.version()
+	if tv == nil {
+		return
 	}
+	tv.scan(fn)
 }
 
 // LookupEqual returns the row IDs whose indexed columns equal vals, using
 // the named index.
 func (t *Table) LookupEqual(indexName string, vals ...Value) ([]int64, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	ix := t.indexes[indexName]
+	tv := t.version()
+	if tv == nil {
+		return nil, fmt.Errorf("relstore: no table %q", t.name)
+	}
+	ix := tv.indexes[indexName]
 	if ix == nil {
-		return nil, fmt.Errorf("relstore: table %s: no index %q", t.Schema.Name, indexName)
+		return nil, fmt.Errorf("relstore: table %s: no index %q", t.name, indexName)
 	}
 	if len(vals) != len(ix.Cols) {
 		return nil, fmt.Errorf("relstore: index %s: got %d key values, want %d", indexName, len(vals), len(ix.Cols))
 	}
-	t.mLookups.Inc()
-	key := EncodeKey(vals...)
-	switch ix.Kind {
-	case HashIndex:
-		ids := ix.hash[string(key)]
-		return append([]int64(nil), ids...), nil
-	case BTreeIndex:
-		if ix.Unique {
-			if id, ok := ix.tree.Get(key); ok {
-				return []int64{id}, nil
-			}
-			return nil, nil
-		}
-		var out []int64
-		ix.tree.AscendPrefix(key, func(_ []byte, v int64) bool {
-			out = append(out, v)
-			return true
-		})
-		return out, nil
-	}
-	return nil, nil
+	tv.state.countLookup()
+	return ix.lookupEqual(EncodeKey(vals...)), nil
 }
 
 // RangeBound describes one end of an index range scan.
@@ -386,16 +310,18 @@ type RangeBound struct {
 // LookupRange returns row IDs whose indexed key falls within [lo, hi] per
 // the bounds' inclusivity, in key order. Requires a B-tree index.
 func (t *Table) LookupRange(indexName string, lo, hi RangeBound) ([]int64, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	ix := t.indexes[indexName]
+	tv := t.version()
+	if tv == nil {
+		return nil, fmt.Errorf("relstore: no table %q", t.name)
+	}
+	ix := tv.indexes[indexName]
 	if ix == nil {
-		return nil, fmt.Errorf("relstore: table %s: no index %q", t.Schema.Name, indexName)
+		return nil, fmt.Errorf("relstore: table %s: no index %q", t.name, indexName)
 	}
 	if ix.Kind != BTreeIndex {
 		return nil, fmt.Errorf("relstore: index %s: range scan requires a B-tree index", indexName)
 	}
-	t.mLookups.Inc()
+	tv.state.countLookup()
 	var loKey, hiKey []byte
 	if lo.Set {
 		loKey = EncodeKey(lo.Vals...)

@@ -1,0 +1,497 @@
+package relstore
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"sync/atomic"
+
+	"github.com/gridmeta/hybridcat/internal/obs"
+)
+
+// This file holds the MVCC-lite machinery: immutable database versions
+// published behind a single atomic pointer, the copy-on-write
+// transaction builder that produces them, and the pinned snapshots
+// readers run against.
+//
+// Version lifecycle: Database.current always points at one immutable
+// dbVersion. A writer opens a Tx (serialized by Database.wmu), builds
+// the next version off the current one with structural sharing — table
+// map and per-table spines are cloned lazily, row pages and B-tree
+// nodes are path-copied only when first written in the transaction —
+// and Commit publishes it with one atomic store. Readers pin whatever
+// version is current at query start and never take a lock; versions
+// are reclaimed by the garbage collector once the last pinned snapshot
+// referencing them is dropped, so there is no epoch-based reclamation
+// protocol to get wrong.
+//
+// Epochs: every committed transaction's version carries epoch =
+// previous epoch + 1, and Database.Generation reports the current
+// epoch. The PR 2 generation-stamped caches therefore keep working
+// unchanged: a cache entry stamped with the pinned epoch is valid
+// exactly for that version's contents. Aborted transactions discard
+// their builder outright (nothing they allocated is reachable from a
+// published version), so their epoch is safely reused by the next
+// transaction.
+
+// pageSize is the number of row slots per copy-on-write page. 64 rows
+// keeps the page array copy on first write small (~1.5KB of row
+// headers) while bounding the per-transaction spine clone at
+// rows/64 pointers.
+const pageSize = 64
+
+// rowPage is one fixed-size block of row slots. The epoch records which
+// transaction allocated this copy: a transaction writing into a page
+// from an older epoch first replaces it with a private copy.
+type rowPage struct {
+	epoch uint64
+	rows  [pageSize]Row
+}
+
+// tableState is the identity of a table that is stable across versions:
+// its schema, the monotonic auto-ID counter, and instrument handles.
+// The auto-ID deliberately lives outside the versioned state — IDs
+// handed out by an aborted transaction are simply skipped, exactly as
+// the pre-MVCC rollback behaved.
+type tableState struct {
+	schema  *Schema
+	autoID  atomic.Int64
+	metrics atomic.Pointer[tableMetrics]
+}
+
+// tableMetrics bundles the per-table instrument handles (see
+// Database.SetMetrics). Nil obs handles are no-ops, so a zero value is
+// never stored — absence of metrics is a nil tableMetrics pointer.
+type tableMetrics struct {
+	reads   *obs.Counter // rows surfaced by Get and Scan
+	writes  *obs.Counter // successful Insert/Update/Delete
+	lookups *obs.Counter // index probes (LookupEqual/LookupRange calls)
+}
+
+func (st *tableState) countReads(n uint64) {
+	if m := st.metrics.Load(); m != nil {
+		m.reads.Add(n)
+	}
+}
+
+func (st *tableState) countWrite() {
+	if m := st.metrics.Load(); m != nil {
+		m.writes.Inc()
+	}
+}
+
+func (st *tableState) countLookup() {
+	if m := st.metrics.Load(); m != nil {
+		m.lookups.Inc()
+	}
+}
+
+// tableVersion is the immutable per-version state of one table: paged
+// row storage, the free list, and the secondary indexes. The epoch
+// records which transaction built this copy, so a transaction clones
+// the spine at most once per table.
+type tableVersion struct {
+	epoch   uint64
+	state   *tableState
+	pages   []*rowPage
+	nrows   int64 // allocated row-ID space, including freed slots
+	free    []int64
+	live    int
+	indexes map[string]*Index
+}
+
+// row returns the row stored under id in this version, or nil.
+func (tv *tableVersion) row(id int64) Row {
+	if id < 0 || id >= tv.nrows {
+		return nil
+	}
+	return tv.pages[id/pageSize].rows[id%pageSize]
+}
+
+// scan visits every live row in row-ID order until fn returns false.
+func (tv *tableVersion) scan(fn func(id int64, r Row) bool) {
+	var visited uint64
+	defer func() { tv.state.countReads(visited) }()
+	for p, pg := range tv.pages {
+		base := int64(p) * pageSize
+		for s := range pg.rows {
+			id := base + int64(s)
+			if id >= tv.nrows {
+				return
+			}
+			r := pg.rows[s]
+			if r == nil {
+				continue
+			}
+			visited++
+			if !fn(id, r) {
+				return
+			}
+		}
+	}
+}
+
+// setRow stores r under id, allocating or copy-on-writing the page as
+// needed. Only called from a transaction that owns this tableVersion.
+func (tv *tableVersion) setRow(epoch uint64, id int64, r Row) {
+	p := id / pageSize
+	for p >= int64(len(tv.pages)) {
+		tv.pages = append(tv.pages, &rowPage{epoch: epoch})
+	}
+	pg := tv.pages[p]
+	if pg.epoch != epoch {
+		c := &rowPage{epoch: epoch, rows: pg.rows}
+		tv.pages[p] = c
+		pg = c
+	}
+	pg.rows[id%pageSize] = r
+}
+
+// dbVersion is one immutable published state of the whole database.
+type dbVersion struct {
+	epoch  uint64
+	tables map[string]*tableVersion
+	temp   map[string]bool
+}
+
+// Tx is a write transaction: a private builder for the next database
+// version. At most one Tx is open at a time (Begin blocks on the
+// database's writer mutex); Commit publishes the built version with one
+// atomic pointer swap and Abort discards it. Reads through tx-bound
+// table handles observe the transaction's own writes.
+type Tx struct {
+	db     *Database
+	base   *dbVersion
+	epoch  uint64
+	tables map[string]*tableVersion
+	temp   map[string]bool
+	done   bool
+}
+
+// Begin opens a write transaction against the current version, blocking
+// until any other writer commits or aborts.
+func (db *Database) Begin() *Tx {
+	db.wmu.Lock()
+	cur := db.current.Load()
+	return &Tx{
+		db:     db,
+		base:   cur,
+		epoch:  cur.epoch + 1,
+		tables: maps.Clone(cur.tables),
+		temp:   maps.Clone(cur.temp),
+	}
+}
+
+// Epoch returns the epoch the transaction will publish on Commit.
+func (tx *Tx) Epoch() uint64 { return tx.epoch }
+
+// Commit publishes the built version and releases the writer mutex.
+func (tx *Tx) Commit() {
+	if tx.done {
+		panic("relstore: Commit on finished transaction")
+	}
+	tx.done = true
+	tx.db.current.Store(&dbVersion{epoch: tx.epoch, tables: tx.tables, temp: tx.temp})
+	tx.db.wmu.Unlock()
+}
+
+// Abort discards the built version and releases the writer mutex.
+// Nothing the transaction allocated is reachable from a published
+// version, so there is nothing to undo.
+func (tx *Tx) Abort() {
+	if tx.done {
+		panic("relstore: Abort on finished transaction")
+	}
+	tx.done = true
+	tx.db.wmu.Unlock()
+}
+
+// Table returns a handle bound to this transaction, observing its
+// uncommitted writes, or nil if the table does not exist.
+func (tx *Tx) Table(name string) *Table {
+	tv := tx.tables[name]
+	if tv == nil {
+		return nil
+	}
+	return &Table{Schema: tv.state.schema, name: name, state: tv.state, db: tx.db, tx: tx}
+}
+
+// MustTable is Table or panic, for schemas guaranteed at startup.
+func (tx *Tx) MustTable(name string) *Table {
+	t := tx.Table(name)
+	if t == nil {
+		panic(fmt.Sprintf("relstore: missing table %q", name))
+	}
+	return t
+}
+
+// writable returns the transaction-private tableVersion for name,
+// cloning the spine (page pointers, free list, index map) off the base
+// version on first touch.
+func (tx *Tx) writable(name string) *tableVersion {
+	tv := tx.tables[name]
+	if tv == nil || tv.epoch == tx.epoch {
+		return tv
+	}
+	c := &tableVersion{
+		epoch:   tx.epoch,
+		state:   tv.state,
+		pages:   slices.Clone(tv.pages),
+		nrows:   tv.nrows,
+		free:    slices.Clone(tv.free),
+		live:    tv.live,
+		indexes: maps.Clone(tv.indexes),
+	}
+	tx.tables[name] = c
+	return c
+}
+
+// writableIndex returns a transaction-private copy of the named index
+// of tv, cloning it off the shared version on first touch.
+func (tx *Tx) writableIndex(tv *tableVersion, name string) *Index {
+	ix := tv.indexes[name]
+	if ix.tree.epoch == tx.epoch {
+		return ix
+	}
+	c := *ix
+	c.tree = ix.tree.clone(tx.epoch)
+	tv.indexes[name] = &c
+	return &c
+}
+
+// journalFire reports one applied mutation to the database journal.
+// Temp tables are scratch space and are not reported. Runs under the
+// writer mutex, in apply order; a transaction that later aborts has
+// still reported its ops — the durability layer discards its capture
+// buffer on abort.
+func (tx *Tx) journalFire(name string, kind OpKind, rowID int64, row, prev Row) {
+	if tx.temp[name] {
+		return
+	}
+	if fn := tx.db.journal.Load(); fn != nil {
+		(*fn)(TableOp{Table: name, Kind: kind, RowID: rowID, Row: row, Prev: prev})
+	}
+}
+
+// insertRow validates and inserts r into the named table, maintaining
+// all indexes, and returns the new row ID.
+func (tx *Tx) insertRow(name string, r Row) (int64, error) {
+	tv := tx.writable(name)
+	if tv == nil {
+		return 0, fmt.Errorf("relstore: no table %q", name)
+	}
+	nr, err := tv.state.schema.CheckRow(r)
+	if err != nil {
+		return 0, err
+	}
+	var id int64
+	if n := len(tv.free); n > 0 {
+		id = tv.free[n-1]
+		tv.free = tv.free[:n-1]
+	} else {
+		id = tv.nrows
+		tv.nrows++
+	}
+	tv.setRow(tx.epoch, id, nr)
+	// Track the indexes actually updated: map iteration order is random,
+	// so a unique violation must un-apply exactly what was applied, so
+	// the builder stays consistent for the transaction's remaining ops.
+	added := make([]*Index, 0, len(tv.indexes))
+	for ixName := range tv.indexes {
+		ix := tx.writableIndex(tv, ixName)
+		if err := ix.add(KeyOfColumns(nr, ix.Cols), id); err != nil {
+			for _, ix2 := range added {
+				ix2.remove(KeyOfColumns(nr, ix2.Cols), id)
+			}
+			tv.setRow(tx.epoch, id, nil)
+			tv.free = append(tv.free, id)
+			return 0, err
+		}
+		added = append(added, ix)
+	}
+	tv.live++
+	tv.state.countWrite()
+	tx.journalFire(name, OpInsert, id, nr, nil)
+	return id, nil
+}
+
+// deleteRow removes the row under id, reporting whether it existed.
+func (tx *Tx) deleteRow(name string, id int64) bool {
+	tv := tx.writable(name)
+	if tv == nil {
+		return false
+	}
+	r := tv.row(id)
+	if r == nil {
+		return false
+	}
+	for ixName := range tv.indexes {
+		ix := tx.writableIndex(tv, ixName)
+		ix.remove(KeyOfColumns(r, ix.Cols), id)
+	}
+	tv.setRow(tx.epoch, id, nil)
+	tv.free = append(tv.free, id)
+	tv.live--
+	tv.state.countWrite()
+	tx.journalFire(name, OpDelete, id, nil, r)
+	return true
+}
+
+// updateRow replaces the row under id, maintaining indexes.
+func (tx *Tx) updateRow(name string, id int64, r Row) error {
+	tv := tx.writable(name)
+	if tv == nil {
+		return fmt.Errorf("relstore: no table %q", name)
+	}
+	nr, err := tv.state.schema.CheckRow(r)
+	if err != nil {
+		return err
+	}
+	old := tv.row(id)
+	if old == nil {
+		return fmt.Errorf("relstore: table %s: update of missing row %d", name, id)
+	}
+	for ixName := range tv.indexes {
+		ix := tx.writableIndex(tv, ixName)
+		ix.remove(KeyOfColumns(old, ix.Cols), id)
+	}
+	added := make([]*Index, 0, len(tv.indexes))
+	for ixName := range tv.indexes {
+		ix := tx.writableIndex(tv, ixName)
+		if err := ix.add(KeyOfColumns(nr, ix.Cols), id); err != nil {
+			// Un-apply exactly the new entries applied, then restore the
+			// old ones (which cannot conflict: they coexisted before).
+			for _, ix2 := range added {
+				ix2.remove(KeyOfColumns(nr, ix2.Cols), id)
+			}
+			for ixName2 := range tv.indexes {
+				ix2 := tx.writableIndex(tv, ixName2)
+				_ = ix2.add(KeyOfColumns(old, ix2.Cols), id)
+			}
+			return err
+		}
+		added = append(added, ix)
+	}
+	tv.setRow(tx.epoch, id, nr)
+	tv.state.countWrite()
+	tx.journalFire(name, OpUpdate, id, nr, old)
+	return nil
+}
+
+// createIndex builds an index over the named columns of the table,
+// indexing existing rows.
+func (tx *Tx) createIndex(table, name string, kind IndexKind, unique bool, cols ...string) (*Index, error) {
+	tv := tx.writable(table)
+	if tv == nil {
+		return nil, fmt.Errorf("relstore: no table %q", table)
+	}
+	if _, dup := tv.indexes[name]; dup {
+		return nil, fmt.Errorf("relstore: table %s: index %q already exists", table, name)
+	}
+	idx, err := tv.state.schema.ColIndexes(cols...)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{Name: name, Cols: idx, Kind: kind, Unique: unique, tree: newBtree()}
+	ix.tree.epoch = tx.epoch
+	var addErr error
+	tv.scan(func(id int64, r Row) bool {
+		if err := ix.add(KeyOfColumns(r, ix.Cols), id); err != nil {
+			addErr = err
+			return false
+		}
+		return true
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	tv.indexes[name] = ix
+	return ix, nil
+}
+
+// createTable adds a table to the building version.
+func (tx *Tx) createTable(s *Schema, temp bool) (*Table, error) {
+	if _, dup := tx.tables[s.Name]; dup {
+		return nil, fmt.Errorf("relstore: table %q already exists", s.Name)
+	}
+	state := &tableState{schema: s}
+	if !temp {
+		if reg := tx.db.metrics.Load(); reg != nil {
+			state.setMetrics(reg)
+		}
+	}
+	tx.tables[s.Name] = &tableVersion{
+		epoch:   tx.epoch,
+		state:   state,
+		indexes: make(map[string]*Index),
+	}
+	if temp {
+		tx.temp[s.Name] = true
+	}
+	return &Table{Schema: s, name: s.Name, state: state, db: tx.db, tx: tx}, nil
+}
+
+// dropTable removes a table from the building version.
+func (tx *Tx) dropTable(name string) error {
+	if _, ok := tx.tables[name]; !ok {
+		return fmt.Errorf("relstore: no table %q", name)
+	}
+	delete(tx.tables, name)
+	delete(tx.temp, name)
+	return nil
+}
+
+// dropTemp removes every temp table from the building version.
+func (tx *Tx) dropTemp() {
+	for name := range tx.temp {
+		delete(tx.tables, name)
+		delete(tx.temp, name)
+	}
+}
+
+// Snapshot is a pinned, immutable view of the database as of one
+// committed version. All reads through it are lock-free and observe
+// exactly the pinned epoch: no torn reads, no later writes. Snapshots
+// are cheap (one atomic load) and need no release — dropping the last
+// reference lets the garbage collector reclaim the version.
+type Snapshot struct {
+	db *Database
+	v  *dbVersion
+}
+
+// Snapshot pins the current version.
+func (db *Database) Snapshot() *Snapshot {
+	return &Snapshot{db: db, v: db.current.Load()}
+}
+
+// Epoch returns the pinned version's epoch (its Generation reading).
+func (s *Snapshot) Epoch() uint64 { return s.v.epoch }
+
+// Table returns a read-only handle for the named table in the pinned
+// version, or nil. Mutating methods on the handle panic.
+func (s *Snapshot) Table(name string) *Table {
+	tv := s.v.tables[name]
+	if tv == nil {
+		return nil
+	}
+	return &Table{Schema: tv.state.schema, name: name, state: tv.state, db: s.db, pin: s.v}
+}
+
+// MustTable is Table or panic, for schemas guaranteed at startup.
+func (s *Snapshot) MustTable(name string) *Table {
+	t := s.Table(name)
+	if t == nil {
+		panic(fmt.Sprintf("relstore: missing table %q", name))
+	}
+	return t
+}
+
+// TableNames returns the pinned version's sorted table names.
+func (s *Snapshot) TableNames() []string {
+	names := make([]string, 0, len(s.v.tables))
+	for n := range s.v.tables {
+		names = append(names, n)
+	}
+	slices.Sort(names)
+	return names
+}
