@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress crash mvcc cover bench experiments quick-experiments examples docs clean
+.PHONY: all build vet test race stress crash mvcc bitmap cover bench experiments quick-experiments examples docs clean
 
 all: build vet test
 
@@ -39,6 +39,17 @@ mvcc:
 	$(GO) test -race -run 'SnapshotIsolation|CrashMatrixSwapPoints' -count=1 ./internal/relstore/ ./internal/catalog/
 	$(GO) test -race -run 'Fuzz' -count=1 ./internal/catalog/ ./internal/baseline/
 	$(GO) run ./cmd/mdbench -exp MV1 -quick
+
+# Bitmap posting-list verification: the bitset fuzz target's seed
+# corpus against the map-of-ints oracle, the operator/ablation matrix
+# and the workload equivalence suite comparing the bitmap pipeline to
+# the row-at-a-time path under the race detector, and a one-repetition
+# smoke of the B1 set-operations experiment (DESIGN.md "Posting lists
+# and vectorized set operations").
+bitmap:
+	$(GO) test -race -run 'Fuzz|Bitset|Set' -count=1 ./internal/bitset/
+	$(GO) test -race -run 'Bitmap|Postings|ParallelSequentialOracleEquivalence' -count=1 ./internal/catalog/ ./internal/relstore/
+	$(GO) run ./cmd/mdbench -exp B1 -quick
 
 cover:
 	$(GO) test -cover ./...

@@ -53,6 +53,7 @@ func main() {
 		qWorkers   = flag.Int("query-workers", 0, "worker pool size for intra-query fan-out (0 = GOMAXPROCS, 1 = sequential)")
 		cacheSize  = flag.Int("cache-size", 0, "entries per read-cache layer (0 = default)")
 		cacheOff   = flag.Bool("cache-off", false, "disable the generation-stamped read caches")
+		bitmapsOff = flag.Bool("bitmaps-off", false, "evaluate queries on the row-at-a-time oracle path instead of compressed bitmap posting lists")
 		metricsOn  = flag.Bool("metrics", true, "expose the metrics registry at GET /metrics and record query traces at /debug/tracez")
 		traceDepth = flag.Int("trace-depth", 0, "slow-query trace ring size (0 = default, negative = tracing off)")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/ and expvar at /debug/vars")
@@ -64,11 +65,12 @@ func main() {
 		log.Fatal("mdserver: ", err)
 	}
 	opts := catalog.Options{
-		AutoRegister: *autoReg,
-		QueryWorkers: *qWorkers,
-		CacheSize:    *cacheSize,
-		DisableCache: *cacheOff,
-		TraceDepth:   *traceDepth,
+		AutoRegister:   *autoReg,
+		QueryWorkers:   *qWorkers,
+		CacheSize:      *cacheSize,
+		DisableCache:   *cacheOff,
+		DisableBitmaps: *bitmapsOff,
+		TraceDepth:     *traceDepth,
 	}
 	if *metricsOn {
 		opts.Metrics = obs.NewRegistry()

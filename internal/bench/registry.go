@@ -36,6 +36,7 @@ var experiments = map[string]Experiment{
 	"C2":  {"C2", "read caching: cold vs warm vs mutating workloads", C2CacheEffect},
 	"R1":  {"R1", "WAL durability: ingest overhead and recovery time", R1Durability},
 	"O1":  {"O1", "observability overhead: metrics+tracing on vs off", O1MetricsOverhead},
+	"B1":  {"B1", "bitmap posting lists: multi-criterion set ops vs row-at-a-time", B1BitmapSetOps},
 }
 
 // IDs lists the experiment IDs in a stable order.

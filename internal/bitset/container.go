@@ -1,0 +1,512 @@
+package bitset
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Container kinds. A container holds the low 16 bits of every key that
+// shares one 48-bit high prefix, in whichever of the three physical
+// representations is smallest for its population (see optimize):
+//
+//   - array: a sorted []uint16, for sparse populations (≤ maxArrayCard),
+//   - bitmap: 1024 packed uint64 words, for dense populations — the
+//     representation every vectorized (word-at-a-time, popcount) set
+//     operation runs on,
+//   - run: sorted, non-overlapping [start,last] intervals, for
+//     contiguous ID ranges (sequentially assigned row IDs compress to a
+//     handful of intervals).
+const (
+	arrayKind = iota
+	bitmapKind
+	runKind
+)
+
+const (
+	// chunkBits is the low-bit width one container covers.
+	chunkBits = 16
+	// bitmapWords is the word count of a packed bitmap container.
+	bitmapWords = (1 << chunkBits) / 64
+	// maxArrayCard is the array-container population ceiling; one more
+	// add converts to a packed bitmap (the classic roaring threshold:
+	// above it the bitmap's fixed 8 KiB is smaller than 2 bytes/value).
+	maxArrayCard = 4096
+)
+
+// interval is one inclusive [start, last] run of present values.
+type interval struct{ start, last uint16 }
+
+// container is one chunk's value set. kind selects which field is live;
+// card is maintained by every mutation so Card never rescans.
+type container struct {
+	kind int
+	card int
+	arr  []uint16
+	bits []uint64
+	runs []interval
+}
+
+func newArray() *container { return &container{kind: arrayKind} }
+
+func newBitmap() *container {
+	return &container{kind: bitmapKind, bits: make([]uint64, bitmapWords)}
+}
+
+// clone deep-copies the container.
+func (c *container) clone() *container {
+	out := &container{kind: c.kind, card: c.card}
+	switch c.kind {
+	case arrayKind:
+		out.arr = append([]uint16(nil), c.arr...)
+	case bitmapKind:
+		out.bits = append([]uint64(nil), c.bits...)
+	case runKind:
+		out.runs = append([]interval(nil), c.runs...)
+	}
+	return out
+}
+
+// add inserts v, converting array→bitmap past the population threshold
+// and run→array/bitmap (runs are a read-optimized form produced by
+// optimize; a post-optimize mutation falls back to a mutable kind).
+func (c *container) add(v uint16) {
+	switch c.kind {
+	case arrayKind:
+		i := sort.Search(len(c.arr), func(i int) bool { return c.arr[i] >= v })
+		if i < len(c.arr) && c.arr[i] == v {
+			return
+		}
+		if len(c.arr) >= maxArrayCard {
+			c.toBitmap()
+			c.add(v)
+			return
+		}
+		c.arr = append(c.arr, 0)
+		copy(c.arr[i+1:], c.arr[i:])
+		c.arr[i] = v
+		c.card++
+	case bitmapKind:
+		w, b := v>>6, uint64(1)<<(v&63)
+		if c.bits[w]&b == 0 {
+			c.bits[w] |= b
+			c.card++
+		}
+	case runKind:
+		if c.contains(v) {
+			return
+		}
+		if c.card > maxArrayCard {
+			c.toBitmap()
+		} else {
+			c.runsToArray()
+		}
+		c.add(v)
+	}
+}
+
+// addRange inserts every value in [lo, hi] (inclusive).
+func (c *container) addRange(lo, hi uint16) {
+	if c.kind != bitmapKind {
+		c.toBitmap()
+	}
+	c.card += setRange(c.bits, lo, hi)
+}
+
+// setRange sets bits [lo, hi] word-at-a-time, returning how many were
+// newly set.
+func setRange(words []uint64, lo, hi uint16) int {
+	added := 0
+	wLo, wHi := int(lo>>6), int(hi>>6)
+	for w := wLo; w <= wHi; w++ {
+		mask := ^uint64(0)
+		if w == wLo {
+			mask &= ^uint64(0) << (lo & 63)
+		}
+		if w == wHi {
+			mask &= ^uint64(0) >> (63 - hi&63)
+		}
+		added += bits.OnesCount64(mask &^ words[w])
+		words[w] |= mask
+	}
+	return added
+}
+
+func (c *container) contains(v uint16) bool {
+	switch c.kind {
+	case arrayKind:
+		i := sort.Search(len(c.arr), func(i int) bool { return c.arr[i] >= v })
+		return i < len(c.arr) && c.arr[i] == v
+	case bitmapKind:
+		return c.bits[v>>6]&(uint64(1)<<(v&63)) != 0
+	default:
+		i := sort.Search(len(c.runs), func(i int) bool { return c.runs[i].last >= v })
+		return i < len(c.runs) && c.runs[i].start <= v
+	}
+}
+
+// iterate calls fn for every value ascending until fn returns false;
+// reports whether iteration ran to completion.
+func (c *container) iterate(hi uint64, fn func(uint64) bool) bool {
+	base := hi << chunkBits
+	switch c.kind {
+	case arrayKind:
+		for _, v := range c.arr {
+			if !fn(base | uint64(v)) {
+				return false
+			}
+		}
+	case bitmapKind:
+		for w, word := range c.bits {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				if !fn(base | uint64(w<<6|b)) {
+					return false
+				}
+				word &= word - 1
+			}
+		}
+	case runKind:
+		for _, r := range c.runs {
+			for v := uint64(r.start); v <= uint64(r.last); v++ {
+				if !fn(base | v) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Representation conversions.
+
+func (c *container) toBitmap() {
+	if c.kind == bitmapKind {
+		return
+	}
+	words := make([]uint64, bitmapWords)
+	switch c.kind {
+	case arrayKind:
+		for _, v := range c.arr {
+			words[v>>6] |= uint64(1) << (v & 63)
+		}
+		c.arr = nil
+	case runKind:
+		for _, r := range c.runs {
+			setRange(words, r.start, r.last)
+		}
+		c.runs = nil
+	}
+	c.kind, c.bits = bitmapKind, words
+}
+
+func (c *container) bitmapToArray() {
+	arr := make([]uint16, 0, c.card)
+	for w, word := range c.bits {
+		for word != 0 {
+			arr = append(arr, uint16(w<<6|bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	c.kind, c.arr, c.bits = arrayKind, arr, nil
+}
+
+func (c *container) runsToArray() {
+	arr := make([]uint16, 0, c.card)
+	for _, r := range c.runs {
+		for v := int(r.start); v <= int(r.last); v++ {
+			arr = append(arr, uint16(v))
+		}
+	}
+	c.kind, c.arr, c.runs = arrayKind, arr, nil
+}
+
+// numRuns counts the container's maximal runs of consecutive values.
+func (c *container) numRuns() int {
+	switch c.kind {
+	case runKind:
+		return len(c.runs)
+	case arrayKind:
+		n := 0
+		for i, v := range c.arr {
+			if i == 0 || v != c.arr[i-1]+1 {
+				n++
+			}
+		}
+		return n
+	default:
+		n := 0
+		var carry uint64 // bit 63 of the previous word
+		for _, w := range c.bits {
+			// Run starts: set bits whose predecessor bit is clear.
+			n += bits.OnesCount64(w &^ (w<<1 | carry))
+			carry = w >> 63
+		}
+		return n
+	}
+}
+
+// toRuns rewrites the container as sorted intervals; the caller has
+// checked that this is the smallest form.
+func (c *container) toRuns() {
+	if c.kind == runKind {
+		return
+	}
+	var runs []interval
+	var cur interval
+	open := false
+	flush := func() {
+		if open {
+			runs = append(runs, cur)
+			open = false
+		}
+	}
+	c.iterate(0, func(k uint64) bool {
+		v := uint16(k)
+		if open && v == cur.last+1 {
+			cur.last = v
+			return true
+		}
+		flush()
+		cur, open = interval{v, v}, true
+		return true
+	})
+	flush()
+	c.kind, c.runs, c.arr, c.bits = runKind, runs, nil, nil
+}
+
+// optimize converts the container to its smallest representation:
+// 4 bytes per run vs 2 per array value vs the bitmap's fixed 8 KiB.
+func (c *container) optimize() {
+	runBytes := 4 * c.numRuns()
+	arrBytes := 2 * c.card
+	const bmpBytes = 8 * bitmapWords
+	switch {
+	case runBytes < arrBytes && runBytes < bmpBytes:
+		c.toRuns()
+	case c.card <= maxArrayCard:
+		if c.kind != arrayKind {
+			switch c.kind {
+			case bitmapKind:
+				c.bitmapToArray()
+			case runKind:
+				c.runsToArray()
+			}
+		}
+	default:
+		c.toBitmap()
+	}
+}
+
+// Pairwise operations. Results are freshly allocated (inputs are never
+// mutated) and normalized: an intersection whose population fits an
+// array comes back as an array, so chained ANDs stay cheap.
+
+// and returns a ∩ b, or nil when empty.
+func andContainers(a, b *container) *container {
+	// Normalize operand order: array ≤ bitmap ≤ run by kind value.
+	if a.kind > b.kind {
+		a, b = b, a
+	}
+	switch {
+	case a.kind == arrayKind:
+		// Probe the smaller array against the other container.
+		out := newArray()
+		for _, v := range a.arr {
+			if b.contains(v) {
+				out.arr = append(out.arr, v)
+			}
+		}
+		out.card = len(out.arr)
+		return nonEmpty(out)
+	case a.kind == bitmapKind && b.kind == bitmapKind:
+		out := newBitmap()
+		for i := range out.bits {
+			w := a.bits[i] & b.bits[i]
+			out.bits[i] = w
+			out.card += bits.OnesCount64(w)
+		}
+		if out.card == 0 {
+			return nil
+		}
+		if out.card <= maxArrayCard {
+			out.bitmapToArray()
+		}
+		return out
+	case a.kind == bitmapKind: // b is runs
+		out := newBitmap()
+		for _, r := range b.runs {
+			wLo, wHi := int(r.start>>6), int(r.last>>6)
+			for w := wLo; w <= wHi; w++ {
+				mask := ^uint64(0)
+				if w == wLo {
+					mask &= ^uint64(0) << (r.start & 63)
+				}
+				if w == wHi {
+					mask &= ^uint64(0) >> (63 - r.last&63)
+				}
+				got := a.bits[w] & mask
+				out.bits[w] |= got
+				out.card += bits.OnesCount64(got)
+			}
+		}
+		if out.card == 0 {
+			return nil
+		}
+		if out.card <= maxArrayCard {
+			out.bitmapToArray()
+		}
+		return out
+	default: // runs ∩ runs: interval walk
+		out := &container{kind: runKind}
+		i, j := 0, 0
+		for i < len(a.runs) && j < len(b.runs) {
+			ra, rb := a.runs[i], b.runs[j]
+			lo, hi := max16(ra.start, rb.start), min16(ra.last, rb.last)
+			if lo <= hi {
+				out.runs = append(out.runs, interval{lo, hi})
+				out.card += int(hi) - int(lo) + 1
+			}
+			if ra.last < rb.last {
+				i++
+			} else {
+				j++
+			}
+		}
+		return nonEmpty(out)
+	}
+}
+
+// or returns a ∪ b.
+func orContainers(a, b *container) *container {
+	if a.kind > b.kind {
+		a, b = b, a
+	}
+	switch {
+	case a.kind == arrayKind && b.kind == arrayKind:
+		if a.card+b.card <= maxArrayCard {
+			out := newArray()
+			out.arr = mergeUint16(a.arr, b.arr)
+			out.card = len(out.arr)
+			return out
+		}
+		fallthrough
+	default:
+		// Any combination involving a bitmap or runs (or a too-large
+		// array merge): materialize onto a bitmap word-at-a-time.
+		out := b.clone()
+		out.toBitmap()
+		switch a.kind {
+		case arrayKind:
+			for _, v := range a.arr {
+				w, bit := v>>6, uint64(1)<<(v&63)
+				if out.bits[w]&bit == 0 {
+					out.bits[w] |= bit
+					out.card++
+				}
+			}
+		case runKind:
+			for _, r := range a.runs {
+				out.card += setRange(out.bits, r.start, r.last)
+			}
+		case bitmapKind:
+			out.card = 0
+			for i := range out.bits {
+				out.bits[i] |= a.bits[i]
+				out.card += bits.OnesCount64(out.bits[i])
+			}
+		}
+		return out
+	}
+}
+
+// andNot returns a \ b, or nil when empty.
+func andNotContainers(a, b *container) *container {
+	switch {
+	case a.kind == arrayKind:
+		out := newArray()
+		for _, v := range a.arr {
+			if !b.contains(v) {
+				out.arr = append(out.arr, v)
+			}
+		}
+		out.card = len(out.arr)
+		return nonEmpty(out)
+	case a.kind == bitmapKind && b.kind == bitmapKind:
+		out := newBitmap()
+		for i := range out.bits {
+			w := a.bits[i] &^ b.bits[i]
+			out.bits[i] = w
+			out.card += bits.OnesCount64(w)
+		}
+		if out.card == 0 {
+			return nil
+		}
+		if out.card <= maxArrayCard {
+			out.bitmapToArray()
+		}
+		return out
+	default:
+		// a is bitmap-or-runs: subtract on a bitmap copy of a.
+		out := a.clone()
+		out.toBitmap()
+		bb := b
+		if bb.kind != bitmapKind {
+			bb = b.clone()
+			bb.toBitmap()
+		}
+		out.card = 0
+		for i := range out.bits {
+			out.bits[i] &^= bb.bits[i]
+			out.card += bits.OnesCount64(out.bits[i])
+		}
+		if out.card == 0 {
+			return nil
+		}
+		if out.card <= maxArrayCard {
+			out.bitmapToArray()
+		}
+		return out
+	}
+}
+
+func nonEmpty(c *container) *container {
+	if c.card == 0 {
+		return nil
+	}
+	return c
+}
+
+func mergeUint16(a, b []uint16) []uint16 {
+	out := make([]uint16, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+func min16(a, b uint16) uint16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max16(a, b uint16) uint16 {
+	if a > b {
+		return a
+	}
+	return b
+}

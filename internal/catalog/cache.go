@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"github.com/gridmeta/hybridcat/internal/bitset"
 	"github.com/gridmeta/hybridcat/internal/cache"
 	"github.com/gridmeta/hybridcat/internal/relstore"
 )
@@ -18,7 +19,11 @@ import (
 //     stamped by the *registry* generation so they survive data ingest,
 //   - probe: per-criterion directly-satisfied instance rows keyed by the
 //     resolved definition IDs and predicates, shared across queries that
-//     repeat a criterion,
+//     repeat a criterion (row-path oracle only),
+//   - postings: the bitmap pipeline's twin of the probe layer — the same
+//     keys, but holding compressed posting lists (*bitset.Set) instead
+//     of row slices; cached sets are immutable and shared read-only
+//     across concurrent evaluations,
 //   - response: per-object rebuilt XML documents keyed by object ID, so
 //     repeated fetches and overlapping result sets skip the §5
 //     HashJoin/ancestor reconstruction.
@@ -53,6 +58,7 @@ type catCaches struct {
 	eval     *cache.Cache[string, []int64]
 	resolve  *cache.Cache[string, resolvedQuery]
 	probe    *cache.Cache[string, []relstore.Row]
+	postings *cache.Cache[string, *bitset.Set]
 	response *cache.Cache[int64, string]
 }
 
@@ -76,10 +82,12 @@ func (c *Catalog) initCaches() {
 	c.caches.eval = cache.New[string, []int64](size, cache.StringHash)
 	c.caches.resolve = cache.New[string, resolvedQuery](size, cache.StringHash)
 	c.caches.probe = cache.New[string, []relstore.Row](size, cache.StringHash)
+	c.caches.postings = cache.New[string, *bitset.Set](size, cache.StringHash)
 	c.caches.response = cache.New[int64, string](size, cache.Int64Hash)
 	c.caches.eval.Instrument(c.obsv.reg, "evaluate")
 	c.caches.resolve.Instrument(c.obsv.reg, "resolve")
 	c.caches.probe.Instrument(c.obsv.reg, "probe")
+	c.caches.postings.Instrument(c.obsv.reg, "postings")
 	c.caches.response.Instrument(c.obsv.reg, "response")
 }
 
@@ -96,6 +104,7 @@ type CacheStats struct {
 	Evaluate           cache.Stats `json:"evaluate"`
 	Resolve            cache.Stats `json:"resolve"`
 	Probe              cache.Stats `json:"probe"`
+	Postings           cache.Stats `json:"postings"`
 	Response           cache.Stats `json:"response"`
 }
 
@@ -108,6 +117,7 @@ func (c *Catalog) CacheStats() CacheStats {
 		Evaluate:           c.caches.eval.Stats(),
 		Resolve:            c.caches.resolve.Stats(),
 		Probe:              c.caches.probe.Stats(),
+		Postings:           c.caches.postings.Stats(),
 		Response:           c.caches.response.Stats(),
 	}
 }

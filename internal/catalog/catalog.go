@@ -42,6 +42,11 @@ type Options struct {
 	// and forces queries onto a recursive fallback; for the A1 ablation
 	// only.
 	DisableInvertedList bool
+	// DisableBitmaps runs the Figure-4 pipeline on the original
+	// row-at-a-time representation instead of compressed bitmap posting
+	// lists (bitmap.go). The row path is the correctness oracle for the
+	// equivalence suite and the baseline for bench experiment B1.
+	DisableBitmaps bool
 	// QueryWorkers bounds the per-query worker pool that fans out the
 	// Figure-4 per-criterion probes and per-object response construction.
 	// 0 uses runtime.GOMAXPROCS(0); 1 forces the sequential path.

@@ -3,6 +3,7 @@ package catalog
 import (
 	"fmt"
 
+	"github.com/gridmeta/hybridcat/internal/bitset"
 	"github.com/gridmeta/hybridcat/internal/relstore"
 )
 
@@ -12,6 +13,12 @@ import (
 // finally the matching object count. The trace is the textual analogue
 // of the paper's Figure 4 flow diagram; mdcat prints it for -explain
 // queries.
+//
+// On the default bitmap pipeline each node line also reports the
+// physical shape of its posting list — cardinality plus the
+// array/bitmap/run container mix — so plan debugging can see which
+// representation each criterion landed in. With Options.DisableBitmaps
+// the explain runs (and reports) the row-at-a-time path instead.
 func (c *Catalog) ExplainQuery(q *Query) ([]string, error) {
 	if len(q.Attrs) == 0 {
 		return nil, fmt.Errorf("catalog: query has no attribute criteria")
@@ -21,6 +28,79 @@ func (c *Catalog) ExplainQuery(q *Query) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.opts.DisableBitmaps {
+		return v.explainRows(q, all, tops)
+	}
+	return v.explainBitmap(q, all, tops)
+}
+
+// nodeHeader renders the shared per-node prefix of an explain line.
+func nodeHeader(n *qNode) string {
+	kind := "structural"
+	if n.def.Dynamic {
+		kind = "dynamic"
+	}
+	return fmt.Sprintf("node %d: %s attribute %q (source %q, def %d): %d element predicate(s)",
+		n.id, kind, n.def.Name, n.def.Source, n.def.ID, len(n.elems))
+}
+
+// explainBitmap traces the bitmap pipeline: posting lists per node with
+// their container representation, set-based rollup, and the object-set
+// intersection.
+func (v *view) explainBitmap(q *Query, all, tops []*qNode) ([]string, error) {
+	var lines []string
+	lines = append(lines, fmt.Sprintf("query: %d criteria node(s), %d top-level (bitmap set ops)", len(all), len(tops)))
+
+	// Stage 1+2: posting lists per node.
+	sets := make(map[int]*bitset.Set, len(all))
+	for _, n := range all {
+		s, err := v.directSatisfiedSet(n)
+		if err != nil {
+			return nil, err
+		}
+		sets[n.id] = s
+		lines = append(lines, fmt.Sprintf("%s -> %d directly satisfied instance(s) [set: %s]",
+			nodeHeader(n), s.Card(), s.Stats()))
+	}
+
+	// Stage 3: containment rollup, children first.
+	for i := len(all) - 1; i >= 0; i-- {
+		n := all[i]
+		if len(n.children) == 0 {
+			continue
+		}
+		before := sets[n.id].Card()
+		rolled, err := v.rollupSet(n, sets)
+		if err != nil {
+			return nil, err
+		}
+		sets[n.id] = rolled
+		lines = append(lines, fmt.Sprintf("node %d: containment rollup over %d child criterion(s): %d -> %d instance(s) [set: %s]",
+			n.id, len(n.children), before, rolled.Card(), rolled.Stats()))
+	}
+
+	// Stage 4: ascending-cardinality AND chain over per-top object sets.
+	objSets := make([]*bitset.Set, len(tops))
+	for i, top := range tops {
+		objSets[i] = objectSet(sets[top.id])
+		lines = append(lines, fmt.Sprintf("top node %d: %d candidate object(s) [set: %s]",
+			top.id, objSets[i].Card(), objSets[i].Stats()))
+	}
+	result := andAscending(objSets)
+	matches := 0
+	result.Iterate(func(k uint64) bool {
+		if v.visibleTo(q.Owner, int64(k)) {
+			matches++
+		}
+		return true
+	})
+	lines = append(lines, fmt.Sprintf("objects satisfying all %d top-level criteria (visible to %q): %d",
+		len(tops), q.Owner, matches))
+	return lines, nil
+}
+
+// explainRows traces the row-at-a-time oracle path.
+func (v *view) explainRows(q *Query, all, tops []*qNode) ([]string, error) {
 	var lines []string
 	lines = append(lines, fmt.Sprintf("query: %d criteria node(s), %d top-level", len(all), len(tops)))
 
@@ -34,12 +114,8 @@ func (c *Catalog) ExplainQuery(q *Query) ([]string, error) {
 		}
 		rows := relstore.Collect(it)
 		satisfied[n.id] = rows
-		kind := "structural"
-		if n.def.Dynamic {
-			kind = "dynamic"
-		}
-		lines = append(lines, fmt.Sprintf("node %d: %s attribute %q (source %q, def %d): %d element predicate(s) -> %d directly satisfied instance(s)",
-			n.id, kind, n.def.Name, n.def.Source, n.def.ID, len(n.elems), len(rows)))
+		lines = append(lines, fmt.Sprintf("%s -> %d directly satisfied instance(s)",
+			nodeHeader(n), len(rows)))
 	}
 
 	// Stage 3: containment rollup, children first.

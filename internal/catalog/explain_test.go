@@ -26,10 +26,12 @@ func TestExplainQueryTracesPipeline(t *testing.T) {
 	}
 	joined := strings.Join(lines, "\n")
 	for _, want := range []string{
-		"2 criteria node(s), 1 top-level",
+		"2 criteria node(s), 1 top-level (bitmap set ops)",
 		`dynamic attribute "grid"`,
 		`dynamic attribute "grid-stretching"`,
 		"containment rollup over 1 child criterion(s)",
+		"[set: card=", // posting-list representation per node
+		"candidate object(s) [set:",
 		"objects satisfying all 1 top-level criteria",
 		": 1", // final match count
 	} {
@@ -41,6 +43,21 @@ func TestExplainQueryTracesPipeline(t *testing.T) {
 	ids, err := c.Evaluate(q)
 	if err != nil || len(ids) != 1 {
 		t.Fatalf("evaluate = %v, %v", ids, err)
+	}
+
+	// The row-path oracle explains the same pipeline without set shapes.
+	cOff := newLEADCatalog(t, Options{DisableBitmaps: true})
+	ingestFig3(t, cOff)
+	offLines, err := cOff.ExplainQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offJoined := strings.Join(offLines, "\n")
+	if strings.Contains(offJoined, "[set:") || strings.Contains(offJoined, "bitmap set ops") {
+		t.Errorf("row-path explain should not report set shapes:\n%s", offJoined)
+	}
+	if !strings.Contains(offJoined, "containment rollup over 1 child criterion(s)") {
+		t.Errorf("row-path explain missing rollup line:\n%s", offJoined)
 	}
 
 	// Errors propagate.

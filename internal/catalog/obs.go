@@ -18,8 +18,13 @@ const DefaultTraceDepth = 32
 //
 //	catalog_op_nanos{op}      top-level operation latency
 //	query_stage_nanos{stage}  Figure-4 stage latency
-//	query_criterion_rows      materialized rows per criterion probe
+//	query_criterion_rows      materialized rows (or posting-list
+//	                          cardinality) per criterion probe
 //	query_path_total{path}    parallel vs sequential fan-out decisions
+//	query_bitmap_containers_total{kind}  containers (array/bitmap/run)
+//	                          across criterion posting lists
+//	query_intersect_cardinality          per-criterion object-set size
+//	                          entering the bitmap intersect stage
 //	catalog_wal_commit_nanos  full WAL commit (append + fsync) latency
 //	catalog_checkpoints_total
 //	catalog_recovery_replayed_records_total / _ops_total
@@ -44,6 +49,11 @@ type catObs struct {
 	criterionRows  *obs.Histogram
 	pathParallel   *obs.Counter
 	pathSequential *obs.Counter
+
+	bitmapContainersArray  *obs.Counter
+	bitmapContainersBitmap *obs.Counter
+	bitmapContainersRun    *obs.Counter
+	intersectCardinality   *obs.Histogram
 
 	walCommitNanos *obs.Histogram
 	checkpoints    *obs.Counter
@@ -87,6 +97,11 @@ func (c *Catalog) initObs() {
 		criterionRows:  reg.Histogram("query_criterion_rows"),
 		pathParallel:   reg.Counter("query_path_total", obs.L("path", "parallel")),
 		pathSequential: reg.Counter("query_path_total", obs.L("path", "sequential")),
+
+		bitmapContainersArray:  reg.Counter("query_bitmap_containers_total", obs.L("kind", "array")),
+		bitmapContainersBitmap: reg.Counter("query_bitmap_containers_total", obs.L("kind", "bitmap")),
+		bitmapContainersRun:    reg.Counter("query_bitmap_containers_total", obs.L("kind", "run")),
+		intersectCardinality:   reg.Histogram("query_intersect_cardinality"),
 
 		walCommitNanos: reg.Histogram("catalog_wal_commit_nanos"),
 		checkpoints:    reg.Counter("catalog_checkpoints_total"),

@@ -187,7 +187,26 @@ func (v *view) evaluateTraced(q *Query, tr *obs.Trace) ([]int64, error) {
 // caching is on ("" otherwise), reused for the resolve layer. tr (which
 // may be nil) receives one span per pipeline stage; the stage
 // histograms are recorded regardless.
+//
+// By default the stages run on the compressed-bitmap representation
+// (bitmap.go); Options.DisableBitmaps selects the original row-at-a-
+// time path, kept compiled in as the correctness oracle. A query whose
+// IDs cannot be packed into instance keys falls back to the row path
+// for that evaluation only.
 func (v *view) evaluateUncached(q *Query, key string, tr *obs.Trace) ([]int64, error) {
+	if !v.c.opts.DisableBitmaps {
+		ids, err := v.evaluateBitmap(q, key, tr)
+		if err == nil || !errors.Is(err, errBitmapRange) {
+			return ids, err
+		}
+		tr.Annotate("bitmap-range fallback to row path")
+	}
+	return v.evaluateRows(q, key, tr)
+}
+
+// evaluateRows is the row-at-a-time Figure-4 pipeline: instance rows
+// flow between the stages through volcano iterators and group-by maps.
+func (v *view) evaluateRows(q *Query, key string, tr *obs.Trace) ([]int64, error) {
 	c := v.c
 	// Stage 1+2 (Figure 4 left column): resolve the criteria tree, then
 	// per criteria node the attribute instances directly satisfying its

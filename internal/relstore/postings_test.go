@@ -1,0 +1,134 @@
+package relstore
+
+import (
+	"slices"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/bitset"
+)
+
+// newPostingsTable builds a table with hash, B-tree, and unique indexes
+// populated with enough rows to exercise multi-row postings.
+func newPostingsTable(t *testing.T) *Table {
+	t.Helper()
+	tab := newTestTable(t)
+	if _, err := tab.CreateIndex("by_name", HashIndex, false, "name"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.CreateIndex("by_age", BTreeIndex, false, "age"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.CreateIndex("pk", BTreeIndex, true, "id"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		name := "even"
+		if i%2 == 1 {
+			name = "odd"
+		}
+		if _, err := tab.Insert(Row{Int(int64(i)), Str(name), Int(int64(i % 25))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+// asUint64 converts the slice-path row IDs for comparison; the posting
+// path yields sorted keys, so sort here too.
+func asUint64(ids []int64) []uint64 {
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func TestLookupEqualPostingsMatchesSlicePath(t *testing.T) {
+	tab := newPostingsTable(t)
+	for _, name := range []string{"even", "odd", "missing"} {
+		ids, err := tab.LookupEqual("by_name", Str(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := bitset.New()
+		if err := tab.LookupEqualPostings("by_name", set, Str(name)); err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(set.Slice(), asUint64(ids)) {
+			t.Fatalf("name=%q: postings %v != slice path %v", name, set.Slice(), ids)
+		}
+	}
+	// Unique-index probe: zero or one posting.
+	for _, id := range []int64{7, 9999} {
+		ids, err := tab.LookupEqual("pk", Int(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := bitset.New()
+		if err := tab.LookupEqualPostings("pk", set, Int(id)); err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(set.Slice(), asUint64(ids)) {
+			t.Fatalf("pk=%d: postings %v != slice path %v", id, set.Slice(), ids)
+		}
+	}
+	// Validation parity with the slice path.
+	if err := tab.LookupEqualPostings("nope", bitset.New(), Str("x")); err == nil {
+		t.Error("unknown index should fail")
+	}
+	if err := tab.LookupEqualPostings("by_name", bitset.New()); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestLookupRangePostingsMatchesSlicePath(t *testing.T) {
+	tab := newPostingsTable(t)
+	bounds := []struct {
+		name   string
+		lo, hi RangeBound
+	}{
+		{"unbounded", RangeBound{}, RangeBound{}},
+		{"ge", RangeBound{Vals: []Value{Int(10)}, Inclusive: true, Set: true}, RangeBound{}},
+		{"gt", RangeBound{Vals: []Value{Int(10)}, Set: true}, RangeBound{}},
+		{"le", RangeBound{}, RangeBound{Vals: []Value{Int(10)}, Inclusive: true, Set: true}},
+		{"lt", RangeBound{}, RangeBound{Vals: []Value{Int(10)}, Set: true}},
+		{"window", RangeBound{Vals: []Value{Int(5)}, Inclusive: true, Set: true}, RangeBound{Vals: []Value{Int(9)}, Inclusive: true, Set: true}},
+		{"empty", RangeBound{Vals: []Value{Int(90)}, Inclusive: true, Set: true}, RangeBound{Vals: []Value{Int(95)}, Inclusive: true, Set: true}},
+	}
+	for _, b := range bounds {
+		ids, err := tab.LookupRange("by_age", b.lo, b.hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := bitset.New()
+		if err := tab.LookupRangePostings("by_age", set, b.lo, b.hi); err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(set.Slice(), asUint64(ids)) {
+			t.Fatalf("%s: postings card %d != slice path %d rows", b.name, set.Card(), len(ids))
+		}
+	}
+	if err := tab.LookupRangePostings("by_name", bitset.New(), RangeBound{}, RangeBound{}); err == nil {
+		t.Error("range over hash index should fail")
+	}
+}
+
+func TestScanRowIDPostings(t *testing.T) {
+	tab := newPostingsTable(t)
+	var want []uint64
+	tab.Scan(func(id int64, _ Row) bool {
+		want = append(want, uint64(id))
+		return true
+	})
+	set := bitset.New()
+	tab.ScanRowIDPostings(set)
+	if !slices.Equal(set.Slice(), want) {
+		t.Fatalf("scan postings card %d != %d live rows", set.Card(), len(want))
+	}
+	// Sequential row IDs should compress to a single run container.
+	set.Optimize()
+	if st := set.Stats(); st.Run != 1 || st.Containers() != 1 {
+		t.Fatalf("sequential row IDs: stats %v, want one run container", st)
+	}
+}
