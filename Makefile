@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress crash mvcc bitmap cover bench experiments quick-experiments examples docs clean
+.PHONY: all build vet test race stress crash mvcc bitmap replica cover bench experiments quick-experiments examples docs clean
 
 all: build vet test
 
@@ -50,6 +50,17 @@ bitmap:
 	$(GO) test -race -run 'Fuzz|Bitset|Set' -count=1 ./internal/bitset/
 	$(GO) test -race -run 'Bitmap|Postings|ParallelSequentialOracleEquivalence' -count=1 ./internal/catalog/ ./internal/relstore/
 	$(GO) run ./cmd/mdbench -exp B1 -quick
+
+# Replication fault suite under the race detector: the WAL-stream
+# tailer driven through scripted network faults (torn responses at
+# every record offset, refused connections, primary restarts,
+# checkpoint-truncated logs), the group-commit crash matrices with
+# their batch-boundary windows, the retry/backoff determinism tests,
+# and a one-repetition smoke of the R2 group-commit/replica-lag
+# experiment (DESIGN.md "Replication").
+replica:
+	$(GO) test -race -run 'Replica|GroupCommit|GroupCrash|Retry|Backoff|Do|Flaky|WALStream|WALSnapshot|Healthz|Staleness' -count=1 ./internal/replica/ ./internal/retry/ ./internal/faultio/ ./internal/wal/ ./internal/catalog/ ./internal/service/
+	$(GO) run ./cmd/mdbench -exp R2 -quick
 
 cover:
 	$(GO) test -cover ./...

@@ -5,8 +5,10 @@
 //	mdserver -addr :8080
 //	mdserver -wal catalog.wal                        # durable: WAL + crash recovery
 //	mdserver -wal catalog.wal -checkpoint-every 256  # bound recovery time
+//	mdserver -wal catalog.wal -group-commit          # coalesce concurrent fsyncs
 //	mdserver -load catalog.snap -save catalog.snap   # snapshot-only persistence
 //	mdserver -ontology terms.txt                     # enable ?expand=1
+//	mdserver -replica-of http://primary:8080 -max-lag 64   # read replica
 //	curl -X POST --data-binary @doc.xml 'localhost:8080/ingest?owner=alice'
 //	curl -X POST --data @query.json localhost:8080/query
 //
@@ -15,6 +17,10 @@
 // checkpoint snapshot plus the log; SIGINT/SIGTERM drains in-flight
 // requests and writes a final checkpoint. With -save (and no -wal), a
 // snapshot is written atomically on SIGINT/SIGTERM before exit.
+// -group-commit batches concurrent commits into one fsync (see
+// internal/wal); -replica-of turns the server into a read-only replica
+// that tails the primary's /wal/stream and refuses reads once it lags
+// more than -max-lag records behind.
 package main
 
 import (
@@ -36,6 +42,8 @@ import (
 	"github.com/gridmeta/hybridcat/internal/catalog"
 	"github.com/gridmeta/hybridcat/internal/obs"
 	"github.com/gridmeta/hybridcat/internal/ontology"
+	"github.com/gridmeta/hybridcat/internal/replica"
+	"github.com/gridmeta/hybridcat/internal/retry"
 	"github.com/gridmeta/hybridcat/internal/service"
 	"github.com/gridmeta/hybridcat/internal/xmlschema"
 )
@@ -57,6 +65,11 @@ func main() {
 		metricsOn  = flag.Bool("metrics", true, "expose the metrics registry at GET /metrics and record query traces at /debug/tracez")
 		traceDepth = flag.Int("trace-depth", 0, "slow-query trace ring size (0 = default, negative = tracing off)")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/ and expvar at /debug/vars")
+		groupOn    = flag.Bool("group-commit", false, "with -wal: coalesce concurrent commits into one fsync per batch")
+		groupWait  = flag.Duration("group-commit-wait", 0, "with -group-commit: batch leader's collection window (0 = flush immediately)")
+		groupBatch = flag.Int("group-commit-batch", 0, "with -group-commit: max records per batch (0 = default)")
+		replicaOf  = flag.String("replica-of", "", "run as a read replica of this primary base URL (tails /wal/stream; mutations answer 503)")
+		maxLag     = flag.Uint64("max-lag", 0, "with -replica-of: refuse reads once the replica lags this many log records behind the primary (0 = serve regardless)")
 	)
 	flag.Parse()
 
@@ -75,11 +88,47 @@ func main() {
 	if *metricsOn {
 		opts.Metrics = obs.NewRegistry()
 	}
-	cat, err := openCatalog(schema, opts, *walPath, *ckptEvery, *loadPath)
-	if err != nil {
-		log.Fatal("mdserver: ", err)
+	var (
+		cat        *catalog.Catalog
+		rep        *replica.Replica
+		tailCancel context.CancelFunc
+	)
+	if *replicaOf != "" {
+		if *walPath != "" || *savePath != "" || *loadPath != "" {
+			log.Fatal("mdserver: -replica-of is incompatible with -wal/-save/-load (a replica's state is the primary's log)")
+		}
+		rep, err = replica.New(replica.Options{
+			Primary: *replicaOf,
+			Schema:  schema,
+			Catalog: opts,
+			Retry:   retry.DefaultPolicy,
+		})
+		if err != nil {
+			log.Fatal("mdserver: ", err)
+		}
+		cat = rep.Catalog()
+		var tailCtx context.Context
+		tailCtx, tailCancel = context.WithCancel(context.Background())
+		go func() {
+			if err := rep.Run(tailCtx); !errors.Is(err, context.Canceled) {
+				log.Print("mdserver: tailer: ", err)
+			}
+		}()
+	} else {
+		dopts := catalog.DurabilityOptions{
+			WALPath: *walPath, CheckpointEvery: *ckptEvery,
+			GroupCommit: *groupOn, GroupCommitWait: *groupWait, GroupCommitBatch: *groupBatch,
+		}
+		cat, err = openCatalog(schema, opts, dopts, *loadPath)
+		if err != nil {
+			log.Fatal("mdserver: ", err)
+		}
 	}
 	srv := service.New(cat)
+	if rep != nil {
+		srv.Replica = rep
+		srv.MaxLag = *maxLag
+	}
 	if *ontPath != "" {
 		data, err := os.ReadFile(*ontPath)
 		if err != nil {
@@ -121,6 +170,9 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Print("mdserver: shutdown: ", err)
 		}
+		if tailCancel != nil {
+			tailCancel()
+		}
 		if *walPath != "" {
 			if err := cat.Close(); err != nil {
 				log.Fatal("mdserver: final checkpoint: ", err)
@@ -149,6 +201,12 @@ func main() {
 	durable := "no durability"
 	if *walPath != "" {
 		durable = fmt.Sprintf("WAL %s, checkpoint every %d", *walPath, *ckptEvery)
+		if *groupOn {
+			durable += fmt.Sprintf(", group commit (wait %v)", *groupWait)
+		}
+	}
+	if rep != nil {
+		durable = fmt.Sprintf("read replica of %s (max lag %d)", *replicaOf, *maxLag)
 	}
 	observing := "metrics off"
 	if *metricsOn {
@@ -169,9 +227,8 @@ func main() {
 // -wal recovers snapshot+log and attaches durability; a legacy -load
 // snapshot seeds a durable catalog only when the WAL has no state yet;
 // plain -load and in-memory modes are unchanged.
-func openCatalog(schema *xmlschema.Schema, opts catalog.Options, walPath string, ckptEvery int, loadPath string) (*catalog.Catalog, error) {
-	if walPath != "" {
-		dopts := catalog.DurabilityOptions{WALPath: walPath, CheckpointEvery: ckptEvery}
+func openCatalog(schema *xmlschema.Schema, opts catalog.Options, dopts catalog.DurabilityOptions, loadPath string) (*catalog.Catalog, error) {
+	if walPath := dopts.WALPath; walPath != "" {
 		cat, err := catalog.OpenDurable(schema, opts, dopts)
 		if err != nil {
 			return nil, err

@@ -35,6 +35,7 @@ var experiments = map[string]Experiment{
 	"MV1": {"MV1", "MVCC snapshots: reader throughput under writer contention", MV1Contention},
 	"C2":  {"C2", "read caching: cold vs warm vs mutating workloads", C2CacheEffect},
 	"R1":  {"R1", "WAL durability: ingest overhead and recovery time", R1Durability},
+	"R2":  {"R2", "group commit and replication: writer scaling and replica lag", R2Replication},
 	"O1":  {"O1", "observability overhead: metrics+tracing on vs off", O1MetricsOverhead},
 	"B1":  {"B1", "bitmap posting lists: multi-criterion set ops vs row-at-a-time", B1BitmapSetOps},
 }

@@ -51,6 +51,9 @@ func instKey(object, seq int64) (uint64, error) {
 func (v *view) evaluateBitmap(q *Query, key string, tr *obs.Trace) ([]int64, error) {
 	c := v.c
 	tr.Annotate("repr=bitmap")
+	if err := v.ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Stage 1+2: resolve, then per criteria node the posting list of
 	// instances directly satisfying its element predicates.
@@ -64,6 +67,9 @@ func (v *view) evaluateBitmap(q *Query, key string, tr *obs.Trace) ([]int64, err
 		return nil, err
 	}
 	endProbe(int64(len(all)))
+	if err := v.ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Stage 3: containment rollup, children before parents (DFS reverse),
 	// each cover set ANDed in ascending-cardinality order.
@@ -82,6 +88,9 @@ func (v *view) evaluateBitmap(q *Query, key string, tr *obs.Trace) ([]int64, err
 		rolled++
 	}
 	endRollup(rolled)
+	if err := v.ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Stage 4: project each top-level criterion's instance set onto
 	// objects, then chain bitmap ANDs from the smallest set up.

@@ -6,6 +6,7 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -86,7 +87,7 @@ type Catalog struct {
 
 	// mu serializes mutations (ingest, delete, publish, collection
 	// membership, dynamic registration) and guards the durability state
-	// (c.dur, c.tx, capture buffers, curTrace). The read path does NOT
+	// (c.dur, c.tx, capture buffers). The read path does NOT
 	// take it: every read operation pins an immutable snapshot via
 	// pinView and runs lock-free against it (see view.go), overlapping
 	// freely with writers — who build the next version copy-on-write and
@@ -123,13 +124,16 @@ type Catalog struct {
 	// window.
 	crashAfterWALCommit func() error
 
+	// follower marks a read-only replica catalog: every local mutation
+	// is refused with ErrReadOnlyReplica, and state advances only
+	// through ApplyWAL replaying the primary's log records (see
+	// follower.go). applied is its replication cursor, guarded by mu.
+	follower bool
+	applied  uint64
+
 	// obsv holds the instrument handles and the slow-trace ring (see
 	// obs.go); zero-valued (all no-ops) without Options.Metrics.
 	obsv catObs
-	// curTrace is the trace of the mutation currently holding the write
-	// lock, so mutateLocked can stamp its WAL commit span; guarded by the
-	// write lock.
-	curTrace *obs.Trace
 }
 
 // Open builds a catalog for a finalized schema: it creates the relational
@@ -519,51 +523,55 @@ func (c *Catalog) AddAttribute(objectID int64, owner string, frag *xmldoc.Node) 
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ids, err := c.DB.MustTable(TObjects).LookupEqual("objects_pk", relstore.Int(objectID))
-	if err != nil {
-		return err
-	}
-	if len(ids) == 0 {
-		return fmt.Errorf("catalog: no object %d", objectID)
-	}
-	// Current same-sibling counters for the object.
-	clobSeq := map[int]int{}
-	clobT := c.DB.MustTable(TClobs)
-	rowIDs, err := clobT.LookupRange("clobs_by_object",
-		relstore.RangeBound{Vals: []relstore.Value{relstore.Int(objectID)}, Inclusive: true, Set: true},
-		relstore.RangeBound{Vals: []relstore.Value{relstore.Int(objectID)}, Inclusive: true, Set: true})
-	if err != nil {
-		return err
-	}
-	for _, rid := range rowIDs {
-		if r := clobT.Get(rid); r != nil {
-			if int(r[2].I) > clobSeq[int(r[1].I)] {
-				clobSeq[int(r[1].I)] = int(r[2].I)
-			}
-		}
-	}
-	attrSeq := map[int64]int{}
-	attrT := c.DB.MustTable(TAttrData)
-	aids, err := attrT.LookupEqual("attr_data_by_object", relstore.Int(objectID))
-	if err != nil {
-		return err
-	}
-	for _, rid := range aids {
-		if r := attrT.Get(rid); r != nil {
-			if int(r[2].I) > attrSeq[r[1].I] {
-				attrSeq[r[1].I] = int(r[2].I)
-			}
-		}
-	}
-	res, err := c.shredder.ShredAttribute(frag, decl, core.Options{
-		Owner:        owner,
-		AutoRegister: c.opts.AutoRegister,
-		Lenient:      c.opts.Lenient,
-	}, clobSeq, attrSeq)
-	if err != nil {
-		return err
-	}
+	// All reads run inside the mutation's transaction (c.wtab): under
+	// group commit another writer's staged-but-unpublished version may
+	// be the base of this transaction, and reading the published tables
+	// instead would compute stale sibling counters.
 	return c.mutateLocked(func() error {
+		ids, err := c.wtab(TObjects).LookupEqual("objects_pk", relstore.Int(objectID))
+		if err != nil {
+			return err
+		}
+		if len(ids) == 0 {
+			return fmt.Errorf("catalog: no object %d", objectID)
+		}
+		// Current same-sibling counters for the object.
+		clobSeq := map[int]int{}
+		clobT := c.wtab(TClobs)
+		rowIDs, err := clobT.LookupRange("clobs_by_object",
+			relstore.RangeBound{Vals: []relstore.Value{relstore.Int(objectID)}, Inclusive: true, Set: true},
+			relstore.RangeBound{Vals: []relstore.Value{relstore.Int(objectID)}, Inclusive: true, Set: true})
+		if err != nil {
+			return err
+		}
+		for _, rid := range rowIDs {
+			if r := clobT.Get(rid); r != nil {
+				if int(r[2].I) > clobSeq[int(r[1].I)] {
+					clobSeq[int(r[1].I)] = int(r[2].I)
+				}
+			}
+		}
+		attrSeq := map[int64]int{}
+		attrT := c.wtab(TAttrData)
+		aids, err := attrT.LookupEqual("attr_data_by_object", relstore.Int(objectID))
+		if err != nil {
+			return err
+		}
+		for _, rid := range aids {
+			if r := attrT.Get(rid); r != nil {
+				if int(r[2].I) > attrSeq[r[1].I] {
+					attrSeq[r[1].I] = int(r[2].I)
+				}
+			}
+		}
+		res, err := c.shredder.ShredAttribute(frag, decl, core.Options{
+			Owner:        owner,
+			AutoRegister: c.opts.AutoRegister,
+			Lenient:      c.opts.Lenient,
+		}, clobSeq, attrSeq)
+		if err != nil {
+			return err
+		}
 		if c.opts.AutoRegister {
 			if err := c.syncDefTables(); err != nil {
 				return err
@@ -578,18 +586,28 @@ func (c *Catalog) AddAttribute(objectID int64, owner string, frag *xmldoc.Node) 
 func (c *Catalog) Delete(id int64) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ids, _ := c.DB.MustTable(TObjects).LookupEqual("objects_pk", relstore.Int(id))
-	if len(ids) == 0 {
-		return false, nil
-	}
+	existed := false
 	if err := c.mutateLocked(func() error {
+		// The existence check reads the transaction's view: a staged
+		// (group-committed, not yet published) ingest of this object must
+		// count as existing or the delete would silently no-op.
+		ids, _ := c.wtab(TObjects).LookupEqual("objects_pk", relstore.Int(id))
+		if len(ids) == 0 {
+			return errNotFound
+		}
+		existed = true
 		c.removeObjectLocked(id)
 		return nil
-	}); err != nil {
+	}); err != nil && !errors.Is(err, errNotFound) {
 		return false, err
 	}
-	return true, nil
+	return existed, nil
 }
+
+// errNotFound is an internal sentinel for mutations whose target does
+// not exist: it aborts the transaction without surfacing an error when
+// the API reports absence through a return value instead.
+var errNotFound = errors.New("catalog: not found")
 
 func (c *Catalog) removeObjectLocked(id int64) {
 	for table, index := range map[string]string{
@@ -650,18 +668,17 @@ func (c *Catalog) Objects() []ObjectInfo {
 // are visible only to their owner's queries (§1: the catalog must
 // "ensure the privacy of unpublished data and results").
 func (c *Catalog) SetPublished(id int64, published bool) error {
-	objT := c.DB.MustTable(TObjects)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ids, err := objT.LookupEqual("objects_pk", relstore.Int(id))
-	if err != nil {
-		return err
-	}
-	if len(ids) == 0 {
-		return fmt.Errorf("catalog: no object %d", id)
-	}
 	return c.mutateLocked(func() error {
 		t := c.wtab(TObjects)
+		ids, err := t.LookupEqual("objects_pk", relstore.Int(id))
+		if err != nil {
+			return err
+		}
+		if len(ids) == 0 {
+			return fmt.Errorf("catalog: no object %d", id)
+		}
 		r := relstore.CloneRow(t.Get(ids[0]))
 		r[4] = relstore.Bool(published)
 		return t.Update(ids[0], r)

@@ -2,6 +2,8 @@ package catalog
 
 import (
 	"cmp"
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 
@@ -69,25 +71,28 @@ func (c *Catalog) CreateCollection(name, owner string, parentID int64) (int64, e
 	if name == "" {
 		return 0, fmt.Errorf("catalog: collection needs a name")
 	}
-	collT := c.DB.MustTable(TCollections)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if parentID != 0 {
-		ids, err := collT.LookupEqual("collections_pk", relstore.Int(parentID))
-		if err != nil {
-			return 0, err
-		}
-		if len(ids) == 0 {
-			return 0, fmt.Errorf("catalog: no collection %d", parentID)
-		}
-	}
-	id := collT.NextAutoID()
-	parent := relstore.Null()
-	if parentID != 0 {
-		parent = relstore.Int(parentID)
-	}
+	var id int64
 	if err := c.mutateLocked(func() error {
-		_, err := c.wtab(TCollections).Insert(relstore.Row{relstore.Int(id), relstore.Str(name), relstore.Str(owner), parent})
+		// Reads run inside the mutation so they see the staged base, not a
+		// published version that may lag it under group-commit pipelining.
+		collT := c.wtab(TCollections)
+		if parentID != 0 {
+			ids, err := collT.LookupEqual("collections_pk", relstore.Int(parentID))
+			if err != nil {
+				return err
+			}
+			if len(ids) == 0 {
+				return fmt.Errorf("catalog: no collection %d", parentID)
+			}
+		}
+		id = collT.NextAutoID()
+		parent := relstore.Null()
+		if parentID != 0 {
+			parent = relstore.Int(parentID)
+		}
+		_, err := collT.Insert(relstore.Row{relstore.Int(id), relstore.Str(name), relstore.Str(owner), parent})
 		return err
 	}); err != nil {
 		return 0, err
@@ -100,31 +105,31 @@ func (c *Catalog) CreateCollection(name, owner string, parentID int64) (int64, e
 func (c *Catalog) AddToCollection(collID, objectID int64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	collT := c.DB.MustTable(TCollections)
-	ids, err := collT.LookupEqual("collections_pk", relstore.Int(collID))
-	if err != nil {
-		return err
-	}
-	if len(ids) == 0 {
-		return fmt.Errorf("catalog: no collection %d", collID)
-	}
-	objIDs, err := c.DB.MustTable(TObjects).LookupEqual("objects_pk", relstore.Int(objectID))
-	if err != nil {
-		return err
-	}
-	if len(objIDs) == 0 {
-		return fmt.Errorf("catalog: no object %d", objectID)
-	}
-	memT := c.DB.MustTable(TMembers)
-	existing, err := memT.LookupEqual("members_pk", relstore.Int(collID), relstore.Int(objectID))
-	if err != nil {
-		return err
-	}
-	if len(existing) > 0 {
-		return nil
-	}
 	return c.mutateLocked(func() error {
-		_, err := c.wtab(TMembers).Insert(relstore.Row{relstore.Int(collID), relstore.Int(objectID)})
+		// All checks run against the staged base (see CreateCollection).
+		ids, err := c.wtab(TCollections).LookupEqual("collections_pk", relstore.Int(collID))
+		if err != nil {
+			return err
+		}
+		if len(ids) == 0 {
+			return fmt.Errorf("catalog: no collection %d", collID)
+		}
+		objIDs, err := c.wtab(TObjects).LookupEqual("objects_pk", relstore.Int(objectID))
+		if err != nil {
+			return err
+		}
+		if len(objIDs) == 0 {
+			return fmt.Errorf("catalog: no object %d", objectID)
+		}
+		memT := c.wtab(TMembers)
+		existing, err := memT.LookupEqual("members_pk", relstore.Int(collID), relstore.Int(objectID))
+		if err != nil {
+			return err
+		}
+		if len(existing) > 0 {
+			return nil
+		}
+		_, err = memT.Insert(relstore.Row{relstore.Int(collID), relstore.Int(objectID)})
 		return err
 	})
 }
@@ -134,18 +139,21 @@ func (c *Catalog) AddToCollection(collID, objectID int64) error {
 func (c *Catalog) RemoveFromCollection(collID, objectID int64) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	memT := c.DB.MustTable(TMembers)
-	ids, _ := memT.LookupEqual("members_pk", relstore.Int(collID), relstore.Int(objectID))
-	if len(ids) == 0 {
-		return false, nil
-	}
 	if err := c.mutateLocked(func() error {
+		// Lookup runs against the staged base (see CreateCollection).
 		t := c.wtab(TMembers)
+		ids, _ := t.LookupEqual("members_pk", relstore.Int(collID), relstore.Int(objectID))
+		if len(ids) == 0 {
+			return errNotFound
+		}
 		for _, rid := range ids {
 			t.Delete(rid)
 		}
 		return nil
 	}); err != nil {
+		if errors.Is(err, errNotFound) {
+			return false, nil
+		}
 		return false, err
 	}
 	return true, nil
@@ -235,9 +243,16 @@ func (v *view) collectionObjects(collID int64) ([]int64, error) {
 // containment viewpoint: only objects aggregated under the collection
 // can match.
 func (c *Catalog) EvaluateInContext(collID int64, q *Query) ([]int64, error) {
+	return c.EvaluateInContextCtx(context.Background(), collID, q)
+}
+
+// EvaluateInContextCtx is EvaluateInContext honoring ctx cancellation
+// ("context" in the name refers to the collection containment scope;
+// ctx is Go cancellation, checked between pipeline stages).
+func (c *Catalog) EvaluateInContextCtx(ctx context.Context, collID int64, q *Query) ([]int64, error) {
 	// One pinned view covers both the scope walk and the evaluation, so
 	// membership and match results come from the same epoch.
-	v := c.pinView()
+	v := c.pinViewCtx(ctx)
 	scope, err := v.collectionObjects(collID)
 	if err != nil {
 		return nil, err

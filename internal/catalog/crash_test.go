@@ -201,12 +201,16 @@ func newOracleLEAD(t *testing.T) *Catalog {
 // their crash windows) interleave with the workload several times.
 const matrixCheckpointEvery = 4
 
+// durableOpener builds the catalog under test; the matrix runs once
+// with the plain fsync-per-commit opener and once with group commit.
+type durableOpener func(t *testing.T, fs faultio.FS, every int) (*Catalog, error)
+
 // countCrashPoints runs the workload fault-free on a counting wrapper
 // and returns the per-kind operation totals that size the matrix.
-func countCrashPoints(t *testing.T, ops []crashOp) map[faultio.OpKind]int {
+func countCrashPoints(t *testing.T, ops []crashOp, open durableOpener) map[faultio.OpKind]int {
 	t.Helper()
 	faulty := faultio.NewFaulty(faultio.NewMemFS(), faultio.Fault{})
-	c, err := openDurableLEAD(t, faulty, matrixCheckpointEvery)
+	c, err := open(t, faulty, matrixCheckpointEvery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +224,7 @@ func countCrashPoints(t *testing.T, ops []crashOp) map[faultio.OpKind]int {
 
 func TestCrashMatrix(t *testing.T) {
 	ops := crashWorkload(t)
-	counts := countCrashPoints(t, ops)
+	counts := countCrashPoints(t, ops, openDurableLEAD)
 	total := 0
 	for _, kind := range []faultio.OpKind{faultio.OpWrite, faultio.OpSync, faultio.OpRename, faultio.OpCreate, faultio.OpTruncate} {
 		n := counts[kind]
@@ -235,7 +239,7 @@ func TestCrashMatrix(t *testing.T) {
 			t.Run(fmt.Sprintf("%s-%d", kind, i), func(t *testing.T) {
 				runCrashPoint(t, ops, faultio.Fault{
 					Op: kind, N: i, Mode: faultio.CrashOp, Torn: (i * 7) % 23,
-				})
+				}, openDurableLEAD)
 			})
 		}
 	}
@@ -245,14 +249,14 @@ func TestCrashMatrix(t *testing.T) {
 // runCrashPoint drives the workload into one crash point, recovers from
 // the surviving bytes, and checks the recovered state against the
 // oracle.
-func runCrashPoint(t *testing.T, ops []crashOp, fault faultio.Fault) {
+func runCrashPoint(t *testing.T, ops []crashOp, fault faultio.Fault, open durableOpener) {
 	mem := faultio.NewMemFS()
 	faulty := faultio.NewFaulty(mem, fault)
 	oracle := newOracleLEAD(t)
 
 	acked := 0
 	var inFlight *crashOp
-	c, err := openDurableLEAD(t, faulty, matrixCheckpointEvery)
+	c, err := open(t, faulty, matrixCheckpointEvery)
 	if err == nil {
 		for i := range ops {
 			op := &ops[i]
@@ -274,7 +278,7 @@ func runCrashPoint(t *testing.T, ops []crashOp, fault faultio.Fault) {
 
 	// The process dies: unsynced page-cache contents are dropped.
 	mem.Crash()
-	rec, err := openDurableLEAD(t, mem, matrixCheckpointEvery)
+	rec, err := open(t, mem, matrixCheckpointEvery)
 	if err != nil {
 		t.Fatalf("recovery after crash at %+v (acked %d): %v", fault, acked, err)
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
@@ -12,6 +13,7 @@ import (
 
 	"github.com/gridmeta/hybridcat/internal/core"
 	"github.com/gridmeta/hybridcat/internal/faultio"
+	"github.com/gridmeta/hybridcat/internal/obs"
 	"github.com/gridmeta/hybridcat/internal/relstore"
 	"github.com/gridmeta/hybridcat/internal/wal"
 	"github.com/gridmeta/hybridcat/internal/xmlschema"
@@ -65,29 +67,69 @@ type DurabilityOptions struct {
 	CheckpointEvery int
 	// NoSync skips the per-commit fsync; for measuring fsync cost only.
 	NoSync bool
+	// GroupCommit coalesces concurrent mutations' log records into
+	// shared fsyncs: each mutation stages its version (invisible to
+	// readers), enqueues its record with the batching group writer, and
+	// publishes only after the batch fsync — so "readers never observe a
+	// state the log does not contain" holds exactly as in
+	// fsync-per-commit mode, while N concurrent writers pay ~1 fsync per
+	// batch instead of N.
+	GroupCommit bool
+	// GroupCommitWait is the batch leader's collection window; 0 flushes
+	// immediately (still coalescing whatever queued while the previous
+	// batch synced). Ignored without GroupCommit.
+	GroupCommitWait time.Duration
+	// GroupCommitBatch caps a batch's record count (values < 1 default
+	// to 64). Ignored without GroupCommit.
+	GroupCommitBatch int
 }
 
 // durability is the catalog's attached log + checkpoint state; all
-// fields are guarded by the catalog's write lock.
+// fields are guarded by the catalog's write lock except where noted.
 type durability struct {
 	fs       faultio.FS
 	w        *wal.Writer
+	gw       *wal.GroupWriter // nil in fsync-per-commit mode
 	snapPath string
 	every    int
+
+	// publishedSeq is the log sequence of the last mutation whose
+	// version readers can see — the replication watermark a snapshot
+	// carries. In group-commit mode it trails the log's LastSeq while
+	// staged commits await their batch fsync.
+	publishedSeq uint64
+	// staged is the chain of precommitted-but-unpublished group commits,
+	// in epoch (= enqueue = log sequence) order.
+	staged []*stagedCommit
+	// notify is closed and replaced on every publish; the replication
+	// stream's long poll waits on it instead of busy-polling.
+	notify chan struct{}
 
 	sinceCheckpoint   int
 	checkpoints       uint64
 	lastCheckpointErr error
 }
 
+// stagedCommit pairs one group-committed mutation's frozen version with
+// the log ticket that will make its record durable.
+type stagedCommit struct {
+	staged *relstore.Staged
+	ticket *wal.Ticket
+	nops   int
+}
+
 // DurabilityStats reports the durability subsystem's counters.
 type DurabilityStats struct {
-	Enabled             bool      `json:"enabled"`
-	WAL                 wal.Stats `json:"wal"`
-	Checkpoints         uint64    `json:"checkpoints"`
-	SinceCheckpoint     int       `json:"records_since_checkpoint"`
-	CheckpointEvery     int       `json:"checkpoint_every"`
-	LastCheckpointError string    `json:"last_checkpoint_error,omitempty"`
+	Enabled             bool           `json:"enabled"`
+	WAL                 wal.Stats      `json:"wal"`
+	GroupCommit         bool           `json:"group_commit"`
+	Group               wal.GroupStats `json:"group,omitempty"`
+	PublishedSeq        uint64         `json:"published_seq"`
+	StagedDepth         int            `json:"staged_depth"`
+	Checkpoints         uint64         `json:"checkpoints"`
+	SinceCheckpoint     int            `json:"records_since_checkpoint"`
+	CheckpointEvery     int            `json:"checkpoint_every"`
+	LastCheckpointError string         `json:"last_checkpoint_error,omitempty"`
 }
 
 // OpenDurable opens a catalog backed by a write-ahead log: it recovers
@@ -170,7 +212,18 @@ func OpenDurable(schema *xmlschema.Schema, opts Options, dopts DurabilityOptions
 	w.SetNextSeq(fromSeq + 1)
 	w.NoSync = dopts.NoSync
 	w.SetMetrics(c.obsv.reg)
-	c.dur = &durability{fs: fs, w: w, snapPath: snapPath, every: dopts.CheckpointEvery}
+	c.dur = &durability{
+		fs:           fs,
+		w:            w,
+		snapPath:     snapPath,
+		every:        dopts.CheckpointEvery,
+		publishedSeq: w.LastSeq(),
+		notify:       make(chan struct{}),
+	}
+	if dopts.GroupCommit {
+		c.dur.gw = wal.NewGroupWriter(w, dopts.GroupCommitWait, dopts.GroupCommitBatch)
+		c.dur.gw.SetMetrics(c.obsv.reg)
+	}
 	return c, nil
 }
 
@@ -195,12 +248,11 @@ func (c *Catalog) mutateLocked(fn func() error) error {
 		// outermost frame owns the transaction, capture, and commit.
 		return fn()
 	}
-	// The outermost frame is also the traced "mutate" operation; the
-	// write lock guards curTrace, which carries the WAL commit span.
+	if c.follower {
+		return ErrReadOnlyReplica
+	}
 	tr, done := c.beginOp("mutate", c.obsv.opMutate)
 	defer done()
-	c.curTrace = tr
-	defer func() { c.curTrace = nil }()
 	tx := c.DB.Begin()
 	c.tx = tx
 	c.capturing = true
@@ -213,15 +265,19 @@ func (c *Catalog) mutateLocked(fn func() error) error {
 		tx.Abort()
 		return err
 	}
+	if c.dur != nil && len(ops) > 0 && c.dur.gw != nil {
+		return c.groupCommitLocked(tr, tx, ops)
+	}
 	if c.dur != nil && len(ops) > 0 {
 		payload, derr := encodeOps(ops)
+		var seq uint64
 		if derr == nil {
 			start := time.Now()
-			_, derr = c.dur.w.Commit(payload)
+			seq, derr = c.dur.w.Commit(payload)
 			if derr == nil {
 				d := time.Since(start)
 				c.obsv.walCommitNanos.Observe(d.Nanoseconds())
-				c.curTrace.AddStage("wal_commit", start, d, int64(len(ops)))
+				tr.AddStage("wal_commit", start, d, int64(len(ops)))
 			}
 		}
 		if derr == nil && c.crashAfterWALCommit != nil {
@@ -234,11 +290,11 @@ func (c *Catalog) mutateLocked(fn func() error) error {
 			tx.Abort()
 			return fmt.Errorf("%w: %v", ErrDurability, derr)
 		}
-	}
-	c.tx = nil
-	tx.Commit()
-	c.obsv.versionSwaps.Inc()
-	if c.dur != nil && len(ops) > 0 {
+		c.tx = nil
+		tx.Commit()
+		c.obsv.versionSwaps.Inc()
+		c.dur.publishedSeq = seq
+		c.notifyCommitLocked()
 		c.dur.sinceCheckpoint++
 		if c.dur.every > 0 && c.dur.sinceCheckpoint >= c.dur.every {
 			// A failed automatic checkpoint must not fail the mutation —
@@ -246,8 +302,147 @@ func (c *Catalog) mutateLocked(fn func() error) error {
 			// snapshot runs after the swap, so it sees the new version.
 			c.dur.lastCheckpointErr = c.checkpointLocked()
 		}
+		return nil
+	}
+	if c.dur != nil && c.dur.gw != nil && len(ops) == 0 {
+		// A no-op mutation in group mode must NOT publish: its builder
+		// was based on the staged (possibly not yet durable) head, and
+		// committing it would leak staged writes to readers before their
+		// batch fsync. Nothing changed, so aborting loses nothing.
+		c.tx = nil
+		tx.Abort()
+		return nil
+	}
+	c.tx = nil
+	tx.Commit()
+	c.obsv.versionSwaps.Inc()
+	return nil
+}
+
+// groupCommitLocked finishes a mutation on the group-commit path: it
+// freezes the built version as the staging head (invisible to readers,
+// but the base for the next mutation — so writers pipeline), enqueues
+// the record with the batching group writer, releases the catalog lock
+// for the duration of the shared fsync, and on reacquiring it publishes
+// every staged version whose record is durable, in log order. A batch
+// failure runs the heal protocol instead: publish the durable prefix of
+// the staged chain, abandon the rest, and un-poison the group.
+//
+// fn-visible reads during a group-committed mutation observe the staged
+// chain (relstore.Begin bases on the staging head), which is exactly
+// the state the log will contain once the already-enqueued batches
+// sync — so the recovery invariant is preserved: no acknowledged or
+// published state exists that replay would not rebuild.
+func (c *Catalog) groupCommitLocked(tr *obs.Trace, tx *relstore.Tx, ops []relstore.TableOp) error {
+	d := c.dur
+	payload, derr := encodeOps(ops)
+	if derr != nil {
+		c.tx = nil
+		tx.Abort()
+		return fmt.Errorf("%w: %v", ErrDurability, derr)
+	}
+	c.tx = nil
+	staged := tx.Precommit()
+	sc := &stagedCommit{staged: staged, ticket: d.gw.Enqueue(payload), nops: len(ops)}
+	d.staged = append(d.staged, sc)
+
+	c.mu.Unlock()
+	start := time.Now()
+	_, werr := sc.ticket.Wait()
+	dur := time.Since(start)
+	c.mu.Lock()
+
+	if c.dur == nil {
+		// Closed while we waited: Close drained and published the whole
+		// staged chain before detaching, so a successful ticket's version
+		// is already visible; Publish is an idempotent no-op. A failed
+		// ticket's version was abandoned by the close-time heal.
+		if werr == nil {
+			c.DB.Publish(staged)
+			return nil
+		}
+		return fmt.Errorf("%w: %v", ErrDurability, werr)
+	}
+	if werr != nil {
+		c.healGroupLocked()
+		return fmt.Errorf("%w: %v", ErrDurability, werr)
+	}
+	c.obsv.walCommitNanos.Observe(dur.Nanoseconds())
+	tr.AddStage("wal_commit", start, dur, int64(len(ops)))
+	c.publishStagedLocked()
+	if d.every > 0 && d.sinceCheckpoint >= d.every {
+		d.lastCheckpointErr = c.checkpointLocked()
 	}
 	return nil
+}
+
+// publishStagedLocked publishes the longest prefix of the staged chain
+// whose records are durable, advancing the replication watermark and
+// waking stream long-polls. Stops at the first still-pending or failed
+// entry; the heal path owns failed suffixes.
+func (c *Catalog) publishStagedLocked() {
+	d := c.dur
+	published := false
+	for len(d.staged) > 0 {
+		sc := d.staged[0]
+		if !sc.ticket.Done() {
+			break
+		}
+		seq, err := sc.ticket.Result()
+		if err != nil {
+			break
+		}
+		c.DB.Publish(sc.staged)
+		d.publishedSeq = seq
+		d.staged = d.staged[1:]
+		d.sinceCheckpoint++
+		c.obsv.versionSwaps.Inc()
+		published = true
+	}
+	if published {
+		c.notifyCommitLocked()
+	}
+}
+
+// healGroupLocked reconciles in-memory state with the log after a group
+// batch failure: the durable prefix of the staged chain is published,
+// the failed suffix — whose records were rolled back out of the log and
+// whose sequence numbers were never consumed — is abandoned (the next
+// Begin bases on the published version again), and the group writer is
+// un-poisoned so later mutations proceed. Idempotent: every failed
+// waiter calls it on reacquiring the lock, and all but the first find
+// nothing to do.
+func (c *Catalog) healGroupLocked() {
+	d := c.dur
+	c.publishStagedLocked()
+	if len(d.staged) == 0 {
+		return
+	}
+	// A failure poisons everything queued behind it, so if the head of
+	// the remaining chain failed, the whole remainder did — and every
+	// entry is already resolved (the group writer fails queued tickets
+	// synchronously when it poisons).
+	head := d.staged[0]
+	if !head.ticket.Done() {
+		return
+	}
+	if _, err := head.ticket.Result(); err == nil {
+		return
+	}
+	d.staged = d.staged[:0]
+	c.DB.ResetHead()
+	if d.gw.Poisoned() != nil {
+		// Heal fails only if the log writer itself is wedged; leave the
+		// poison in place then — Wedged()/healthz surface it.
+		_ = d.gw.Heal()
+	}
+}
+
+// notifyCommitLocked wakes everything blocked on CommitNotify by
+// closing and replacing the notification channel.
+func (c *Catalog) notifyCommitLocked() {
+	close(c.dur.notify)
+	c.dur.notify = make(chan struct{})
 }
 
 // withTx runs fn with c.tx bound to one relstore transaction, without
@@ -429,6 +624,16 @@ func (c *Catalog) Checkpoint() error {
 // snapshot's mark.
 func (c *Catalog) checkpointLocked() error {
 	d := c.dur
+	if d.gw != nil {
+		// Quiesce the group first: wait out in-flight batches (their
+		// flushes run on waiter goroutines that do not need the catalog
+		// lock we hold), publish everything durable, and heal any failed
+		// suffix — so the snapshot sees a state where publishedSeq equals
+		// the log's last sequence and the log swap below loses nothing.
+		d.gw.Drain()
+		c.publishStagedLocked()
+		c.healGroupLocked()
+	}
 	if err := c.saveFileLocked(d.fs, d.snapPath); err != nil {
 		return fmt.Errorf("%w: checkpoint snapshot: %v", ErrDurability, err)
 	}
@@ -458,6 +663,85 @@ func (c *Catalog) Close() error {
 	return err
 }
 
+// Wedged returns the error that wedged the durability layer — a failed
+// post-failure cleanup left the log tail in an unknown state, so every
+// further mutation is refused — or nil while the catalog is healthy (or
+// was opened without durability). Health endpoints report it without
+// attempting a commit.
+func (c *Catalog) Wedged() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.dur == nil {
+		return nil
+	}
+	return c.dur.w.Broken()
+}
+
+// PublishedSeq returns the log sequence of the last mutation whose
+// effects readers can observe: the replication watermark.
+func (c *Catalog) PublishedSeq() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.dur == nil {
+		return 0
+	}
+	return c.dur.publishedSeq
+}
+
+// WALSince returns the durable log records with sequence numbers above
+// from, along with the log's last sequence, for the replication stream.
+// gap reports that a checkpoint has truncated records the caller still
+// needs — it must bootstrap from a snapshot instead (see
+// ReplicationSnapshot). Requires durability.
+func (c *Catalog) WALSince(from uint64) (recs []wal.Record, lastSeq uint64, gap bool, err error) {
+	c.mu.RLock()
+	w := c.durWriter()
+	c.mu.RUnlock()
+	if w == nil {
+		return nil, 0, false, fmt.Errorf("catalog: not opened with durability")
+	}
+	// The writer has its own mutex; holding the catalog lock across the
+	// file read would stall mutations for every stream poll.
+	return w.RecordsSince(from)
+}
+
+// durWriter returns the attached log writer (caller holds c.mu).
+func (c *Catalog) durWriter() *wal.Writer {
+	if c.dur == nil {
+		return nil
+	}
+	return c.dur.w
+}
+
+// CommitNotify returns a channel that is closed the next time a
+// mutation publishes (equivalently: the next time new log records may
+// be available to stream). Callers re-fetch a fresh channel after each
+// wake-up; the replication stream's long poll uses it instead of
+// busy-polling WALSince.
+func (c *Catalog) CommitNotify() <-chan struct{} {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.dur == nil {
+		closed := make(chan struct{})
+		close(closed)
+		return closed
+	}
+	return c.dur.notify
+}
+
+// ReplicationSnapshot writes a bootstrap snapshot for a replica that
+// hit a log gap, returning the watermark the snapshot contains (the
+// replica resumes streaming from it). Requires durability.
+func (c *Catalog) ReplicationSnapshot(w io.Writer) (uint64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.dur == nil {
+		return 0, fmt.Errorf("catalog: not opened with durability")
+	}
+	seq := c.dur.publishedSeq
+	return seq, c.saveLocked(w)
+}
+
 // DurabilityStats returns the durability counters; zero-valued when the
 // catalog was opened without durability.
 func (c *Catalog) DurabilityStats() DurabilityStats {
@@ -469,9 +753,15 @@ func (c *Catalog) DurabilityStats() DurabilityStats {
 	s := DurabilityStats{
 		Enabled:         true,
 		WAL:             c.dur.w.Stats(),
+		GroupCommit:     c.dur.gw != nil,
+		PublishedSeq:    c.dur.publishedSeq,
+		StagedDepth:     len(c.dur.staged),
 		Checkpoints:     c.dur.checkpoints,
 		SinceCheckpoint: c.dur.sinceCheckpoint,
 		CheckpointEvery: c.dur.every,
+	}
+	if c.dur.gw != nil {
+		s.Group = c.dur.gw.Stats()
 	}
 	if c.dur.lastCheckpointErr != nil {
 		s.LastCheckpointError = c.dur.lastCheckpointErr.Error()

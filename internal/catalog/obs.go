@@ -28,6 +28,7 @@ const DefaultTraceDepth = 32
 //	catalog_wal_commit_nanos  full WAL commit (append + fsync) latency
 //	catalog_checkpoints_total
 //	catalog_recovery_replayed_records_total / _ops_total
+//	catalog_wedged                    1 when durability refuses mutations
 //	catalog_snapshot_epoch            published relstore version epoch
 //	catalog_registry_generation       definition-registry generation
 //	catalog_version_swaps_total       committed version publications
@@ -115,6 +116,15 @@ func (c *Catalog) initObs() {
 	// never touches a lock.
 	reg.GaugeFunc("catalog_snapshot_epoch", func() int64 { return int64(c.DB.Generation()) })
 	reg.GaugeFunc("catalog_registry_generation", func() int64 { return int64(c.Reg.Generation()) })
+	// catalog_wedged is 1 once the durability layer refuses further
+	// mutations (failed post-failure cleanup left the log tail unknown);
+	// /healthz reports the same condition.
+	reg.GaugeFunc("catalog_wedged", func() int64 {
+		if c.Wedged() != nil {
+			return 1
+		}
+		return 0
+	})
 }
 
 // Metrics returns the catalog's metrics registry, or nil when the

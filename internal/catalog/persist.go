@@ -80,9 +80,13 @@ func (c *Catalog) Save(w io.Writer) error {
 
 // saveLocked is Save with c.mu already held (read or write).
 func (c *Catalog) saveLocked(w io.Writer) error {
+	// The watermark is the PUBLISHED sequence, not the log's LastSeq: in
+	// group-commit mode the log may hold records whose staged versions
+	// are not yet visible, and the snapshot's tables do not contain
+	// them — claiming their sequences would make recovery skip them.
 	var seq uint64
 	if c.dur != nil {
-		seq = c.dur.w.LastSeq()
+		seq = c.dur.publishedSeq
 	}
 	snap := snapshot{
 		Version:    snapshotVersion,

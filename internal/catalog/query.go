@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"slices"
@@ -147,9 +148,17 @@ func (v *view) resolve(q *Query) ([]*qNode, []*qNode, error) {
 // lock-free against it, so any number of them run concurrently — with
 // each other and with writers.
 func (c *Catalog) Evaluate(q *Query) ([]int64, error) {
+	return c.EvaluateContext(context.Background(), q)
+}
+
+// EvaluateContext is Evaluate honoring ctx: cancellation is checked
+// between pipeline stages (probe, rollup, intersect), so an abandoned
+// HTTP request stops before running the stages it no longer needs. A
+// cancelled evaluation returns the context's error.
+func (c *Catalog) EvaluateContext(ctx context.Context, q *Query) ([]int64, error) {
 	tr, done := c.beginOp("evaluate", c.obsv.opEvaluate)
 	defer done()
-	return c.pinView().evaluateTraced(q, tr)
+	return c.pinViewCtx(ctx).evaluateTraced(q, tr)
 }
 
 // evaluateTraced answers the query through the evaluate cache layer,
@@ -172,6 +181,13 @@ func (v *view) evaluateTraced(q *Query, tr *obs.Trace) ([]int64, error) {
 		return v.evaluateUncached(q, key, tr)
 	})
 	if err != nil {
+		if !computed && v.ctxErr() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// We joined another caller's in-flight computation and
+			// inherited *its* cancellation; our own context is live, so
+			// run the pipeline ourselves.
+			return v.evaluateUncached(q, key, tr)
+		}
 		return nil, err
 	}
 	if !computed {
@@ -208,6 +224,9 @@ func (v *view) evaluateUncached(q *Query, key string, tr *obs.Trace) ([]int64, e
 // flow between the stages through volcano iterators and group-by maps.
 func (v *view) evaluateRows(q *Query, key string, tr *obs.Trace) ([]int64, error) {
 	c := v.c
+	if err := v.ctxErr(); err != nil {
+		return nil, err
+	}
 	// Stage 1+2 (Figure 4 left column): resolve the criteria tree, then
 	// per criteria node the attribute instances directly satisfying its
 	// element predicates, computed with index probes + group-by counting.
@@ -221,6 +240,9 @@ func (v *view) evaluateRows(q *Query, key string, tr *obs.Trace) ([]int64, error
 		return nil, err
 	}
 	endProbe(int64(len(all)))
+	if err := v.ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Stage 3 (Figure 4 right column): containment rollup through the
 	// sub-attribute inverted list, children before parents. all is in DFS
@@ -240,6 +262,9 @@ func (v *view) evaluateRows(q *Query, key string, tr *obs.Trace) ([]int64, error
 		rolled++
 	}
 	endRollup(rolled)
+	if err := v.ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Stage 4: objects containing a satisfying instance of every
 	// top-level criterion.

@@ -1,6 +1,8 @@
 package catalog
 
 import (
+	"context"
+
 	"github.com/gridmeta/hybridcat/internal/core"
 	"github.com/gridmeta/hybridcat/internal/relstore"
 )
@@ -25,6 +27,10 @@ type view struct {
 	c    *Catalog
 	snap *relstore.Snapshot
 	reg  *core.RegSnap
+	// ctx, when non-nil, carries the caller's cancellation: the pipeline
+	// checks it between stages so an abandoned request stops early
+	// instead of finishing work nobody will read.
+	ctx context.Context
 }
 
 // pinView pins the current database version and registry version.
@@ -32,6 +38,26 @@ func (c *Catalog) pinView() *view {
 	v := &view{c: c, snap: c.DB.Snapshot(), reg: c.Reg.Snapshot()}
 	c.obsv.snapshotPins.Inc()
 	return v
+}
+
+// pinViewCtx is pinView attaching a cancellation context. Background
+// (and nil) contexts never cancel, so they are not stored at all and
+// ctxErr stays a nil check on the hot path.
+func (c *Catalog) pinViewCtx(ctx context.Context) *view {
+	v := c.pinView()
+	if ctx != nil && ctx != context.Background() {
+		v.ctx = ctx
+	}
+	return v
+}
+
+// ctxErr reports the pinned context's cancellation status; views pinned
+// without a context never cancel.
+func (v *view) ctxErr() error {
+	if v.ctx == nil {
+		return nil
+	}
+	return v.ctx.Err()
 }
 
 // tab returns the pinned handle for an internal table.

@@ -1,0 +1,107 @@
+package faultio
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// FlakyTransport is an http.RoundTripper that injects network faults
+// into a scripted sequence of requests: refused connections and torn
+// response bodies cut at an exact byte offset. The replication fault
+// suite drives the tailer through it to prove the resume protocol
+// survives a disconnect at every record boundary and mid-record.
+//
+// The plan is indexed by request number (1-based, counted per
+// transport): request n consults Plan[n-1]; requests beyond the plan
+// pass through untouched. It is safe for concurrent use, though plans
+// are deterministic only under sequential requests.
+type FlakyTransport struct {
+	// Base performs the real round trips; http.DefaultTransport if nil.
+	Base http.RoundTripper
+	// Plan scripts one NetFault per request, in order.
+	Plan []NetFault
+
+	mu   sync.Mutex
+	reqs int
+}
+
+// NetFault scripts the fault (if any) for one request.
+type NetFault struct {
+	// FailConnect refuses the request outright: RoundTrip returns
+	// ErrInjected without reaching the server.
+	FailConnect bool
+	// CutAfter, when >= 0 and FailConnect is false, truncates the
+	// response body after that many bytes. The truncation is silent
+	// (early EOF), exactly what a torn connection looks like to a
+	// reader that trusts Content-Length it never saw. -1 leaves the
+	// body intact.
+	CutAfter int64
+}
+
+// Pass is the no-fault plan entry.
+var Pass = NetFault{CutAfter: -1}
+
+// Requests returns how many round trips the transport has seen.
+func (t *FlakyTransport) Requests() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reqs
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	n := t.reqs
+	t.reqs++
+	var fault NetFault
+	if n < len(t.Plan) {
+		fault = t.Plan[n]
+	} else {
+		fault = Pass
+	}
+	t.mu.Unlock()
+
+	if fault.FailConnect {
+		return nil, fmt.Errorf("%w: connect refused (request %d)", ErrInjected, n+1)
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || fault.CutAfter < 0 {
+		return resp, err
+	}
+	// Tear the body: deliver CutAfter bytes then a clean EOF. The
+	// Content-Length header is dropped so the truncation is silent —
+	// the reader sees a short body, not an error.
+	resp.Body = &cutBody{rc: resp.Body, remain: fault.CutAfter}
+	resp.ContentLength = -1
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+// cutBody delivers at most remain bytes of rc, then EOF.
+type cutBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remain <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > c.remain {
+		p = p[:c.remain]
+	}
+	n, err := c.rc.Read(p)
+	c.remain -= int64(n)
+	if err == nil && c.remain <= 0 {
+		err = io.EOF
+	}
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }

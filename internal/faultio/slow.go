@@ -1,0 +1,48 @@
+package faultio
+
+import "time"
+
+// SlowFS wraps an FS and adds a fixed latency to every File.Sync,
+// modeling a storage device whose flush cost dwarfs the page-cache
+// write — a spinning disk, a network volume, a cloud block store. The
+// group-commit benchmark runs on it so the fsync amortization is
+// measured against a realistic sync cost rather than whatever the
+// build machine's temp filesystem happens to do.
+type SlowFS struct {
+	FS
+	// SyncDelay is added to every Sync call before delegating.
+	SyncDelay time.Duration
+}
+
+// NewSlowFS wraps fs with the given per-Sync delay.
+func NewSlowFS(fs FS, syncDelay time.Duration) *SlowFS {
+	return &SlowFS{FS: fs, SyncDelay: syncDelay}
+}
+
+// Create implements FS, wrapping the file so its Sync is delayed.
+func (s *SlowFS) Create(name string) (File, error) {
+	f, err := s.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &slowFile{File: f, delay: s.SyncDelay}, nil
+}
+
+// OpenAppend implements FS, wrapping the file so its Sync is delayed.
+func (s *SlowFS) OpenAppend(name string) (File, error) {
+	f, err := s.FS.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &slowFile{File: f, delay: s.SyncDelay}, nil
+}
+
+type slowFile struct {
+	File
+	delay time.Duration
+}
+
+func (f *slowFile) Sync() error {
+	time.Sleep(f.delay)
+	return f.File.Sync()
+}

@@ -29,6 +29,12 @@ type Database struct {
 	// holding wmu.
 	current atomic.Pointer[dbVersion]
 
+	// head is the group-commit staging head: the newest precommitted
+	// version, which the next Begin bases on even though readers cannot
+	// see it yet. Stored under wmu (by Precommit and ResetHead); nil or
+	// behind current when no staged chain is pending.
+	head atomic.Pointer[dbVersion]
+
 	// wmu serializes writers: held from Begin to Commit/Abort.
 	wmu sync.Mutex
 

@@ -168,17 +168,22 @@ type Tx struct {
 	done   bool
 }
 
-// Begin opens a write transaction against the current version, blocking
-// until any other writer commits or aborts.
+// Begin opens a write transaction against the newest version — the
+// latest staged one when a group-commit chain is pending (see
+// Precommit), the published one otherwise — blocking until any other
+// writer commits, precommits, or aborts.
 func (db *Database) Begin() *Tx {
 	db.wmu.Lock()
-	cur := db.current.Load()
+	base := db.current.Load()
+	if h := db.head.Load(); h != nil && h.epoch > base.epoch {
+		base = h
+	}
 	return &Tx{
 		db:     db,
-		base:   cur,
-		epoch:  cur.epoch + 1,
-		tables: maps.Clone(cur.tables),
-		temp:   maps.Clone(cur.temp),
+		base:   base,
+		epoch:  base.epoch + 1,
+		tables: maps.Clone(base.tables),
+		temp:   maps.Clone(base.temp),
 	}
 }
 
@@ -204,6 +209,62 @@ func (tx *Tx) Abort() {
 	}
 	tx.done = true
 	tx.db.wmu.Unlock()
+}
+
+// Staged is a built version frozen by Precommit: it is the base for the
+// next transaction, but readers cannot see it until Publish. The
+// catalog's group-commit path stages each mutation's version while its
+// write-ahead record waits for the shared batch fsync, then publishes in
+// epoch order once the batch is durable.
+type Staged struct {
+	db *Database
+	v  *dbVersion
+}
+
+// Epoch returns the staged version's epoch.
+func (s *Staged) Epoch() uint64 { return s.v.epoch }
+
+// Precommit freezes the built version as the base for the next Begin
+// without making it visible to readers, then releases the writer mutex.
+// The caller must eventually either Publish the staged version (after
+// its log record is durable) or abandon the whole staged chain with
+// ResetHead (after a durability failure).
+func (tx *Tx) Precommit() *Staged {
+	if tx.done {
+		panic("relstore: Precommit on finished transaction")
+	}
+	tx.done = true
+	v := &dbVersion{epoch: tx.epoch, tables: tx.tables, temp: tx.temp}
+	tx.db.head.Store(v)
+	tx.db.wmu.Unlock()
+	return &Staged{db: tx.db, v: v}
+}
+
+// Publish makes a precommitted version visible to readers. It is
+// idempotent and monotonic: a version at or below the published epoch is
+// a no-op, so out-of-order calls from concurrent group committers are
+// safe — staged versions chain (each is built on the previous one), so
+// publishing epoch E also reveals every staged epoch below it.
+func (db *Database) Publish(s *Staged) {
+	for {
+		cur := db.current.Load()
+		if cur.epoch >= s.v.epoch {
+			return
+		}
+		if db.current.CompareAndSwap(cur, s.v) {
+			return
+		}
+	}
+}
+
+// ResetHead abandons any staged-but-unpublished versions: the next Begin
+// bases on the published version again. The group-commit failure path
+// uses it to discard versions whose write-ahead records never became
+// durable (after publishing the durable prefix of the chain).
+func (db *Database) ResetHead() {
+	db.wmu.Lock()
+	db.head.Store(db.current.Load())
+	db.wmu.Unlock()
 }
 
 // Table returns a handle bound to this transaction, observing its

@@ -1,0 +1,422 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/core"
+	"github.com/gridmeta/hybridcat/internal/faultio"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/retry"
+	"github.com/gridmeta/hybridcat/internal/service"
+	"github.com/gridmeta/hybridcat/internal/wal"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+// The replication fault suite: a real primary (durable catalog behind
+// the real service handler) is tailed through a scripted flaky
+// transport that refuses connections and tears response bodies at exact
+// byte offsets — including inside every single stream record. After
+// every injected fault the replica must converge to exactly the state
+// the primary acknowledged, proven by comparing full external
+// fingerprints (objects, documents, collections, definitions).
+
+const testWAL = "primary.wal"
+
+// primary bundles a durable group-commit catalog with its HTTP server.
+type primary struct {
+	mem *faultio.MemFS
+	cat *catalog.Catalog
+	srv *service.Server
+	ts  *httptest.Server
+	// handler indirection so restart tests can swap the catalog without
+	// changing the URL the replica polls.
+	mu sync.Mutex
+}
+
+func newPrimary(t *testing.T, every int) *primary {
+	t.Helper()
+	p := &primary{mem: faultio.NewMemFS()}
+	p.open(t, every)
+	p.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		h := p.srv
+		p.mu.Unlock()
+		if h == nil {
+			http.Error(w, "primary down", http.StatusBadGateway)
+			return
+		}
+		h.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		p.ts.Close()
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.cat != nil {
+			p.cat.Close()
+		}
+	})
+	return p
+}
+
+func (p *primary) open(t *testing.T, every int) {
+	t.Helper()
+	c, err := catalog.OpenDurable(xmlschema.MustLEAD(), catalog.Options{}, catalog.DurabilityOptions{
+		FS: p.mem, WALPath: testWAL, CheckpointEvery: every,
+		GroupCommit: true, GroupCommitWait: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	p.cat = c
+	p.srv = service.New(c)
+	p.mu.Unlock()
+}
+
+// crash closes the primary abruptly-ish (Close also checkpoints; the
+// restart test wants the WAL replay path, so it drops the page cache
+// without Close) and reopens it from the surviving bytes.
+func (p *primary) restart(t *testing.T, every int) {
+	t.Helper()
+	p.mu.Lock()
+	p.srv = nil
+	old := p.cat
+	p.cat = nil
+	p.mu.Unlock()
+	_ = old // abandoned without Close: the WAL replay path must cover it
+	p.mem.Crash()
+	p.open(t, every)
+}
+
+// workload commits a deterministic mutation sequence and returns the
+// number of acknowledged operations.
+func workload(t *testing.T, c *catalog.Catalog) int {
+	t.Helper()
+	n := 0
+	step := func(name string, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		n++
+	}
+	grid, err := c.RegisterAttr("grid", "ARPS", 0, "")
+	step("register-grid", err)
+	_, err = c.RegisterElem("dx", "ARPS", grid.ID, core.DTFloat, "")
+	step("register-dx", err)
+	stretch, err := c.RegisterAttr("grid-stretching", "ARPS", grid.ID, "")
+	step("register-stretching", err)
+	_, err = c.RegisterElem("dzmin", "ARPS", stretch.ID, core.DTFloat, "")
+	step("register-dzmin", err)
+	_, err = c.RegisterElem("reference-height", "ARPS", stretch.ID, core.DTFloat, "")
+	step("register-refheight", err)
+	for i := 0; i < 3; i++ {
+		_, err = c.IngestXML("scientist", xmlschema.Figure3Document)
+		step(fmt.Sprintf("ingest-%d", i), err)
+	}
+	collID, err := c.CreateCollection("storms", "scientist", 0)
+	step("create-collection", err)
+	step("add-member-1", c.AddToCollection(collID, 1))
+	step("add-member-2", c.AddToCollection(collID, 2))
+	step("publish-1", c.SetPublished(1, true))
+	ok, err := c.Delete(3)
+	if err == nil && !ok {
+		err = errors.New("delete reported not found")
+	}
+	step("delete-3", err)
+	return n
+}
+
+// fingerprint renders a catalog's externally observable state through
+// the public API only, so the primary and the follower can be compared
+// across package boundaries.
+func fingerprint(t *testing.T, c *catalog.Catalog) string {
+	t.Helper()
+	out := ""
+	defs, err := c.DumpDefinitionsJSON()
+	out += fmt.Sprintf("defs err=%v\n%s\n", err, defs)
+	for _, o := range c.Objects() {
+		doc, err := c.FetchDocument(o.ID)
+		if err != nil {
+			out += fmt.Sprintf("obj %d fetch err %v\n", o.ID, err)
+			continue
+		}
+		out += fmt.Sprintf("obj %d pub=%v\n%s\n", o.ID, o.Published, doc.String())
+	}
+	for _, ci := range c.Collections() {
+		ids, err := c.CollectionObjects(ci.ID)
+		out += fmt.Sprintf("coll %d %q parent=%d objs=%v err=%v\n", ci.ID, ci.Name, ci.ParentID, ids, err)
+	}
+	return out
+}
+
+// tailUntil runs the replica until its cursor reaches seq (or the
+// deadline passes), then stops the tailer.
+func tailUntil(t *testing.T, r *Replica, seq uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx) }()
+	for r.AppliedSeq() < seq {
+		if ctx.Err() != nil {
+			t.Fatalf("replica stuck at seq %d, want %d (stats %+v)", r.AppliedSeq(), seq, r.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+}
+
+// fastRetry keeps injected-fault tests quick without spinning.
+var fastRetry = retry.Policy{Initial: time.Millisecond, Max: 5 * time.Millisecond, Factor: 2, Jitter: 0}
+
+func newReplica(t *testing.T, p *primary, transport http.RoundTripper) *Replica {
+	t.Helper()
+	client := p.ts.Client()
+	if transport != nil {
+		client = &http.Client{Transport: transport}
+	}
+	r, err := New(Options{
+		Primary:  p.ts.URL,
+		Schema:   xmlschema.MustLEAD(),
+		Client:   client,
+		Retry:    fastRetry,
+		PollWait: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestReplicaConverges(t *testing.T) {
+	p := newPrimary(t, 1000)
+	workload(t, p.cat)
+	target := p.cat.PublishedSeq()
+
+	r := newReplica(t, p, nil)
+	tailUntil(t, r, target)
+
+	if got, want := fingerprint(t, r.Catalog()), fingerprint(t, p.cat); got != want {
+		t.Fatalf("replica state diverges from primary:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// The follower serves Figure-4 queries over the replicated state.
+	q := &catalog.Query{}
+	q.Attr("theme", "").AddElem("themekey", "", relstore.OpEq,
+		relstore.Str("convective_precipitation_amount"))
+	ids, err := r.Catalog().Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 { // objects 1 and 2 survive (3 was deleted)
+		t.Fatalf("replica query returned %v, want two objects", ids)
+	}
+	// And refuses mutations.
+	if _, err := r.Catalog().IngestXML("x", xmlschema.Figure3Document); !errors.Is(err, catalog.ErrReadOnlyReplica) {
+		t.Fatalf("follower ingest: %v, want ErrReadOnlyReplica", err)
+	}
+	if r.PrimarySeq() < target {
+		t.Fatalf("primary watermark %d, want >= %d", r.PrimarySeq(), target)
+	}
+}
+
+// TestReplicaSurvivesTearAtEveryRecordOffset tears the very first
+// stream response at byte offsets covering every record: at each
+// record's frame start, one byte in (split length prefix), mid-payload,
+// and one byte before its end. Whatever intact prefix arrives must be
+// applied; the torn tail must be silently re-requested from the cursor,
+// and the replica must still converge to the full primary state.
+func TestReplicaSurvivesTearAtEveryRecordOffset(t *testing.T) {
+	p := newPrimary(t, 1000)
+	workload(t, p.cat)
+	target := p.cat.PublishedSeq()
+	want := fingerprint(t, p.cat)
+
+	recs, _, gap, err := p.cat.WALSince(0)
+	if err != nil || gap {
+		t.Fatalf("WALSince: gap=%v err=%v", gap, err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records to tear")
+	}
+	offsets := []int64{0}
+	var pos int64
+	for _, rec := range recs {
+		n := int64(len(wal.EncodeRecord(rec.Seq, rec.Payload)))
+		offsets = append(offsets, pos+1, pos+n/2, pos+n-1, pos+n)
+		pos += n
+	}
+	seen := map[int64]bool{}
+	for _, cut := range offsets {
+		if cut < 0 || seen[cut] {
+			continue
+		}
+		seen[cut] = true
+		t.Run(fmt.Sprintf("cut-%d", cut), func(t *testing.T) {
+			ft := &faultio.FlakyTransport{
+				Base: p.ts.Client().Transport,
+				Plan: []faultio.NetFault{{CutAfter: cut}},
+			}
+			r := newReplica(t, p, ft)
+			tailUntil(t, r, target)
+			if got := fingerprint(t, r.Catalog()); got != want {
+				t.Fatalf("cut at %d: replica diverged:\n%s", cut, got)
+			}
+			if ft.Requests() < 2 {
+				t.Fatalf("cut at %d: replica converged in %d request(s); the tear was not exercised", cut, ft.Requests())
+			}
+		})
+	}
+}
+
+// TestReplicaSurvivesConnectFailures drops whole connections — several
+// in a row — between successful polls; the tailer must back off,
+// reconnect, and converge.
+func TestReplicaSurvivesConnectFailures(t *testing.T) {
+	p := newPrimary(t, 1000)
+	workload(t, p.cat)
+	target := p.cat.PublishedSeq()
+
+	fail := faultio.NetFault{FailConnect: true}
+	ft := &faultio.FlakyTransport{
+		Base: p.ts.Client().Transport,
+		// Refused before the first byte, then after a partial apply, then
+		// a burst of three.
+		Plan: []faultio.NetFault{fail, {CutAfter: 40}, fail, fail, fail},
+	}
+	r := newReplica(t, p, ft)
+	tailUntil(t, r, target)
+	if got, want := fingerprint(t, r.Catalog()), fingerprint(t, p.cat); got != want {
+		t.Fatalf("replica diverged after connect failures:\n%s", got)
+	}
+	if st := r.Stats(); st.Reconnects < 4 {
+		t.Fatalf("stats %+v: want >= 4 reconnects", st)
+	}
+}
+
+// TestReplicaSurvivesPrimaryRestart kills the primary mid-replication
+// (page cache dropped, WAL-recovered reopen) and keeps committing; the
+// replica must ride through the outage window and converge on the
+// post-restart state without a bootstrap.
+func TestReplicaSurvivesPrimaryRestart(t *testing.T) {
+	p := newPrimary(t, 1000)
+	workload(t, p.cat)
+	mid := p.cat.PublishedSeq()
+
+	r := newReplica(t, p, nil)
+	tailUntil(t, r, mid)
+
+	p.restart(t, 1000)
+	// The recovered primary must resume the same sequence numbering.
+	if got := p.cat.PublishedSeq(); got != mid {
+		t.Fatalf("recovered primary at seq %d, want %d", got, mid)
+	}
+	id, err := p.cat.IngestXML("scientist", xmlschema.Figure3Document)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cat.SetPublished(id, true); err != nil {
+		t.Fatal(err)
+	}
+	target := p.cat.PublishedSeq()
+	if target <= mid {
+		t.Fatalf("post-restart commits did not advance the log: %d <= %d", target, mid)
+	}
+	tailUntil(t, r, target)
+	if got, want := fingerprint(t, r.Catalog()), fingerprint(t, p.cat); got != want {
+		t.Fatalf("replica diverged across primary restart:\n%s", got)
+	}
+}
+
+// TestReplicaBootstrapsAfterCheckpointTruncation starts a replica from
+// scratch against a primary whose checkpoints have already truncated
+// the log: the stream answers 409, the replica must fall back to the
+// snapshot endpoint, and then resume streaming the post-snapshot tail.
+func TestReplicaBootstrapsAfterCheckpointTruncation(t *testing.T) {
+	p := newPrimary(t, 2) // checkpoint every 2 records: log stays short
+	workload(t, p.cat)
+	if err := p.cat.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Verify the premise: seq 0 is truly unreachable over the stream.
+	if _, _, gap, _ := p.cat.WALSince(0); !gap {
+		t.Fatal("log not truncated; the test exercises nothing")
+	}
+	// Post-snapshot tail the replica must stream after bootstrapping.
+	if _, err := p.cat.IngestXML("scientist", xmlschema.Figure3Document); err != nil {
+		t.Fatal(err)
+	}
+	target := p.cat.PublishedSeq()
+
+	// The snapshot download itself gets torn once, to prove the
+	// container checksum refuses it and the bootstrap retries.
+	ft := &faultio.FlakyTransport{
+		Base: p.ts.Client().Transport,
+		Plan: []faultio.NetFault{Pass(), {CutAfter: 64}},
+	}
+	r := newReplica(t, p, ft)
+	tailUntil(t, r, target)
+	if got, want := fingerprint(t, r.Catalog()), fingerprint(t, p.cat); got != want {
+		t.Fatalf("replica diverged after snapshot bootstrap:\n%s", got)
+	}
+	if st := r.Stats(); st.Bootstraps != 1 {
+		t.Fatalf("stats %+v: want exactly one bootstrap", st)
+	}
+}
+
+// TestReplicaConvergesUnderLiveIngest runs the tailer while a writer
+// keeps committing through a flaky transport plan, then checks the
+// final states match — replication and ingest racing, not phased.
+func TestReplicaConvergesUnderLiveIngest(t *testing.T) {
+	p := newPrimary(t, 1000)
+	workload(t, p.cat)
+
+	plan := make([]faultio.NetFault, 0, 40)
+	for i := 0; i < 40; i++ {
+		switch i % 4 {
+		case 1:
+			plan = append(plan, faultio.NetFault{CutAfter: int64(i * 13)})
+		case 3:
+			plan = append(plan, faultio.NetFault{FailConnect: true})
+		default:
+			plan = append(plan, Pass())
+		}
+	}
+	ft := &faultio.FlakyTransport{Base: p.ts.Client().Transport, Plan: plan}
+	r := newReplica(t, p, ft)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load() && i < 50; i++ {
+			if _, err := p.cat.IngestXML("scientist", xmlschema.Figure3Document); err != nil {
+				t.Errorf("live ingest: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	stop.Store(true)
+	target := p.cat.PublishedSeq()
+	tailUntil(t, r, target)
+	if got, want := fingerprint(t, r.Catalog()), fingerprint(t, p.cat); got != want {
+		t.Fatalf("replica diverged under live ingest:\n%s", got)
+	}
+}
+
+// Pass returns the no-fault plan entry (helper keeping plans readable).
+func Pass() faultio.NetFault { return faultio.Pass }

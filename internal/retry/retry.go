@@ -1,0 +1,166 @@
+// Package retry implements jittered exponential backoff for operations
+// against flaky transports — the replication tailer's reconnect policy.
+// Randomness is injected (Policy.Rand), so tests get byte-identical
+// backoff schedules, and waiting respects context cancellation.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// Policy describes a backoff schedule. The zero value is usable and
+// equals DefaultPolicy's shape with no attempt cap.
+type Policy struct {
+	// Initial is the first delay; 0 defaults to 100ms.
+	Initial time.Duration
+	// Max caps the delay growth; 0 defaults to 5s.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier; values <= 1 default
+	// to 2.
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized: the
+	// delay for attempt n is backoff(n) * (1 - Jitter + Jitter*r) with
+	// r uniform in [0, 1). 0 means deterministic full delays; values
+	// outside [0, 1] are clamped.
+	Jitter float64
+	// MaxAttempts gives up after that many failed attempts; 0 retries
+	// until the context cancels.
+	MaxAttempts int
+	// Rand supplies the jitter's randomness as a uniform [0, 1) draw.
+	// nil uses math/rand/v2. Tests inject a deterministic sequence.
+	Rand func() float64
+	// Sleep, when non-nil, replaces the context-aware wait; tests
+	// inject it to run schedules instantly while recording the delays.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultPolicy is a sensible reconnect policy: 100ms doubling to a 5s
+// cap with half-width jitter, retrying until cancelled.
+var DefaultPolicy = Policy{
+	Initial: 100 * time.Millisecond,
+	Max:     5 * time.Second,
+	Factor:  2,
+	Jitter:  0.5,
+}
+
+// ErrGiveUp wraps the last attempt's error once MaxAttempts is
+// exhausted, so callers can distinguish "ran out of retries" from a
+// permanent refusal.
+var ErrGiveUp = errors.New("retry: attempts exhausted")
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Do stops immediately and returns it unwrapped:
+// the operation failed in a way more attempts cannot fix (a protocol
+// violation, an auth refusal — not a torn connection).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// norm returns the policy with defaults and clamps applied.
+func (p Policy) norm() Policy {
+	if p.Initial <= 0 {
+		p.Initial = DefaultPolicy.Initial
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultPolicy.Max
+	}
+	if p.Factor <= 1 {
+		p.Factor = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
+	return p
+}
+
+// Backoff returns the delay before retry attempt n (0-based): the
+// exponential Initial*Factor^n, capped at Max, with the configured
+// jitter fraction drawn from Rand. Deterministic given a deterministic
+// Rand.
+func (p Policy) Backoff(n int) time.Duration {
+	p = p.norm()
+	d := float64(p.Initial)
+	for i := 0; i < n; i++ {
+		d *= p.Factor
+		if d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 {
+		d *= 1 - p.Jitter + p.Jitter*p.Rand()
+	}
+	return time.Duration(d)
+}
+
+// Do runs fn until it succeeds, returns a Permanent error, the context
+// cancels, or MaxAttempts is exhausted (then the last error arrives
+// wrapped in ErrGiveUp). Between attempts it waits the jittered backoff
+// for the attempt number, resetting nothing — the schedule restarts
+// with each Do call.
+func Do(ctx context.Context, p Policy, fn func() error) error {
+	p = p.norm()
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return errors.Join(err, last)
+			}
+			return err
+		}
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		last = err
+		if p.MaxAttempts > 0 && attempt+1 >= p.MaxAttempts {
+			return errors.Join(ErrGiveUp, last)
+		}
+		if err := sleep(ctx, p.Backoff(attempt)); err != nil {
+			return errors.Join(err, last)
+		}
+	}
+}
+
+// sleepCtx waits d or until the context cancels.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

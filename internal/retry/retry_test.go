@@ -1,0 +1,130 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// seqRand returns a Rand that replays the given [0,1) values in order.
+func seqRand(vals ...float64) func() float64 {
+	i := 0
+	return func() float64 {
+		v := vals[i%len(vals)]
+		i++
+		return v
+	}
+}
+
+func TestBackoffDeterministicJitter(t *testing.T) {
+	p := Policy{Initial: 100 * time.Millisecond, Max: 5 * time.Second, Factor: 2, Jitter: 0.5,
+		Rand: seqRand(0, 0.5, 1.0-1e-9)}
+	// Jitter 0.5: delay scales by 1-0.5+0.5*r = 0.5 + r/2.
+	if got := p.Backoff(0); got != 50*time.Millisecond {
+		t.Errorf("attempt 0 (r=0): %v, want 50ms", got)
+	}
+	if got := p.Backoff(1); got != 150*time.Millisecond { // 200ms * 0.75
+		t.Errorf("attempt 1 (r=0.5): %v, want 150ms", got)
+	}
+	if got := p.Backoff(2); got < 399*time.Millisecond || got > 400*time.Millisecond {
+		t.Errorf("attempt 2 (r~1): %v, want ~400ms", got)
+	}
+	// Identical Rand sequences give identical schedules.
+	a := Policy{Jitter: 0.5, Rand: seqRand(0.1, 0.9, 0.3)}
+	b := Policy{Jitter: 0.5, Rand: seqRand(0.1, 0.9, 0.3)}
+	for n := 0; n < 3; n++ {
+		if a.Backoff(n) != b.Backoff(n) {
+			t.Errorf("attempt %d: schedules diverge", n)
+		}
+	}
+}
+
+func TestBackoffCap(t *testing.T) {
+	p := Policy{Initial: time.Second, Max: 4 * time.Second, Factor: 2, Jitter: 0}
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 4 * time.Second, 4 * time.Second}
+	for n, w := range want {
+		if got := p.Backoff(n); got != w {
+			t.Errorf("attempt %d: %v, want %v", n, got, w)
+		}
+	}
+	// A huge attempt number must not overflow past the cap.
+	if got := p.Backoff(500); got != 4*time.Second {
+		t.Errorf("attempt 500: %v, want 4s", got)
+	}
+}
+
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{Initial: 10 * time.Millisecond, Factor: 2, Jitter: 0,
+		Sleep: func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil }}
+	calls := 0
+	err := Do(context.Background(), p, func() error {
+		calls++
+		if calls < 4 {
+			return fmt.Errorf("flaky %d", calls)
+		}
+		return nil
+	})
+	if err != nil || calls != 4 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if fmt.Sprint(slept) != fmt.Sprint(want) {
+		t.Errorf("slept %v, want %v", slept, want)
+	}
+}
+
+func TestDoGivesUp(t *testing.T) {
+	p := Policy{MaxAttempts: 3, Jitter: 0,
+		Sleep: func(context.Context, time.Duration) error { return nil }}
+	calls := 0
+	boom := errors.New("boom")
+	err := Do(context.Background(), p, func() error { calls++; return boom })
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, ErrGiveUp) || !errors.Is(err, boom) {
+		t.Errorf("err = %v, want ErrGiveUp wrapping boom", err)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	refused := errors.New("refused")
+	err := Do(context.Background(), Policy{}, func() error {
+		calls++
+		return Permanent(refused)
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, refused) || errors.Is(err, ErrGiveUp) {
+		t.Errorf("err = %v, want bare refused", err)
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+}
+
+func TestDoContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{Sleep: func(ctx context.Context, _ time.Duration) error {
+		cancel() // cancelled while waiting for the next attempt
+		return ctx.Err()
+	}}
+	err := Do(ctx, p, func() error { calls++; return errors.New("flaky") })
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want Canceled", err)
+	}
+	// Pre-cancelled: fn never runs.
+	err = Do(ctx, Policy{}, func() error { t.Error("fn ran"); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want Canceled", err)
+	}
+}

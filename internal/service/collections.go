@@ -47,7 +47,7 @@ func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) 
 		writeErr(w, bodyStatus(err), err)
 		return
 	}
-	id, err := s.Cat.CreateCollection(req.Name, req.Owner, req.ParentID)
+	id, err := s.cat().CreateCollection(req.Name, req.Owner, req.ParentID)
 	if err != nil {
 		writeErr(w, mutationStatus(err, http.StatusUnprocessableEntity), err)
 		return
@@ -62,7 +62,7 @@ func (s *Server) handleListCollections(w http.ResponseWriter, _ *http.Request) {
 		Owner    string `json:"owner"`
 		ParentID int64  `json:"parent_id"`
 	}
-	infos := s.Cat.Collections()
+	infos := s.cat().Collections()
 	out := make([]coll, 0, len(infos))
 	for _, c := range infos {
 		out = append(out, coll{c.ID, c.Name, c.Owner, c.ParentID})
@@ -91,14 +91,14 @@ func (s *Server) handleMembership(add bool) http.HandlerFunc {
 			return
 		}
 		if add {
-			if err := s.Cat.AddToCollection(cid, oid); err != nil {
+			if err := s.cat().AddToCollection(cid, oid); err != nil {
 				writeErr(w, mutationStatus(err, http.StatusUnprocessableEntity), err)
 				return
 			}
 			writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 			return
 		}
-		removed, err := s.Cat.RemoveFromCollection(cid, oid)
+		removed, err := s.cat().RemoveFromCollection(cid, oid)
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
@@ -113,7 +113,7 @@ func (s *Server) handleCollectionObjects(w http.ResponseWriter, r *http.Request)
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ids, err := s.Cat.CollectionObjects(cid)
+	ids, err := s.cat().CollectionObjects(cid)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -130,7 +130,7 @@ func (s *Server) handleContaining(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q = s.maybeExpand(r, q)
-	ids, err := s.Cat.CollectionsContaining(q)
+	ids, err := s.cat().CollectionsContaining(q)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, catalog.ErrUnknownDefinition) {
@@ -154,13 +154,15 @@ func (s *Server) maybeExpand(r *http.Request, q *catalog.Query) *catalog.Query {
 }
 
 // evaluateScoped runs the query, optionally scoped to ?collection=N.
+// The request's context rides along: when the client disconnects, the
+// pipeline aborts at its next stage boundary.
 func (s *Server) evaluateScoped(r *http.Request, q *catalog.Query) ([]int64, error) {
 	if cs := r.URL.Query().Get("collection"); cs != "" {
 		cid, err := strconv.ParseInt(cs, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("service: bad collection: %w", err)
 		}
-		return s.Cat.EvaluateInContext(cid, q)
+		return s.cat().EvaluateInContextCtx(r.Context(), cid, q)
 	}
-	return s.Cat.Evaluate(q)
+	return s.cat().EvaluateContext(r.Context(), q)
 }

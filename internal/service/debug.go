@@ -45,7 +45,7 @@ func debugHandler(fn func(r *http.Request) (any, error)) http.HandlerFunc {
 // the Prometheus text exposition format so a stock scraper (or curl)
 // can read it; ?format=json returns the structured State instead.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	reg := s.Cat.Metrics()
+	reg := s.cat().Metrics()
 	if reg == nil {
 		writeErr(w, http.StatusNotFound, errors.New("service: metrics disabled"))
 		return
@@ -61,7 +61,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleTracez snapshots the slow-query trace ring, slowest first.
 func (s *Server) handleTracez(r *http.Request) (any, error) {
-	ring := s.Cat.Traces()
+	ring := s.cat().Traces()
 	if ring == nil {
 		return nil, errors.New("service: query tracing disabled")
 	}
@@ -94,7 +94,7 @@ func (sw *statusWriter) WriteHeader(code int) {
 // request once the status code is known. With metrics off the handler
 // is returned untouched — zero overhead.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	reg := s.Cat.Metrics()
+	reg := s.cat().Metrics()
 	if reg == nil {
 		return h
 	}
@@ -110,8 +110,9 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
-// route registers an instrumented handler; the mux pattern doubles as
-// the endpoint label, so the label set is fixed at registration time.
+// route registers an instrumented handler behind the replica staleness
+// middleware; the mux pattern doubles as the endpoint label, so the
+// label set is fixed at registration time.
 func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
-	mux.HandleFunc(pattern, s.instrument(pattern, h))
+	mux.HandleFunc(pattern, s.instrument(pattern, s.staleness(h)))
 }

@@ -21,6 +21,13 @@ import (
 type Server struct {
 	Cat *catalog.Catalog
 	ont *ontology.Ontology
+	// Replica, when non-nil, marks this server a read replica: handlers
+	// serve from Replica.Catalog(), stamp X-Staleness-Seq, and refuse
+	// reads once the replica lags past MaxLag (see replication.go).
+	Replica ReplicaSource
+	// MaxLag is the replica staleness bound in log records; 0 disables
+	// the lag check (responses still carry X-Staleness-Seq).
+	MaxLag uint64
 }
 
 // New wraps a catalog.
@@ -37,6 +44,9 @@ func New(cat *catalog.Catalog) *Server { return &Server{Cat: cat} }
 //	POST /define/attr           {"name","source","parent_id","owner"} -> definition
 //	POST /define/elem           {"name","source","attr_id","type","owner"} -> definition
 //	GET  /metrics               -> metrics registry (Prometheus text; ?format=json)
+//	GET  /healthz               -> readiness: ok | wedged | replica-lagging
+//	GET  /wal/stream?from=N     -> replication stream (raw WAL frames)
+//	GET  /wal/snapshot          -> replica bootstrap snapshot
 //	GET  /debug/tracez          -> slowest query traces with stage timings
 //	GET  /debug/cachez          -> read-cache counters + generations
 //	GET  /debug/durabilityz     -> WAL/checkpoint/recovery counters
@@ -58,12 +68,18 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "POST /objects/{id}/unpublish", s.handlePublish(false))
 	s.route(mux, "GET /defs", s.handleDefs)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// healthz and the replication endpoints sit outside the staleness
+	// middleware: a lagging replica must still answer health checks, and
+	// the stream/snapshot endpoints are the primary's own surface.
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.route(mux, "GET /wal/stream", s.handleWALStream)
+	s.route(mux, "GET /wal/snapshot", s.handleWALSnapshot)
 	mux.HandleFunc("GET /debug/tracez", debugHandler(s.handleTracez))
 	mux.HandleFunc("GET /debug/cachez", debugHandler(func(*http.Request) (any, error) {
-		return s.Cat.CacheStats(), nil
+		return s.cat().CacheStats(), nil
 	}))
 	mux.HandleFunc("GET /debug/durabilityz", debugHandler(func(*http.Request) (any, error) {
-		return s.Cat.DurabilityStats(), nil
+		return s.cat().DurabilityStats(), nil
 	}))
 	s.registerCollectionRoutes(mux)
 	return mux
@@ -78,7 +94,7 @@ func (s *Server) handlePublish(published bool) http.HandlerFunc {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		if err := s.Cat.SetPublished(id, published); err != nil {
+		if err := s.cat().SetPublished(id, published); err != nil {
 			writeErr(w, mutationStatus(err, http.StatusNotFound), err)
 			return
 		}
@@ -116,11 +132,15 @@ func bodyStatus(err error) int {
 
 // mutationStatus maps a failed catalog mutation to a status: a
 // durability failure (the write-ahead record could not reach stable
-// storage; state was rolled back) is a server-side 500, anything else
-// keeps the handler's validation status.
+// storage; state was rolled back) is a server-side 500; a mutation on a
+// read-only replica is 503 so the client retries against the primary;
+// anything else keeps the handler's validation status.
 func mutationStatus(err error, fallback int) int {
 	if errors.Is(err, catalog.ErrDurability) {
 		return http.StatusInternalServerError
+	}
+	if errors.Is(err, catalog.ErrReadOnlyReplica) {
+		return http.StatusServiceUnavailable
 	}
 	return fallback
 }
@@ -131,7 +151,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, bodyStatus(err), err)
 		return
 	}
-	id, err := s.Cat.IngestXML(r.URL.Query().Get("owner"), string(body))
+	id, err := s.cat().IngestXML(r.URL.Query().Get("owner"), string(body))
 	if err != nil {
 		writeErr(w, mutationStatus(err, http.StatusUnprocessableEntity), err)
 		return
@@ -176,7 +196,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // handleDefs dumps the dynamic definitions in the DefJSON wire format.
 func (s *Server) handleDefs(w http.ResponseWriter, _ *http.Request) {
-	data, err := s.Cat.DumpDefinitionsJSON()
+	data, err := s.cat().DumpDefinitionsJSON()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -214,7 +234,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if lim := queryInt(r, "limit", 0); lim > 0 && lim < len(ids) {
 		ids = ids[:lim]
 	}
-	resp, err := s.Cat.BuildResponse(ids)
+	resp, err := s.cat().BuildResponse(ids)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -249,7 +269,7 @@ func (s *Server) handleObjects(w http.ResponseWriter, _ *http.Request) {
 		Owner   string `json:"owner"`
 		Created string `json:"created"`
 	}
-	objs := s.Cat.Objects()
+	objs := s.cat().Objects()
 	out := make([]obj, 0, len(objs))
 	for _, o := range objs {
 		out = append(out, obj{o.ID, o.Name, o.Owner, o.Created})
@@ -263,7 +283,7 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad id: %w", err))
 		return
 	}
-	doc, err := s.Cat.FetchDocument(id)
+	doc, err := s.cat().FetchDocument(id)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -274,7 +294,7 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for _, row := range s.Cat.Schema.OrderingTable() {
+	for _, row := range s.cat().Schema.OrderingTable() {
 		fmt.Fprintln(w, row)
 	}
 }
@@ -292,7 +312,7 @@ func (s *Server) handleDefineAttr(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, bodyStatus(err), err)
 		return
 	}
-	def, err := s.Cat.RegisterAttr(req.Name, req.Source, req.ParentID, req.Owner)
+	def, err := s.cat().RegisterAttr(req.Name, req.Source, req.ParentID, req.Owner)
 	if err != nil {
 		writeErr(w, mutationStatus(err, http.StatusUnprocessableEntity), err)
 		return
@@ -319,7 +339,7 @@ func (s *Server) handleDefineElem(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	def, err := s.Cat.RegisterElem(req.Name, req.Source, req.AttrID, dt, req.Owner)
+	def, err := s.cat().RegisterElem(req.Name, req.Source, req.AttrID, dt, req.Owner)
 	if err != nil {
 		writeErr(w, mutationStatus(err, http.StatusUnprocessableEntity), err)
 		return

@@ -40,6 +40,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"github.com/gridmeta/hybridcat/internal/faultio"
@@ -78,18 +79,22 @@ type Stats struct {
 	TornTail int64  `json:"torn_tail_bytes"` // bytes truncated at Open
 }
 
-// Writer appends records to an open log. It is not safe for concurrent
-// use; the catalog serializes commits under its write lock.
+// Writer appends records to an open log. All methods are safe for
+// concurrent use: an internal mutex serializes appends, resets, and the
+// replication read path (RecordsSince), so a group-commit leader can
+// flush a batch while stream handlers read the durable prefix.
 type Writer struct {
 	// NoSync skips the fsync in Commit; for benchmarking the fsync cost
 	// only — acknowledged records may be lost on crash.
 	NoSync bool
 
+	mu     sync.Mutex
 	fs     faultio.FS
 	path   string
 	f      faultio.File
 	off    int64 // durable end of the log
 	seq    uint64
+	base   uint64 // sequence just before the current file's first record
 	broken error
 	stats  Stats
 	m      walMetrics
@@ -199,6 +204,9 @@ func (w *Writer) scan(data []byte, fn func(Record) error) (int64, error) {
 		if seq <= w.seq {
 			return 0, fmt.Errorf("wal: record at offset %d: sequence %d after %d: %w", o, seq, w.seq, ErrCorrupt)
 		}
+		if o == headerSize {
+			w.base = seq - 1
+		}
 		w.seq = seq
 		if fn != nil {
 			if err := fn(Record{Seq: seq, Payload: data[body+8 : end]}); err != nil {
@@ -225,11 +233,13 @@ func (w *Writer) create() error {
 	}
 	w.f = f
 	w.off = headerSize
+	w.base = w.seq
 	return nil
 }
 
-// encode assembles one record's bytes.
-func encode(seq uint64, payload []byte) []byte {
+// EncodeRecord assembles the on-disk (and on-wire: the replication
+// stream reuses the file framing) bytes of one record.
+func EncodeRecord(seq uint64, payload []byte) []byte {
 	buf := make([]byte, recHeader+8+len(payload))
 	binary.LittleEndian.PutUint32(buf, uint32(8+len(payload)))
 	binary.LittleEndian.PutUint64(buf[recHeader:], seq)
@@ -246,20 +256,47 @@ func encode(seq uint64, payload []byte) []byte {
 // crash; the in-memory mutation it described must be rolled back by the
 // caller.
 func (w *Writer) Commit(payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.commitLocked([][]byte{payload})
+}
+
+// CommitBatch appends every payload as its own record — consecutive
+// sequence numbers, one concatenated Write, one fsync — and returns the
+// first record's sequence number (payload i has sequence first+i). The
+// batch is atomic with respect to failure: if the write or sync fails
+// the log is truncated back to its previous durable length, no sequence
+// is consumed, and none of the batch's records can surface after a
+// crash. (A crash during the sync itself may still persist a prefix of
+// the batch's records — each is independently checksummed, so recovery
+// replays the intact prefix exactly like any torn tail.)
+func (w *Writer) CommitBatch(payloads [][]byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.commitLocked(payloads)
+}
+
+func (w *Writer) commitLocked(payloads [][]byte) (uint64, error) {
 	if w.broken != nil {
 		return 0, fmt.Errorf("wal: writer is wedged by an earlier failure: %w", w.broken)
 	}
-	if len(payload) > maxRecord-8 {
-		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecord)
+	if len(payloads) == 0 {
+		return 0, errors.New("wal: empty commit batch")
 	}
-	seq := w.seq + 1
-	buf := encode(seq, payload)
+	first := w.seq + 1
+	var buf []byte
+	for i, p := range payloads {
+		if len(p) > maxRecord-8 {
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(p), maxRecord)
+		}
+		buf = append(buf, EncodeRecord(first+uint64(i), p)...)
+	}
 	if _, err := w.f.Write(buf); err != nil {
 		w.rollback()
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
-	w.stats.Appends++
-	w.m.appends.Inc()
+	w.stats.Appends += uint64(len(payloads))
+	w.m.appends.Add(uint64(len(payloads)))
 	w.m.bytes.Add(uint64(len(buf)))
 	if !w.NoSync {
 		start := time.Now()
@@ -271,13 +308,15 @@ func (w *Writer) Commit(payload []byte) (uint64, error) {
 		w.m.fsyncs.Inc()
 		w.m.fsyncNanos.Observe(time.Since(start).Nanoseconds())
 	}
-	w.seq = seq
+	w.seq += uint64(len(payloads))
 	w.off += int64(len(buf))
-	return seq, nil
+	return first, nil
 }
 
 // Sync flushes outstanding appends (meaningful with NoSync commits).
 func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.broken != nil {
 		return w.broken
 	}
@@ -313,6 +352,8 @@ func (w *Writer) rollback() {
 // A failed reset leaves the writer on the old log, which stays correct
 // (replay skips records at or below the checkpoint's sequence).
 func (w *Writer) Reset(nextSeq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.broken != nil {
 		return w.broken
 	}
@@ -346,6 +387,7 @@ func (w *Writer) Reset(nextSeq uint64) error {
 	if nextSeq > 0 {
 		w.seq = nextSeq - 1
 	}
+	w.base = w.seq
 	w.stats.Resets++
 	w.m.resets.Inc()
 	return nil
@@ -355,32 +397,140 @@ func (w *Writer) Reset(nextSeq uint64) error {
 // uses it so records appended after a snapshot-only restart continue
 // above the snapshot's high-water mark.
 func (w *Writer) SetNextSeq(seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if seq > 0 && seq-1 > w.seq {
 		w.seq = seq - 1
+		if w.off == headerSize {
+			w.base = w.seq
+		}
 	}
 }
 
 // LastSeq returns the sequence number of the last committed record (or
 // the recovered high-water mark).
-func (w *Writer) LastSeq() uint64 { return w.seq }
+func (w *Writer) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
 
 // Size returns the log's durable length in bytes.
-func (w *Writer) Size() int64 { return w.off }
+func (w *Writer) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.off
+}
+
+// Broken reports the wedging error from an earlier failed cleanup, or
+// nil while the writer is healthy. Health endpoints use it to surface
+// the wedged state without attempting a commit.
+func (w *Writer) Broken() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.broken
+}
 
 // Stats returns the writer's counters.
 func (w *Writer) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	s := w.stats
 	s.LastSeq = w.seq
 	s.Size = w.off
 	return s
 }
 
+// RecordsSince reads back the durable records with sequence numbers
+// strictly greater than from, serving the replication stream. It also
+// returns the log's current last sequence and whether the request hit a
+// gap: a checkpoint has truncated records after from, so the caller
+// cannot catch up from the log alone and must bootstrap from a
+// snapshot. Runs under the writer mutex against the durable prefix, so
+// a concurrently flushing group-commit batch is either fully visible or
+// not yet visible.
+func (w *Writer) RecordsSince(from uint64) (recs []Record, lastSeq uint64, gap bool, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if from < w.base {
+		return nil, w.seq, true, nil
+	}
+	if from >= w.seq {
+		return nil, w.seq, false, nil
+	}
+	data, err := readAll(w.fs, w.path)
+	if err != nil {
+		return nil, w.seq, false, fmt.Errorf("wal: stream read: %w", err)
+	}
+	if int64(len(data)) > w.off {
+		data = data[:w.off]
+	}
+	o := int64(headerSize)
+	for o < w.off {
+		length := binary.LittleEndian.Uint32(data[o:])
+		body := o + recHeader
+		end := body + int64(length)
+		if end > w.off {
+			return nil, w.seq, false, fmt.Errorf("wal: stream read: record at %d overruns durable end %d", o, w.off)
+		}
+		seq := binary.LittleEndian.Uint64(data[body:])
+		if seq > from {
+			recs = append(recs, Record{Seq: seq, Payload: data[body+8 : end]})
+		}
+		o = end
+	}
+	return recs, w.seq, false, nil
+}
+
 // Close closes the underlying file.
 func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.f == nil {
 		return nil
 	}
 	return w.f.Close()
+}
+
+// DecodeFrames parses a replication stream body: a concatenation of
+// record frames in the file framing (no file header). It decodes as
+// many intact frames as data holds. A torn trailing frame — the normal
+// result of a cut connection — is silently dropped, since the tailer
+// will re-request from its last applied sequence; a checksum mismatch
+// on a complete interior frame returns the frames decoded before it
+// plus an error wrapping ErrCorrupt, telling the caller the transport
+// delivered rot rather than a tear.
+func DecodeFrames(data []byte) ([]Record, error) {
+	var recs []Record
+	o := 0
+	for {
+		if len(data)-o < recHeader {
+			return recs, nil // torn frame header
+		}
+		length := binary.LittleEndian.Uint32(data[o:])
+		sum := binary.LittleEndian.Uint32(data[o+4:])
+		if length < 8 || length > maxRecord {
+			return recs, fmt.Errorf("wal: stream frame at offset %d: bad length %d: %w", o, length, ErrCorrupt)
+		}
+		body := o + recHeader
+		end := body + int(length)
+		if end > len(data) {
+			return recs, nil // torn frame body
+		}
+		got := crc32.Checksum(data[o:o+4], crcTable)
+		got = crc32.Update(got, crcTable, data[body:end])
+		if got != sum {
+			if end == len(data) {
+				return recs, nil // torn final frame (partial writeback shape)
+			}
+			return recs, fmt.Errorf("wal: stream frame at offset %d: checksum mismatch: %w", o, ErrCorrupt)
+		}
+		recs = append(recs, Record{
+			Seq:     binary.LittleEndian.Uint64(data[body:]),
+			Payload: data[body+8 : end],
+		})
+		o = end
+	}
 }
 
 // readAll reads the whole file at path.
