@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress crash mvcc bitmap replica cover bench experiments quick-experiments examples docs clean
+.PHONY: all build vet test race stress crash mvcc bitmap replica shard cover bench experiments quick-experiments examples docs clean
 
 all: build vet test
 
@@ -62,6 +62,16 @@ replica:
 	$(GO) test -race -run 'Replica|GroupCommit|GroupCrash|Retry|Backoff|Do|Flaky|WALStream|WALSnapshot|Healthz|Staleness' -count=1 ./internal/replica/ ./internal/retry/ ./internal/faultio/ ./internal/wal/ ./internal/catalog/ ./internal/service/
 	$(GO) run ./cmd/mdbench -exp R2 -quick
 
+# Sharding verification under the race detector: the shard-vs-single
+# equivalence oracle (identical Figure-4 results and paging boundaries
+# across topologies), the rebalance crash matrix bracketing the
+# routing-table flip, the live-rebalance and concurrency suites, the
+# sharded wire surface, and a one-repetition smoke of the S1 scaling
+# experiment (DESIGN.md "Sharding").
+shard:
+	$(GO) test -race -run 'Shard|Rebalance' -count=1 ./internal/shard/ ./internal/service/
+	$(GO) run ./cmd/mdbench -exp S1 -quick
+
 cover:
 	$(GO) test -cover ./...
 
@@ -69,7 +79,7 @@ cover:
 # packages — every exported declaration there must carry a godoc
 # comment (scripts/doclint.sh).
 docs: vet
-	sh scripts/doclint.sh internal/cache/*.go internal/wal/*.go internal/faultio/*.go internal/obs/*.go hybridcat.go
+	sh scripts/doclint.sh internal/cache/*.go internal/wal/*.go internal/faultio/*.go internal/obs/*.go internal/shard/*.go internal/replica/*.go internal/retry/*.go hybridcat.go
 
 # One testing.B benchmark per experiment (see DESIGN.md).
 bench:

@@ -9,6 +9,7 @@
 //	mdserver -load catalog.snap -save catalog.snap   # snapshot-only persistence
 //	mdserver -ontology terms.txt                     # enable ?expand=1
 //	mdserver -replica-of http://primary:8080 -max-lag 64   # read replica
+//	mdserver -shards 4 -shard-root /data/shards      # owner-partitioned cluster
 //	curl -X POST --data-binary @doc.xml 'localhost:8080/ingest?owner=alice'
 //	curl -X POST --data @query.json localhost:8080/query
 //
@@ -45,6 +46,7 @@ import (
 	"github.com/gridmeta/hybridcat/internal/replica"
 	"github.com/gridmeta/hybridcat/internal/retry"
 	"github.com/gridmeta/hybridcat/internal/service"
+	"github.com/gridmeta/hybridcat/internal/shard"
 	"github.com/gridmeta/hybridcat/internal/xmlschema"
 )
 
@@ -70,6 +72,9 @@ func main() {
 		groupBatch = flag.Int("group-commit-batch", 0, "with -group-commit: max records per batch (0 = default)")
 		replicaOf  = flag.String("replica-of", "", "run as a read replica of this primary base URL (tails /wal/stream; mutations answer 503)")
 		maxLag     = flag.Uint64("max-lag", 0, "with -replica-of: refuse reads once the replica lags this many log records behind the primary (0 = serve regardless)")
+		shards     = flag.Int("shards", 0, "run an owner-partitioned cluster of this many embedded catalogs (fixed at cluster creation; 0 = single catalog)")
+		shardRoot  = flag.String("shard-root", "shards", "with -shards: cluster directory holding the routing table and default shard dirs")
+		shardDirs  = flag.String("shard-dirs", "", "with -shards: comma-separated shard directories on creation (default shard-root/shard-i)")
 	)
 	flag.Parse()
 
@@ -87,6 +92,14 @@ func main() {
 	}
 	if *metricsOn {
 		opts.Metrics = obs.NewRegistry()
+	}
+	if *shards > 0 || *shardDirs != "" {
+		if *walPath != "" || *savePath != "" || *loadPath != "" || *replicaOf != "" {
+			log.Fatal("mdserver: -shards is incompatible with -wal/-save/-load/-replica-of (each shard has its own WAL under its directory)")
+		}
+		runSharded(schema, opts, *addr, *shards, *shardRoot, *shardDirs,
+			*ckptEvery, *groupOn, *groupWait, *groupBatch, *pprofOn)
+		return
 	}
 	var (
 		cat        *catalog.Catalog
@@ -217,6 +230,74 @@ func main() {
 	}
 	log.Printf("mdserver: schema %s, %d metadata attributes, listening on %s (concurrent reads, %d query workers, %s, %s, %s)",
 		schema.Name, len(schema.Attributes), *addr, workers, caching, durable, observing)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal("mdserver: ", err)
+	}
+	<-done
+}
+
+// runSharded serves an owner-partitioned cluster: N embedded durable
+// catalogs under -shard-root, each with its own WAL and checkpoints,
+// behind the scatter-gather router (see internal/shard). SIGINT/SIGTERM
+// drains requests and checkpoints every shard.
+func runSharded(schema *xmlschema.Schema, opts catalog.Options, addr string,
+	shards int, root, dirsCSV string, ckptEvery int,
+	groupOn bool, groupWait time.Duration, groupBatch int, pprofOn bool) {
+	var dirs []string
+	if dirsCSV != "" {
+		dirs = strings.Split(dirsCSV, ",")
+		if shards == 0 {
+			shards = len(dirs)
+		}
+	}
+	cl, err := shard.Open(shard.Options{
+		Schema:  schema,
+		Root:    root,
+		Shards:  shards,
+		Dirs:    dirs,
+		Catalog: opts,
+		Durability: catalog.DurabilityOptions{
+			CheckpointEvery: ckptEvery,
+			GroupCommit:     groupOn, GroupCommitWait: groupWait, GroupCommitBatch: groupBatch,
+		},
+	})
+	if err != nil {
+		log.Fatal("mdserver: ", err)
+	}
+
+	var handler http.Handler = service.NewSharded(cl).Handler()
+	if pprofOn {
+		handler = withProfiling(handler)
+	}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           logRequests(handler),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		<-sig
+		log.Print("mdserver: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Print("mdserver: shutdown: ", err)
+		}
+		if err := cl.Close(); err != nil {
+			log.Fatal("mdserver: final shard checkpoints: ", err)
+		}
+		log.Printf("mdserver: %d shard checkpoints written under %s", cl.Shards(), root)
+	}()
+	total := 0
+	for _, st := range cl.Stats() {
+		total += st.Objects
+	}
+	log.Printf("mdserver: schema %s, %d-shard cluster under %s (%d objects recovered), listening on %s",
+		schema.Name, cl.Shards(), root, total, addr)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal("mdserver: ", err)
 	}

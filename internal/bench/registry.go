@@ -38,6 +38,7 @@ var experiments = map[string]Experiment{
 	"R2":  {"R2", "group commit and replication: writer scaling and replica lag", R2Replication},
 	"O1":  {"O1", "observability overhead: metrics+tracing on vs off", O1MetricsOverhead},
 	"B1":  {"B1", "bitmap posting lists: multi-criterion set ops vs row-at-a-time", B1BitmapSetOps},
+	"S1":  {"S1", "owner-hash sharding: throughput vs shard count", S1ShardScaling},
 }
 
 // IDs lists the experiment IDs in a stable order.

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/faultio"
+	"github.com/gridmeta/hybridcat/internal/shard"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+// shardDocXML builds a minimal LEAD document with one unique themekey.
+func shardDocXML(i int) string {
+	return fmt.Sprintf(`<LEADresource>
+  <resourceID>lead:svc/%04d</resourceID>
+  <data><idinfo><keywords><theme>
+    <themekt>none</themekt>
+    <themekey>svc-key-%04d</themekey>
+  </theme></keywords></idinfo></data>
+</LEADresource>`, i, i)
+}
+
+// TestShardedService drives the full sharded wire surface: routed
+// ingest, routed and fan-out queries, paging, fetch by global ID,
+// publish, shard stats, a live rebalance over HTTP, and health.
+func TestShardedService(t *testing.T) {
+	cl, err := shard.Open(shard.Options{
+		Schema:     xmlschema.MustLEAD(),
+		Root:       "svc",
+		Shards:     2,
+		Durability: catalog.DurabilityOptions{FS: faultio.NewMemFS()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ts := httptest.NewServer(NewSharded(cl).Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/octet-stream", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	const docs = 12
+	gids := make([]int64, docs)
+	for i := 0; i < docs; i++ {
+		owner := fmt.Sprintf("tenant-%d", i%4)
+		status, out := post("/ingest?owner="+owner, shardDocXML(i))
+		if status != http.StatusCreated {
+			t.Fatalf("ingest %d: status %d (%v)", i, status, out)
+		}
+		gids[i] = int64(out["id"].(float64))
+	}
+
+	queryJSON := func(i int, owner string) string {
+		return fmt.Sprintf(`{"owner":%q,"attrs":[{"name":"theme","elems":[{"name":"themekey","op":"=","value":"svc-key-%04d"}]}]}`, owner, i)
+	}
+	// Superuser query fans out and finds each document exactly once.
+	for i := 0; i < docs; i++ {
+		status, out := post("/query", queryJSON(i, ""))
+		if status != http.StatusOK {
+			t.Fatalf("query %d: status %d (%v)", i, status, out)
+		}
+		ids := out["ids"].([]any)
+		if len(ids) != 1 || int64(ids[0].(float64)) != gids[i] {
+			t.Fatalf("query %d: ids %v, want [%d]", i, ids, gids[i])
+		}
+	}
+	// Owner-routed query sees the owner's own document.
+	status, out := post("/query", queryJSON(3, "tenant-3"))
+	if status != http.StatusOK || len(out["ids"].([]any)) != 1 {
+		t.Fatalf("owner query: status %d %v", status, out)
+	}
+	// Cross-owner without fanout misses unpublished data; publish and
+	// use the fan-out read.
+	status, _ = post(fmt.Sprintf("/objects/%d/publish", gids[3]), "")
+	if status != http.StatusOK {
+		t.Fatalf("publish: status %d", status)
+	}
+	status, out = post("/query?fanout=1", queryJSON(3, "tenant-0"))
+	if status != http.StatusOK || len(out["ids"].([]any)) != 1 {
+		t.Fatalf("fanout query after publish: status %d %v", status, out)
+	}
+
+	// Paged fan-out search: pages partition the merged result.
+	matchAll := `{"owner":"","attrs":[{"name":"theme","elems":[{"name":"themekt","op":"=","value":"none"}]}]}`
+	status, out = post("/search?limit=5", matchAll)
+	if status != http.StatusOK {
+		t.Fatalf("search: status %d", status)
+	}
+	if total := int(out["total"].(float64)); total != docs {
+		t.Fatalf("search total %d, want %d", total, docs)
+	}
+	if n := len(out["results"].([]any)); n != 5 {
+		t.Fatalf("search page size %d, want 5", n)
+	}
+
+	// Fetch by global ID.
+	resp, err := http.Get(fmt.Sprintf("%s/fetch?id=%d", ts.URL, gids[7]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch: status %d", resp.StatusCode)
+	}
+
+	// Shard stats and health.
+	resp, err = http.Get(ts.URL + "/shardz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats []shard.ShardStat
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(stats) != 2 || stats[0].Objects+stats[1].Objects != docs {
+		t.Fatalf("shardz: %+v", stats)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	// Live rebalance over HTTP, then re-verify every document.
+	status, out = post("/rebalance?shard=1&dir=svc/shard-1-new", "")
+	if status != http.StatusOK {
+		t.Fatalf("rebalance: status %d (%v)", status, out)
+	}
+	for i := 0; i < docs; i++ {
+		status, out := post("/query", queryJSON(i, ""))
+		if status != http.StatusOK || len(out["ids"].([]any)) != 1 {
+			t.Fatalf("post-rebalance query %d: status %d %v", i, status, out)
+		}
+	}
+}

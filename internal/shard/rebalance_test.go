@@ -1,0 +1,215 @@
+// Rebalance correctness: a live shard move must lose no acknowledged
+// write, and the crash matrix drives an injected crash through every
+// rename the move performs — bracketing the routing-table flip — then
+// recovers the cluster from what is on disk and checks the serving
+// invariant: every acknowledged document is served by exactly one
+// shard; a crash leaves the old directory serving or the new one,
+// never neither and never both.
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gridmeta/hybridcat/internal/catalog"
+	"github.com/gridmeta/hybridcat/internal/faultio"
+	"github.com/gridmeta/hybridcat/internal/relstore"
+	"github.com/gridmeta/hybridcat/internal/shard"
+	"github.com/gridmeta/hybridcat/internal/xmldoc"
+	"github.com/gridmeta/hybridcat/internal/xmlschema"
+)
+
+// rebalanceDoc builds a minimal LEAD document whose themekey is unique
+// to the index, so presence after recovery is checkable with one
+// superuser point query.
+func rebalanceDoc(i int) *xmldoc.Node {
+	root := xmldoc.NewNode("LEADresource")
+	root.Append(xmldoc.NewLeaf("resourceID", fmt.Sprintf("lead:reb/%04d", i)))
+	data := xmldoc.NewNode("data")
+	idinfo := xmldoc.NewNode("idinfo")
+	keywords := xmldoc.NewNode("keywords")
+	theme := xmldoc.NewNode("theme")
+	theme.Append(
+		xmldoc.NewLeaf("themekt", "none"),
+		xmldoc.NewLeaf("themekey", rebalanceKey(i)),
+	)
+	keywords.Append(theme)
+	idinfo.Append(keywords)
+	data.Append(idinfo)
+	root.Append(data)
+	return root
+}
+
+func rebalanceKey(i int) string { return fmt.Sprintf("reb-key-%04d", i) }
+
+func rebalanceQuery(i int) *catalog.Query {
+	q := &catalog.Query{}
+	q.Attr("theme", "").AddElem("themekey", "", relstore.OpEq, relstore.Str(rebalanceKey(i)))
+	return q
+}
+
+func rebalanceOwner(i int) string { return fmt.Sprintf("tenant-%d", i%6) }
+
+func openRebalanceCluster(fs faultio.FS) (*shard.Cluster, error) {
+	return shard.Open(shard.Options{
+		Schema:     xmlschema.MustLEAD(),
+		Root:       "root",
+		Shards:     2,
+		Durability: catalog.DurabilityOptions{FS: fs},
+	})
+}
+
+// TestRebalanceLive moves a shard while writers keep ingesting: every
+// acknowledged write — before, during, or after the move — must be
+// served afterwards, and the move must survive a clean close/reopen
+// (the routing table persists the new directory).
+func TestRebalanceLive(t *testing.T) {
+	mem := faultio.NewMemFS()
+	cl, err := openRebalanceCluster(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const before, during = 24, 16
+	for i := 0; i < before; i++ {
+		if _, err := cl.Ingest(rebalanceOwner(i), rebalanceDoc(i)); err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+	}
+
+	// Writers race the rebalance; the write gate must hand their shard's
+	// in-flight mutations to exactly one instance.
+	done := make(chan error, 1)
+	go func() {
+		for i := before; i < before+during; i++ {
+			if _, err := cl.Ingest(rebalanceOwner(i), rebalanceDoc(i)); err != nil {
+				done <- fmt.Errorf("doc %d: %w", i, err)
+				return
+			}
+		}
+		done <- nil
+	}()
+	if err := cl.Rebalance(1, "root/shard-1-moved"); err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	total := before + during
+	verify := func(cl *shard.Cluster, phase string) {
+		t.Helper()
+		if got := cl.ObjectCount(); got != total {
+			t.Fatalf("%s: object count %d, want %d", phase, got, total)
+		}
+		for i := 0; i < total; i++ {
+			ids, err := cl.Evaluate(rebalanceQuery(i))
+			if err != nil {
+				t.Fatalf("%s: doc %d: %v", phase, i, err)
+			}
+			if len(ids) != 1 {
+				t.Fatalf("%s: doc %d served %d times, want exactly once", phase, i, len(ids))
+			}
+		}
+	}
+	verify(cl, "after move")
+	stats := cl.Stats()
+	if stats[1].Dir != "root/shard-1-moved" {
+		t.Fatalf("shard 1 dir = %q after move", stats[1].Dir)
+	}
+	// Post-move writes land on the new instance and survive reopen.
+	if _, err := cl.Ingest(rebalanceOwner(total), rebalanceDoc(total)); err != nil {
+		t.Fatal(err)
+	}
+	total++
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := openRebalanceCluster(mem)
+	if err != nil {
+		t.Fatalf("reopen after move: %v", err)
+	}
+	defer reopened.Close()
+	if got := reopened.Stats()[1].Dir; got != "root/shard-1-moved" {
+		t.Fatalf("reopened shard 1 dir = %q", got)
+	}
+	verify(reopened, "after reopen")
+}
+
+// TestRebalanceCrashMatrix enumerates every rename the scenario
+// performs (routing-table creation, bootstrap snapshot ship, the
+// routing flip, checkpoint snapshots on close) with a fault-free
+// counting run, then for each N re-runs it with a crash injected at the
+// Nth rename, drops the unsynced page cache, reopens the cluster from
+// the surviving files, and checks: acked ⊆ recovered ⊆ issued, and
+// every acknowledged document is served exactly once — whichever side
+// of the flip the crash landed on.
+func TestRebalanceCrashMatrix(t *testing.T) {
+	scenario := func(fs faultio.FS) (acked, issued []int) {
+		cl, err := openRebalanceCluster(fs)
+		if err != nil {
+			return nil, nil
+		}
+		ingest := func(i int) {
+			issued = append(issued, i)
+			if _, err := cl.Ingest(rebalanceOwner(i), rebalanceDoc(i)); err == nil {
+				acked = append(acked, i)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			ingest(i)
+		}
+		moved := cl.Rebalance(1, "root/shard-1-moved") == nil
+		if moved {
+			for i := 10; i < 15; i++ {
+				ingest(i)
+			}
+		}
+		_ = cl.Close()
+		return acked, issued
+	}
+
+	// Counting run: how many renames does the full scenario perform?
+	counter := faultio.NewFaulty(faultio.NewMemFS(), faultio.Fault{})
+	if acked, _ := scenario(counter); len(acked) != 15 {
+		t.Fatalf("fault-free run acked %d docs, want 15", len(acked))
+	}
+	renames := counter.Counts()[faultio.OpRename]
+	if renames < 4 {
+		t.Fatalf("scenario performed only %d renames; matrix would not bracket the flip", renames)
+	}
+
+	for n := 1; n <= renames; n++ {
+		t.Run(fmt.Sprintf("rename-%d", n), func(t *testing.T) {
+			mem := faultio.NewMemFS()
+			faulty := faultio.NewFaulty(mem, faultio.Fault{
+				Op: faultio.OpRename, N: n, Mode: faultio.CrashOp,
+			})
+			acked, issued := scenario(faulty)
+			mem.Crash()
+
+			recovered, err := openRebalanceCluster(mem)
+			if err != nil {
+				t.Fatalf("recovery after crash at rename %d: %v", n, err)
+			}
+			defer recovered.Close()
+
+			count := recovered.ObjectCount()
+			if count < len(acked) || count > len(issued) {
+				t.Fatalf("recovered %d objects; acked %d, issued %d", count, len(acked), len(issued))
+			}
+			// Exactly-once serving: the flip is atomic, so each acked doc
+			// lives on the old shard instance or the new one — never zero
+			// copies (lost write) and never two (double-serving).
+			for _, i := range acked {
+				ids, err := recovered.Evaluate(rebalanceQuery(i))
+				if err != nil {
+					t.Fatalf("doc %d: %v", i, err)
+				}
+				if len(ids) != 1 {
+					t.Fatalf("acked doc %d served %d times after crash at rename %d", i, len(ids), n)
+				}
+			}
+		})
+	}
+}
