@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress crash mvcc bitmap replica shard cover bench experiments quick-experiments examples docs clean
+.PHONY: all build vet test race stress crash mvcc bitmap replica shard search cover bench experiments quick-experiments examples docs clean
 
 all: build vet test
 
@@ -72,6 +72,18 @@ shard:
 	$(GO) test -race -run 'Shard|Rebalance' -count=1 ./internal/shard/ ./internal/service/
 	$(GO) run ./cmd/mdbench -exp S1 -quick
 
+# Ranked-retrieval verification under the race detector: the tokenizer
+# fuzz target's seed corpus and the BM25 top-k brute-force property
+# test, the ranked equivalence suites (planner strategies vs the DOM
+# oracle, 1-shard and 4-shard clusters vs a single catalog under
+# globally merged statistics, ranked paging over the wire), the
+# epoch-rebuild and concurrent reader/writer tests, and a one-repetition
+# smoke of the IR1 experiment (DESIGN.md "Ranked retrieval").
+search:
+	$(GO) test -race -run 'Fuzz|TopK|Token|Stats' -count=1 ./internal/textindex/
+	$(GO) test -race -run 'Ranked|QueryLog' -count=1 ./internal/catalog/ ./internal/shard/ ./internal/service/ ./internal/workload/
+	$(GO) run ./cmd/mdbench -exp IR1 -quick
+
 cover:
 	$(GO) test -cover ./...
 
@@ -79,7 +91,7 @@ cover:
 # packages — every exported declaration there must carry a godoc
 # comment (scripts/doclint.sh).
 docs: vet
-	sh scripts/doclint.sh internal/cache/*.go internal/wal/*.go internal/faultio/*.go internal/obs/*.go internal/shard/*.go internal/replica/*.go internal/retry/*.go hybridcat.go
+	sh scripts/doclint.sh internal/cache/*.go internal/wal/*.go internal/faultio/*.go internal/obs/*.go internal/shard/*.go internal/replica/*.go internal/retry/*.go internal/textindex/*.go internal/catalog/plan.go internal/catalog/exec.go internal/catalog/rank.go hybridcat.go
 
 # One testing.B benchmark per experiment (see DESIGN.md).
 bench:

@@ -86,6 +86,24 @@ type CacheStats = catalog.CacheStats
 // element with no definition visible to the query's owner.
 var ErrUnknownDefinition = catalog.ErrUnknownDefinition
 
+// RankSpec asks for BM25 ranked retrieval over attribute text values:
+// set Query.Rank and run EvaluateRanked or SearchRanked. Terms are
+// analyzed with the index's tokenizer; K bounds the result count.
+type RankSpec = catalog.RankSpec
+
+// ScoredID is one ranked result: an object ID with its BM25 score.
+type ScoredID = catalog.ScoredID
+
+// RankedResponse is one ranked search result with its rebuilt document.
+type RankedResponse = catalog.RankedResponse
+
+// ErrTextIndexDisabled is returned for ranked queries when the catalog
+// was opened with Options.DisableTextIndex.
+var ErrTextIndexDisabled = catalog.ErrTextIndexDisabled
+
+// DefaultRankK is the ranked-result bound when RankSpec.K is zero.
+const DefaultRankK = catalog.DefaultRankK
+
 // Schema is an annotated, finalized community schema.
 type Schema = xmlschema.Schema
 

@@ -39,6 +39,7 @@ var experiments = map[string]Experiment{
 	"O1":  {"O1", "observability overhead: metrics+tracing on vs off", O1MetricsOverhead},
 	"B1":  {"B1", "bitmap posting lists: multi-criterion set ops vs row-at-a-time", B1BitmapSetOps},
 	"S1":  {"S1", "owner-hash sharding: throughput vs shard count", S1ShardScaling},
+	"IR1": {"IR1", "ranked retrieval: BM25 top-k vs structural keyword baseline", IR1RankedSearch},
 }
 
 // IDs lists the experiment IDs in a stable order.

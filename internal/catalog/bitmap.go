@@ -6,20 +6,18 @@ import (
 	"slices"
 
 	"github.com/gridmeta/hybridcat/internal/bitset"
-	"github.com/gridmeta/hybridcat/internal/obs"
 	"github.com/gridmeta/hybridcat/internal/relstore"
 )
 
-// Bitmap Figure-4 pipeline. The stages are the same as the row path in
-// query.go — probe, containment rollup, cross-criteria intersect — but
-// what flows between them is a compressed bitset of attribute-instance
-// keys instead of []relstore.Row: probes emit posting lists straight
-// off the B-tree (relstore postings.go), element predicates and the
-// rollup combine them with word-at-a-time ANDs ordered by ascending
-// cardinality, and the final stage intersects per-criterion *object*
-// sets the same way. The row path stays compiled in as the oracle
-// behind Options.DisableBitmaps, and any query whose keys cannot be
-// packed falls back to it per evaluation (errBitmapRange).
+// Bitmap set algebra for the plan executor's set strategy (exec.go).
+// What flows between the Figure-4 stages under that strategy is a
+// compressed bitset of attribute-instance keys instead of
+// []relstore.Row: probes emit posting lists straight off the B-tree
+// (relstore postings.go), element predicates and the rollup combine
+// them with word-at-a-time ANDs ordered by ascending cardinality, and
+// the intersect stage ANDs per-criterion *object* sets the same way.
+// Any query whose keys cannot be packed falls back to the row strategy
+// per evaluation (errBitmapRange).
 
 // An attribute instance (object_id, seq_id) packs into one uint64 key:
 // object in the high bits, seq in the low instSeqBits. Sequence IDs are
@@ -43,73 +41,6 @@ func instKey(object, seq int64) (uint64, error) {
 		return 0, fmt.Errorf("%w: object %d seq %d", errBitmapRange, object, seq)
 	}
 	return uint64(object)<<instSeqBits | uint64(seq), nil
-}
-
-// evaluateBitmap is the bitmap pipeline body, mirroring evaluateRows
-// stage for stage (same stage names, histograms, and trace spans, so
-// /debug/tracez compares the two paths directly).
-func (v *view) evaluateBitmap(q *Query, key string, tr *obs.Trace) ([]int64, error) {
-	c := v.c
-	tr.Annotate("repr=bitmap")
-	if err := v.ctxErr(); err != nil {
-		return nil, err
-	}
-
-	// Stage 1+2: resolve, then per criteria node the posting list of
-	// instances directly satisfying its element predicates.
-	endProbe := c.stageTimer(tr, "probe", c.obsv.stageProbe)
-	all, tops, err := v.resolveCached(q, key)
-	if err != nil {
-		return nil, err
-	}
-	sets, err := v.bitmapSatisfyAll(all, tr)
-	if err != nil {
-		return nil, err
-	}
-	endProbe(int64(len(all)))
-	if err := v.ctxErr(); err != nil {
-		return nil, err
-	}
-
-	// Stage 3: containment rollup, children before parents (DFS reverse),
-	// each cover set ANDed in ascending-cardinality order.
-	endRollup := c.stageTimer(tr, "rollup", c.obsv.stageRollup)
-	rolled := int64(0)
-	for i := len(all) - 1; i >= 0; i-- {
-		n := all[i]
-		if len(n.children) == 0 {
-			continue
-		}
-		narrowed, err := v.rollupSet(n, sets)
-		if err != nil {
-			return nil, err
-		}
-		sets[n.id] = narrowed
-		rolled++
-	}
-	endRollup(rolled)
-	if err := v.ctxErr(); err != nil {
-		return nil, err
-	}
-
-	// Stage 4: project each top-level criterion's instance set onto
-	// objects, then chain bitmap ANDs from the smallest set up.
-	endIntersect := c.stageTimer(tr, "intersect", c.obsv.stageIntersect)
-	objSets := make([]*bitset.Set, len(tops))
-	for i, top := range tops {
-		os := objectSet(sets[top.id])
-		c.obsv.intersectCardinality.Observe(int64(os.Card()))
-		objSets[i] = os
-	}
-	result := andAscending(objSets)
-	ids := make([]int64, 0, result.Card())
-	result.Iterate(func(k uint64) bool {
-		ids = append(ids, int64(k))
-		return true
-	})
-	visible := v.filterVisible(q.Owner, ids)
-	endIntersect(int64(len(visible)))
-	return visible, nil
 }
 
 // objectSet projects an instance-key set onto its distinct object IDs.
@@ -150,87 +81,6 @@ func andAscending(sets []*bitset.Set) *bitset.Set {
 	return out
 }
 
-// bitmapSatisfyAll computes stage 1+2 posting lists for every criteria
-// node, through the postings cache layer when enabled. The fan-out
-// decision and instrumentation mirror directSatisfyAll: the same worker
-// pool, the same path counters, and query_criterion_rows observes each
-// set's cardinality. Additionally every produced set's container mix
-// feeds query_bitmap_containers_total{kind}.
-func (v *view) bitmapSatisfyAll(all []*qNode, tr *obs.Trace) (map[int]*bitset.Set, error) {
-	c := v.c
-	workers := c.fanoutWorkers(len(all), v.tab(TElemData).Len())
-	if workers > 1 {
-		c.obsv.pathParallel.Inc()
-		if tr != nil {
-			tr.Annotate(fmt.Sprintf("path=parallel workers=%d", workers))
-		}
-	} else {
-		c.obsv.pathSequential.Inc()
-		tr.Annotate("path=sequential")
-	}
-	sets := make([]*bitset.Set, len(all))
-	err := runParallel(workers, len(all), func(i int) error {
-		s, err := v.directSatisfiedSetCached(all[i])
-		if err != nil {
-			return err
-		}
-		sets[i] = s
-		c.obsv.criterionRows.Observe(int64(s.Card()))
-		st := s.Stats()
-		c.obsv.bitmapContainersArray.Add(uint64(st.Array))
-		c.obsv.bitmapContainersBitmap.Add(uint64(st.Bitmap))
-		c.obsv.bitmapContainersRun.Add(uint64(st.Run))
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[int]*bitset.Set, len(all))
-	for i, n := range all {
-		out[n.id] = sets[i]
-	}
-	return out, nil
-}
-
-// directSatisfiedSetCached memoizes one node's posting list in the
-// postings cache layer, keyed by the node's probeKey and stamped with
-// the pinned epoch — exactly the contract of the row path's probe
-// layer (see cache.go). Cached sets are shared read-only.
-func (v *view) directSatisfiedSetCached(n *qNode) (*bitset.Set, error) {
-	if v.c.caches.postings == nil {
-		return v.directSatisfiedSet(n)
-	}
-	return v.c.caches.postings.GetOrCompute(v.snap.Epoch(), n.probeKey, func() (*bitset.Set, error) {
-		return v.directSatisfiedSet(n)
-	})
-}
-
-// directSatisfiedSet computes the instances of n's definition satisfying
-// all of n's element predicates as a posting list: the bitmap twin of
-// directSatisfied. An instance satisfies every predicate iff it is in
-// the intersection of the per-predicate instance sets — the set form of
-// the row path's count-distinct-tags check.
-func (v *view) directSatisfiedSet(n *qNode) (*bitset.Set, error) {
-	if len(n.elems) == 0 {
-		// No element criteria: every instance of the definition.
-		attrT := v.tab(TAttrData)
-		rowSet := bitset.New()
-		if err := attrT.LookupEqualPostings("attr_data_by_attr", rowSet, relstore.Int(n.def.ID)); err != nil {
-			return nil, err
-		}
-		return v.instanceSet(attrT, rowSet, nil)
-	}
-	sets := make([]*bitset.Set, len(n.elems))
-	for k, qe := range n.elems {
-		s, err := v.probeElemSet(qe)
-		if err != nil {
-			return nil, err
-		}
-		sets[k] = s
-	}
-	return andAscending(sets), nil
-}
-
 // instanceSet converts a posting list of tab's row IDs into the set of
 // instance keys, applying the optional row post-filter. Both attr_data
 // and elem_data carry object_id at column 0 and seq_id at column 2.
@@ -254,123 +104,6 @@ func (v *view) instanceSet(tab *relstore.Table, rowSet *bitset.Set, post func(re
 	}
 	out.Optimize()
 	return out, nil
-}
-
-// probeElemSet returns the posting list of instances with an element
-// row matching the predicate: probeElem rebuilt on the emission path.
-// The B-tree probes stream row IDs directly into one row-ID set —
-// OneOf unions its per-value equality probes there, before a single
-// row→instance conversion.
-func (v *view) probeElemSet(qe qElem) (*bitset.Set, error) {
-	elemT := v.tab(TElemData)
-	rowSet := bitset.New()
-	if len(qe.pred.OneOf) > 0 {
-		if qe.pred.Op != relstore.OpEq {
-			return nil, fmt.Errorf("catalog: OneOf requires an equality predicate")
-		}
-		for _, val := range qe.pred.OneOf {
-			single := qe
-			single.pred.OneOf = nil
-			single.pred.Value = val
-			if err := v.probeElemRowIDs(single, rowSet); err != nil {
-				return nil, err
-			}
-		}
-		return v.instanceSet(elemT, rowSet, nil)
-	}
-	post, err := v.probeElemRowIDsPost(qe, rowSet)
-	if err != nil {
-		return nil, err
-	}
-	return v.instanceSet(elemT, rowSet, post)
-}
-
-// probeElemRowIDs emits one predicate's matching elem_data row IDs into
-// rowSet, failing if the predicate needs a post-filter (OneOf members
-// are equality-only, so they never do).
-func (v *view) probeElemRowIDs(qe qElem, rowSet *bitset.Set) error {
-	post, err := v.probeElemRowIDsPost(qe, rowSet)
-	if err != nil {
-		return err
-	}
-	if post != nil {
-		return fmt.Errorf("catalog: unexpected post-filter for equality probe")
-	}
-	return nil
-}
-
-// probeElemRowIDsPost emits the predicate's index probe into rowSet and
-// returns the row post-filter the caller must apply (nil for exact
-// probes). The index selection, range bounds, and post-filters are
-// identical to probeElem's — the two paths must stay in lockstep for
-// the oracle equivalence suite.
-func (v *view) probeElemRowIDsPost(qe qElem, rowSet *bitset.Set) (func(relstore.Row) bool, error) {
-	elemT := v.tab(TElemData)
-	eid := relstore.Int(qe.def.ID)
-	var err error
-	var post func(relstore.Row) bool
-
-	numeric := false
-	if f, ok := qe.pred.Value.AsFloat(); ok && (qe.pred.Value.K == relstore.KInt || qe.pred.Value.K == relstore.KFloat) {
-		numeric = true
-		nv := relstore.Float(f)
-		switch qe.pred.Op {
-		case relstore.OpEq:
-			err = elemT.LookupEqualPostings("elem_data_by_nval", rowSet, eid, nv)
-		case relstore.OpLt:
-			err = elemT.LookupRangePostings("elem_data_by_nval", rowSet,
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid, nv}, Inclusive: false, Set: true})
-			post = notNullNval
-		case relstore.OpLe:
-			err = elemT.LookupRangePostings("elem_data_by_nval", rowSet,
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid, nv}, Inclusive: true, Set: true})
-			post = notNullNval
-		case relstore.OpGt:
-			err = elemT.LookupRangePostings("elem_data_by_nval", rowSet,
-				relstore.RangeBound{Vals: []relstore.Value{eid, nv}, Inclusive: false, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
-		case relstore.OpGe:
-			err = elemT.LookupRangePostings("elem_data_by_nval", rowSet,
-				relstore.RangeBound{Vals: []relstore.Value{eid, nv}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
-		case relstore.OpNe:
-			err = elemT.LookupRangePostings("elem_data_by_nval", rowSet,
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
-			post = func(r relstore.Row) bool { return !r[6].IsNull() && r[6].F != f }
-		}
-	}
-	if !numeric {
-		sv := relstore.Str(qe.pred.Value.AsString())
-		switch qe.pred.Op {
-		case relstore.OpEq:
-			err = elemT.LookupEqualPostings("elem_data_by_sval", rowSet, eid, sv)
-		case relstore.OpNe:
-			err = elemT.LookupRangePostings("elem_data_by_sval", rowSet,
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
-			post = func(r relstore.Row) bool { return r[5].S != sv.S }
-		case relstore.OpLt:
-			err = elemT.LookupRangePostings("elem_data_by_sval", rowSet,
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid, sv}, Inclusive: false, Set: true})
-		case relstore.OpLe:
-			err = elemT.LookupRangePostings("elem_data_by_sval", rowSet,
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid, sv}, Inclusive: true, Set: true})
-		case relstore.OpGt:
-			err = elemT.LookupRangePostings("elem_data_by_sval", rowSet,
-				relstore.RangeBound{Vals: []relstore.Value{eid, sv}, Inclusive: false, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
-		case relstore.OpGe:
-			err = elemT.LookupRangePostings("elem_data_by_sval", rowSet,
-				relstore.RangeBound{Vals: []relstore.Value{eid, sv}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
-		}
-	}
-	return post, err
 }
 
 // rollupSet narrows n's posting list to instances containing a

@@ -155,6 +155,15 @@ func queryCacheKey(q *Query) string {
 	for _, a := range q.Attrs {
 		writeCritKey(&b, a)
 	}
+	if q.Rank != nil {
+		// Defensive: ranked queries strip Rank before the evaluate cache,
+		// but a keyed rank can never alias a structural query.
+		b.WriteString("R(")
+		for _, t := range q.Rank.Terms {
+			writeLenPrefixed(&b, t)
+		}
+		fmt.Fprintf(&b, "k%d)", q.Rank.K)
+	}
 	return b.String()
 }
 
@@ -218,18 +227,4 @@ func probeKeyOf(n *qNode) string {
 		}
 	}
 	return b.String()
-}
-
-// directSatisfiedRows computes (or recalls) one criteria node's
-// directly-satisfied instance rows, materialized. Concurrent computes of
-// the same key — e.g. the per-criterion fan-out of two overlapping
-// queries — collapse onto one index probe via singleflight.
-func (v *view) directSatisfiedRows(n *qNode) ([]relstore.Row, error) {
-	return v.c.caches.probe.GetOrCompute(v.snap.Epoch(), n.probeKey, func() ([]relstore.Row, error) {
-		it, err := v.directSatisfied(n)
-		if err != nil {
-			return nil, err
-		}
-		return relstore.Collect(it), nil
-	})
 }

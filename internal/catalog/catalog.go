@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gridmeta/hybridcat/internal/core"
@@ -64,6 +65,10 @@ type Options struct {
 	// DisableCache turns the generation-stamped read caches off; every
 	// evaluation and response build recomputes from the base tables.
 	DisableCache bool
+	// DisableTextIndex turns off the BM25 text index; ranked queries
+	// (Query.Rank) fail with ErrTextIndexDisabled while the structural
+	// pipeline is unaffected.
+	DisableTextIndex bool
 	// Metrics, when non-nil, instruments the catalog and everything under
 	// it (relstore tables, cache layers, the WAL, the query pipeline)
 	// onto the given registry, and enables the slow-query trace ring.
@@ -134,6 +139,12 @@ type Catalog struct {
 	// obsv holds the instrument handles and the slow-trace ring (see
 	// obs.go); zero-valued (all no-ops) without Options.Metrics.
 	obsv catObs
+
+	// text holds the epoch-stamped BM25 text index (rank.go), rebuilt
+	// lazily on the first ranked query after a mutation; textMu
+	// serializes rebuilds so concurrent ranked queries build it once.
+	text   atomic.Pointer[stampedText]
+	textMu sync.Mutex
 }
 
 // Open builds a catalog for a finalized schema: it creates the relational

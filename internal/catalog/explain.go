@@ -1,37 +1,59 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
-
-	"github.com/gridmeta/hybridcat/internal/bitset"
-	"github.com/gridmeta/hybridcat/internal/relstore"
 )
 
-// ExplainQuery runs the Figure-4 pipeline while tracing it: for every
-// criteria node it reports the resolved definition and the instance
-// counts flowing through direct satisfaction and containment rollup, and
-// finally the matching object count. The trace is the textual analogue
-// of the paper's Figure 4 flow diagram; mdcat prints it for -explain
-// queries.
+// ExplainQuery runs the Figure-4 pipeline and renders its compiled,
+// executed plan: the operator tree, then per plan node the resolved
+// definition, the instance count flowing through it, its physical
+// shape (posting-list container mix under the bitmap strategy), and
+// whether the probe/postings cache layer answered it — and finally the
+// matching object count. The trace is the textual analogue of the
+// paper's Figure 4 flow diagram; mdcat prints it for -explain queries.
 //
-// On the default bitmap pipeline each node line also reports the
-// physical shape of its posting list — cardinality plus the
-// array/bitmap/run container mix — so plan debugging can see which
-// representation each criterion landed in. With Options.DisableBitmaps
-// the explain runs (and reports) the row-at-a-time path instead.
+// The explain executes under the same strategy Evaluate would pick
+// (bitmap by default, rows under Options.DisableBitmaps or on
+// instance-key overflow), so cardinalities and cache hits reflect what
+// a real evaluation of the query sees. A ranked query appends the rank
+// operator's term statistics and result count.
 func (c *Catalog) ExplainQuery(q *Query) ([]string, error) {
-	if len(q.Attrs) == 0 {
+	if len(q.Attrs) == 0 && q.Rank == nil {
 		return nil, fmt.Errorf("catalog: query has no attribute criteria")
 	}
 	v := c.pinView()
-	all, tops, err := v.resolve(q)
+	if len(q.Attrs) == 0 {
+		// Ranked-only: no structural plan to execute.
+		return v.explainRank(q, nil, true)
+	}
+
+	structural := *q
+	structural.Rank = nil
+	suffix := " (bitmap set ops)"
+	var st execStrategy = setStrategy{}
+	if c.opts.DisableBitmaps {
+		suffix = ""
+		st = rowStrategy{}
+	}
+	visible, p, err := v.execPlan(&structural, "", nil, st)
+	if err != nil && !c.opts.DisableBitmaps && errors.Is(err, errBitmapRange) {
+		suffix = ""
+		visible, p, err = v.execPlan(&structural, "", nil, rowStrategy{})
+	}
 	if err != nil {
 		return nil, err
 	}
-	if c.opts.DisableBitmaps {
-		return v.explainRows(q, all, tops)
+
+	lines := renderPlan(q, p, len(visible), suffix)
+	if q.Rank != nil {
+		rl, err := v.explainRank(q, visible, false)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, rl...)
 	}
-	return v.explainBitmap(q, all, tops)
+	return lines, nil
 }
 
 // nodeHeader renders the shared per-node prefix of an explain line.
@@ -44,120 +66,34 @@ func nodeHeader(n *qNode) string {
 		n.id, kind, n.def.Name, n.def.Source, n.def.ID, len(n.elems))
 }
 
-// explainBitmap traces the bitmap pipeline: posting lists per node with
-// their container representation, set-based rollup, and the object-set
-// intersection.
-func (v *view) explainBitmap(q *Query, all, tops []*qNode) ([]string, error) {
+// renderPlan turns an executed plan's node annotations into explain
+// lines, one per operator in execution order.
+func renderPlan(q *Query, p *queryPlan, visible int, suffix string) []string {
 	var lines []string
-	lines = append(lines, fmt.Sprintf("query: %d criteria node(s), %d top-level (bitmap set ops)", len(all), len(tops)))
-
-	// Stage 1+2: posting lists per node.
-	sets := make(map[int]*bitset.Set, len(all))
-	for _, n := range all {
-		s, err := v.directSatisfiedSet(n)
-		if err != nil {
-			return nil, err
+	lines = append(lines, fmt.Sprintf("query: %d criteria node(s), %d top-level%s", len(p.all), len(p.tops), suffix))
+	lines = append(lines, "plan: "+p.planString())
+	for _, sc := range p.scans {
+		line := fmt.Sprintf("%s -> %d directly satisfied instance(s)", nodeHeader(sc.q), sc.card)
+		if sc.shape != "" {
+			line += " " + sc.shape
 		}
-		sets[n.id] = s
-		lines = append(lines, fmt.Sprintf("%s -> %d directly satisfied instance(s) [set: %s]",
-			nodeHeader(n), s.Card(), s.Stats()))
+		if sc.cacheHit {
+			line += " [cache hit]"
+		}
+		lines = append(lines, line)
 	}
-
-	// Stage 3: containment rollup, children first.
-	for i := len(all) - 1; i >= 0; i-- {
-		n := all[i]
-		if len(n.children) == 0 {
-			continue
+	for _, rn := range p.rollups {
+		line := fmt.Sprintf("node %d: containment rollup over %d child criterion(s): %d -> %d instance(s)",
+			rn.q.id, len(rn.q.children), rn.beforeCard, rn.card)
+		if rn.shape != "" {
+			line += " " + rn.shape
 		}
-		before := sets[n.id].Card()
-		rolled, err := v.rollupSet(n, sets)
-		if err != nil {
-			return nil, err
-		}
-		sets[n.id] = rolled
-		lines = append(lines, fmt.Sprintf("node %d: containment rollup over %d child criterion(s): %d -> %d instance(s) [set: %s]",
-			n.id, len(n.children), before, rolled.Card(), rolled.Stats()))
+		lines = append(lines, line)
 	}
-
-	// Stage 4: ascending-cardinality AND chain over per-top object sets.
-	objSets := make([]*bitset.Set, len(tops))
-	for i, top := range tops {
-		objSets[i] = objectSet(sets[top.id])
-		lines = append(lines, fmt.Sprintf("top node %d: %d candidate object(s) [set: %s]",
-			top.id, objSets[i].Card(), objSets[i].Stats()))
-	}
-	result := andAscending(objSets)
-	matches := 0
-	result.Iterate(func(k uint64) bool {
-		if v.visibleTo(q.Owner, int64(k)) {
-			matches++
-		}
-		return true
-	})
-	lines = append(lines, fmt.Sprintf("objects satisfying all %d top-level criteria (visible to %q): %d",
-		len(tops), q.Owner, matches))
-	return lines, nil
-}
-
-// explainRows traces the row-at-a-time oracle path.
-func (v *view) explainRows(q *Query, all, tops []*qNode) ([]string, error) {
-	var lines []string
-	lines = append(lines, fmt.Sprintf("query: %d criteria node(s), %d top-level", len(all), len(tops)))
-
-	// Stage 1+2: direct satisfaction, materialized so counts are visible
-	// and the rows can feed the rollup.
-	satisfied := make(map[int][]relstore.Row, len(all))
-	for _, n := range all {
-		it, err := v.directSatisfied(n)
-		if err != nil {
-			return nil, err
-		}
-		rows := relstore.Collect(it)
-		satisfied[n.id] = rows
-		lines = append(lines, fmt.Sprintf("%s -> %d directly satisfied instance(s)",
-			nodeHeader(n), len(rows)))
-	}
-
-	// Stage 3: containment rollup, children first.
-	cols := []string{"object_id", "seq_id"}
-	for i := len(all) - 1; i >= 0; i-- {
-		n := all[i]
-		if len(n.children) == 0 {
-			continue
-		}
-		iters := make(map[int]relstore.Iterator, len(all))
-		for id, rows := range satisfied {
-			iters[id] = relstore.NewSliceIter(cols, rows)
-		}
-		rolled, err := v.containmentRollup(n, iters)
-		if err != nil {
-			return nil, err
-		}
-		rows := relstore.Collect(rolled)
-		lines = append(lines, fmt.Sprintf("node %d: containment rollup over %d child criterion(s): %d -> %d instance(s)",
-			n.id, len(n.children), len(satisfied[n.id]), len(rows)))
-		satisfied[n.id] = rows
-	}
-
-	// Stage 4: object counting across top-level criteria.
-	perObject := map[int64]map[int]bool{}
-	for _, top := range tops {
-		for _, r := range satisfied[top.id] {
-			m := perObject[r[0].I]
-			if m == nil {
-				m = map[int]bool{}
-				perObject[r[0].I] = m
-			}
-			m[top.id] = true
-		}
-	}
-	matches := 0
-	for id, m := range perObject {
-		if len(m) == len(tops) && v.visibleTo(q.Owner, id) {
-			matches++
-		}
+	for _, to := range p.topObjs {
+		lines = append(lines, fmt.Sprintf("top node %d: %d candidate object(s) %s", to.id, to.card, to.shape))
 	}
 	lines = append(lines, fmt.Sprintf("objects satisfying all %d top-level criteria (visible to %q): %d",
-		len(tops), q.Owner, matches))
-	return lines, nil
+		len(p.tops), q.Owner, visible))
+	return lines
 }

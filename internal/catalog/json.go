@@ -21,10 +21,22 @@ import (
 //
 // Values may be JSON numbers (typed numeric comparison), strings, or
 // booleans.
+//
+// A "rank" object turns the query into BM25 ranked retrieval, composed
+// with any structural attrs (both may be present; attrs alone is a
+// plain structural query):
+//
+//	{"owner": "alice", "rank": {"terms": ["storm", "surge"], "k": 10}}
 
 type jsonQuery struct {
 	Owner string     `json:"owner,omitempty"`
-	Attrs []jsonAttr `json:"attrs"`
+	Attrs []jsonAttr `json:"attrs,omitempty"`
+	Rank  *jsonRank  `json:"rank,omitempty"`
+}
+
+type jsonRank struct {
+	Terms []string `json:"terms"`
+	K     int      `json:"k,omitempty"`
 }
 
 type jsonAttr struct {
@@ -48,7 +60,7 @@ func ParseQueryJSON(data []byte) (*Query, error) {
 	if err := json.Unmarshal(data, &jq); err != nil {
 		return nil, fmt.Errorf("catalog: bad query JSON: %w", err)
 	}
-	if len(jq.Attrs) == 0 {
+	if len(jq.Attrs) == 0 && jq.Rank == nil {
 		return nil, fmt.Errorf("catalog: query JSON has no attrs")
 	}
 	q := &Query{Owner: jq.Owner}
@@ -58,6 +70,12 @@ func ParseQueryJSON(data []byte) (*Query, error) {
 			return nil, err
 		}
 		q.Attrs = append(q.Attrs, crit)
+	}
+	if jq.Rank != nil {
+		if len(jq.Rank.Terms) == 0 {
+			return nil, fmt.Errorf("catalog: query JSON rank has no terms")
+		}
+		q.Rank = &RankSpec{Terms: jq.Rank.Terms, K: jq.Rank.K}
 	}
 	return q, nil
 }
@@ -133,6 +151,9 @@ func MarshalQueryJSON(q *Query) ([]byte, error) {
 	jq := jsonQuery{Owner: q.Owner}
 	for _, a := range q.Attrs {
 		jq.Attrs = append(jq.Attrs, criteriaToJSON(a))
+	}
+	if q.Rank != nil {
+		jq.Rank = &jsonRank{Terms: q.Rank.Terms, K: q.Rank.K}
 	}
 	return json.MarshalIndent(jq, "", "  ")
 }

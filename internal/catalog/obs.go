@@ -41,11 +41,15 @@ type catObs struct {
 	opSearch   *obs.Histogram
 	opResponse *obs.Histogram
 	opMutate   *obs.Histogram
+	opRank     *obs.Histogram
 
 	stageProbe     *obs.Histogram
 	stageRollup    *obs.Histogram
 	stageIntersect *obs.Histogram
 	stageResponse  *obs.Histogram
+	stageRank      *obs.Histogram
+
+	textBuilds *obs.Counter
 
 	criterionRows  *obs.Histogram
 	pathParallel   *obs.Counter
@@ -89,11 +93,15 @@ func (c *Catalog) initObs() {
 		opSearch:   op("search"),
 		opResponse: op("response"),
 		opMutate:   op("mutate"),
+		opRank:     op("rank"),
 
 		stageProbe:     stage("probe"),
 		stageRollup:    stage("rollup"),
 		stageIntersect: stage("intersect"),
 		stageResponse:  stage("response"),
+		stageRank:      stage("rank"),
+
+		textBuilds: reg.Counter("textindex_builds_total"),
 
 		criterionRows:  reg.Histogram("query_criterion_rows"),
 		pathParallel:   reg.Counter("query_path_total", obs.L("path", "parallel")),
@@ -115,6 +123,20 @@ func (c *Catalog) initObs() {
 	// Epoch gauges read the atomic pointers directly, so scraping them
 	// never touches a lock.
 	reg.GaugeFunc("catalog_snapshot_epoch", func() int64 { return int64(c.DB.Generation()) })
+	// Text-index gauges read the atomic stamped-index pointer; zero
+	// until the first ranked query builds it.
+	reg.GaugeFunc("textindex_docs", func() int64 {
+		if st := c.text.Load(); st != nil {
+			return int64(st.idx.Docs())
+		}
+		return 0
+	})
+	reg.GaugeFunc("textindex_terms", func() int64 {
+		if st := c.text.Load(); st != nil {
+			return int64(st.idx.Terms())
+		}
+		return 0
+	})
 	reg.GaugeFunc("catalog_registry_generation", func() int64 { return int64(c.Reg.Generation()) })
 	// catalog_wedged is 1 once the durability layer refuses further
 	// mutations (failed post-failure cleanup left the log tail unknown);

@@ -1,0 +1,294 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/gridmeta/hybridcat/internal/relstore"
+)
+
+// Query planner. compile lowers a resolved criteria tree (query.go)
+// into an explicit plan: a tree of operator nodes that one executor
+// (exec.go) walks under either physical materialization — compressed
+// bitmap posting lists or row slices. The criterion dispatch that used
+// to be hand-woven three times (row path, bitmap path, explain) happens
+// exactly once here: every element predicate compiles to a probeSpec
+// naming the index, the equality key or range bounds, and the residual
+// row filter, and both materialization strategies execute the same
+// spec. ExplainQuery renders the plan after an execution annotated it
+// with per-node cardinalities, physical shapes, and cache hits.
+//
+// Operator vocabulary:
+//
+//	postings-scan  equality probe emitting the index's posting list
+//	range-scan     B-tree range probe (bounds from the predicate)
+//	or             union of equality probes (OneOf / ontology expansion)
+//	scan-all       every instance of the definition (no element criteria)
+//	scan           per-criterion AND over its element probes (stage 1+2)
+//	rollup         inverted-list containment rollup (stage 3)
+//	rollup-recursive  depth-1 parent chasing (A1 ablation)
+//	intersect      cross-criteria object AND + visibility (stage 4)
+//	rank           BM25 top-k over the text index (rank.go)
+//	page           offset/limit over the intersect order (EvaluatePage)
+const (
+	opPostingsScan = "postings-scan"
+	opRangeScan    = "range-scan"
+	opOrUnion      = "or"
+	opScanAll      = "scan-all"
+	opScan         = "scan"
+	opRollup       = "rollup"
+	opRollupRec    = "rollup-recursive"
+	opIntersect    = "intersect"
+	opRank         = "rank"
+	opPage         = "page"
+)
+
+// probeSpec is one element predicate compiled to a physical index
+// probe: which index to hit, the equality key or range bounds, and the
+// residual row filter both materializations must apply. This is the
+// single home of the operator/index dispatch.
+type probeSpec struct {
+	index  string
+	eq     []relstore.Value // equality probe key (nil when ranged)
+	ranged bool
+	lo, hi relstore.RangeBound
+	post   func(relstore.Row) bool // residual filter; nil for exact probes
+}
+
+// probePlan is one element predicate's compiled probe: its operator
+// (postings-scan, range-scan, or an or-union of equality probes) plus
+// the specs to execute. An unsupported comparison operator compiles to
+// zero specs — an empty result, matching the legacy paths.
+type probePlan struct {
+	op    string
+	elem  qElem
+	specs []probeSpec
+}
+
+// planNode is one operator in a compiled query plan. The executor
+// annotates nodes as it runs them — cardinality, physical shape, cache
+// hit — and ExplainQuery renders those annotations; plans are compiled
+// per evaluation, so annotating is race-free.
+type planNode struct {
+	op       string
+	q        *qNode     // criteria node (scan and rollup operators)
+	probe    *probePlan // probe-leaf detail
+	children []*planNode
+
+	card       int    // instances (or objects, for intersect) produced
+	beforeCard int    // rollup only: instances before narrowing
+	shape      string // physical representation, e.g. "[set: card=…]"; "" for rows
+	cacheHit   bool   // served from the probe/postings cache layer
+}
+
+// topObjects is the intersect stage's per-top-criterion annotation:
+// each top-level criterion's candidate object set entering the AND
+// chain (bitmap strategy only — the row strategy counts objects in one
+// group-by and has no per-top set to describe).
+type topObjects struct {
+	id    int
+	card  int
+	shape string
+}
+
+// queryPlan is a compiled query: the resolved criteria nodes plus the
+// operator tree over them. scans aligns with all; rollups is in
+// reverse-DFS order (children before parents), which is execution
+// order.
+type queryPlan struct {
+	all     []*qNode
+	tops    []*qNode
+	scans   []*planNode
+	rollups []*planNode
+	root    *planNode // intersect; its children are the per-top operator subtrees
+	rank    *planNode // non-nil when the query carries a RankSpec
+	topObjs []topObjects
+}
+
+// compile resolves the query (through the resolve cache when key is
+// non-empty) and lowers it into a plan tree.
+func (v *view) compile(q *Query, key string) (*queryPlan, error) {
+	all, tops, err := v.resolveCached(q, key)
+	if err != nil {
+		return nil, err
+	}
+	p := &queryPlan{all: all, tops: tops}
+	nodeOf := make(map[int]*planNode, len(all))
+	for _, n := range all {
+		sc := &planNode{op: opScan, q: n}
+		for _, qe := range n.elems {
+			pp, err := compileProbe(qe)
+			if err != nil {
+				return nil, err
+			}
+			sc.children = append(sc.children, &planNode{op: pp.op, q: n, probe: pp})
+		}
+		if len(n.elems) == 0 {
+			sc.children = append(sc.children, &planNode{op: opScanAll, q: n, probe: &probePlan{op: opScanAll}})
+		}
+		p.scans = append(p.scans, sc)
+		nodeOf[n.id] = sc
+	}
+	rollOp := opRollup
+	if v.c.opts.DisableInvertedList {
+		rollOp = opRollupRec
+	}
+	for i := len(all) - 1; i >= 0; i-- {
+		n := all[i]
+		if len(n.children) == 0 {
+			continue
+		}
+		rn := &planNode{op: rollOp, q: n, children: []*planNode{nodeOf[n.id]}}
+		for _, ch := range n.children {
+			rn.children = append(rn.children, nodeOf[ch.id])
+		}
+		nodeOf[n.id] = rn
+		p.rollups = append(p.rollups, rn)
+	}
+	p.root = &planNode{op: opIntersect}
+	for _, top := range tops {
+		p.root.children = append(p.root.children, nodeOf[top.id])
+	}
+	if q.Rank != nil {
+		p.rank = &planNode{op: opRank, children: []*planNode{p.root}}
+	}
+	return p, nil
+}
+
+// compileProbe lowers one element predicate into its probe plan. OneOf
+// becomes an or-union of equality specs; everything else is a single
+// postings or range scan.
+func compileProbe(qe qElem) (*probePlan, error) {
+	if len(qe.pred.OneOf) > 0 {
+		if qe.pred.Op != relstore.OpEq {
+			return nil, fmt.Errorf("catalog: OneOf requires an equality predicate")
+		}
+		pp := &probePlan{op: opOrUnion, elem: qe}
+		for _, val := range qe.pred.OneOf {
+			single := qe.pred
+			single.OneOf = nil
+			single.Value = val
+			spec, ok := compileSpec(qe.def.ID, single)
+			if !ok {
+				continue
+			}
+			pp.specs = append(pp.specs, spec)
+		}
+		return pp, nil
+	}
+	spec, ok := compileSpec(qe.def.ID, qe.pred)
+	pp := &probePlan{op: opPostingsScan, elem: qe}
+	if ok {
+		if spec.ranged {
+			pp.op = opRangeScan
+		}
+		pp.specs = []probeSpec{spec}
+	}
+	return pp, nil
+}
+
+// incl and excl build the range bounds used below.
+func incl(vals ...relstore.Value) relstore.RangeBound {
+	return relstore.RangeBound{Vals: vals, Inclusive: true, Set: true}
+}
+
+func excl(vals ...relstore.Value) relstore.RangeBound {
+	return relstore.RangeBound{Vals: vals, Inclusive: false, Set: true}
+}
+
+// compileSpec maps (definition, operator, value) to the physical probe:
+// typed numeric predicates hit the nval B-tree, everything else the
+// sval B-tree. ok=false means the operator is unsupported and the probe
+// produces nothing — the same silent-empty contract the legacy dispatch
+// had.
+func compileSpec(defID int64, pred ElemPred) (probeSpec, bool) {
+	eid := relstore.Int(defID)
+	if f, isNum := pred.Value.AsFloat(); isNum && (pred.Value.K == relstore.KInt || pred.Value.K == relstore.KFloat) {
+		const ix = "elem_data_by_nval"
+		nv := relstore.Float(f)
+		switch pred.Op {
+		case relstore.OpEq:
+			return probeSpec{index: ix, eq: []relstore.Value{eid, nv}}, true
+		case relstore.OpLt:
+			return probeSpec{index: ix, ranged: true, lo: incl(eid), hi: excl(eid, nv), post: notNullNval}, true
+		case relstore.OpLe:
+			return probeSpec{index: ix, ranged: true, lo: incl(eid), hi: incl(eid, nv), post: notNullNval}, true
+		case relstore.OpGt:
+			return probeSpec{index: ix, ranged: true, lo: excl(eid, nv), hi: incl(eid)}, true
+		case relstore.OpGe:
+			return probeSpec{index: ix, ranged: true, lo: incl(eid, nv), hi: incl(eid)}, true
+		case relstore.OpNe:
+			// Inequality: scan the definition's rows and filter.
+			return probeSpec{index: ix, ranged: true, lo: incl(eid), hi: incl(eid),
+				post: func(r relstore.Row) bool { return !r[6].IsNull() && r[6].F != f }}, true
+		}
+		return probeSpec{}, false
+	}
+	const ix = "elem_data_by_sval"
+	sv := relstore.Str(pred.Value.AsString())
+	switch pred.Op {
+	case relstore.OpEq:
+		return probeSpec{index: ix, eq: []relstore.Value{eid, sv}}, true
+	case relstore.OpNe:
+		return probeSpec{index: ix, ranged: true, lo: incl(eid), hi: incl(eid),
+			post: func(r relstore.Row) bool { return r[5].S != sv.S }}, true
+	case relstore.OpLt:
+		return probeSpec{index: ix, ranged: true, lo: incl(eid), hi: excl(eid, sv)}, true
+	case relstore.OpLe:
+		return probeSpec{index: ix, ranged: true, lo: incl(eid), hi: incl(eid, sv)}, true
+	case relstore.OpGt:
+		return probeSpec{index: ix, ranged: true, lo: excl(eid, sv), hi: incl(eid)}, true
+	case relstore.OpGe:
+		return probeSpec{index: ix, ranged: true, lo: incl(eid, sv), hi: incl(eid)}, true
+	}
+	return probeSpec{}, false
+}
+
+// notNullNval filters out rows whose numeric column is null (a string
+// value landed in the range scan's key space).
+func notNullNval(r relstore.Row) bool { return !r[6].IsNull() }
+
+// planString renders the operator tree in one line, e.g.
+// "intersect(rollup#1(scan#1[range-scan], scan#2[postings-scan]))".
+func (p *queryPlan) planString() string {
+	var b strings.Builder
+	root := p.root
+	if p.rank != nil {
+		root = p.rank
+	}
+	renderPlanNode(&b, root)
+	return b.String()
+}
+
+func renderPlanNode(b *strings.Builder, pn *planNode) {
+	switch pn.op {
+	case opScan:
+		fmt.Fprintf(b, "scan#%d[", pn.q.id)
+		for i, c := range pn.children {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(c.op)
+		}
+		b.WriteByte(']')
+	case opRollup, opRollupRec:
+		fmt.Fprintf(b, "%s#%d(", pn.op, pn.q.id)
+		for i, c := range pn.children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderPlanNode(b, c)
+		}
+		b.WriteByte(')')
+	default:
+		b.WriteString(pn.op)
+		b.WriteByte('(')
+		for i, c := range pn.children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderPlanNode(b, c)
+		}
+		b.WriteByte(')')
+	}
+}

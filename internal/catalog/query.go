@@ -68,6 +68,11 @@ func (a *AttrCriteria) AddSub(sub *AttrCriteria) *AttrCriteria {
 type Query struct {
 	Owner string
 	Attrs []*AttrCriteria
+	// Rank, when non-nil, turns the query into ranked retrieval: BM25
+	// top-k over the text index, composed with the structural criteria
+	// (rank.go). Ranked queries go through EvaluateRanked; Evaluate
+	// rejects them so a caller can never silently drop the ranking.
+	Rank *RankSpec
 }
 
 // Attr creates a top-level criterion and adds it to the query.
@@ -168,6 +173,9 @@ func (c *Catalog) EvaluateContext(ctx context.Context, q *Query) ([]int64, error
 // cloned on every hit so callers may mutate their result freely.
 func (v *view) evaluateTraced(q *Query, tr *obs.Trace) ([]int64, error) {
 	c := v.c
+	if q.Rank != nil {
+		return nil, fmt.Errorf("catalog: ranked query must go through EvaluateRanked")
+	}
 	if len(q.Attrs) == 0 {
 		return nil, fmt.Errorf("catalog: query has no attribute criteria")
 	}
@@ -204,284 +212,26 @@ func (v *view) evaluateTraced(q *Query, tr *obs.Trace) ([]int64, error) {
 // may be nil) receives one span per pipeline stage; the stage
 // histograms are recorded regardless.
 //
-// By default the stages run on the compressed-bitmap representation
-// (bitmap.go); Options.DisableBitmaps selects the original row-at-a-
-// time path, kept compiled in as the correctness oracle. A query whose
-// IDs cannot be packed into instance keys falls back to the row path
-// for that evaluation only.
+// The query compiles to one plan (plan.go) that a single executor
+// (exec.go) walks. By default it runs under the compressed-bitmap
+// strategy; Options.DisableBitmaps selects the row-slice strategy —
+// the original row-at-a-time pipeline, kept as the correctness oracle —
+// and a query whose IDs cannot be packed into instance keys falls back
+// to it for that evaluation only.
 func (v *view) evaluateUncached(q *Query, key string, tr *obs.Trace) ([]int64, error) {
 	if !v.c.opts.DisableBitmaps {
-		ids, err := v.evaluateBitmap(q, key, tr)
+		ids, _, err := v.execPlan(q, key, tr, setStrategy{})
 		if err == nil || !errors.Is(err, errBitmapRange) {
 			return ids, err
 		}
 		tr.Annotate("bitmap-range fallback to row path")
 	}
-	return v.evaluateRows(q, key, tr)
-}
-
-// evaluateRows is the row-at-a-time Figure-4 pipeline: instance rows
-// flow between the stages through volcano iterators and group-by maps.
-func (v *view) evaluateRows(q *Query, key string, tr *obs.Trace) ([]int64, error) {
-	c := v.c
-	if err := v.ctxErr(); err != nil {
-		return nil, err
-	}
-	// Stage 1+2 (Figure 4 left column): resolve the criteria tree, then
-	// per criteria node the attribute instances directly satisfying its
-	// element predicates, computed with index probes + group-by counting.
-	endProbe := c.stageTimer(tr, "probe", c.obsv.stageProbe)
-	all, tops, err := v.resolveCached(q, key)
-	if err != nil {
-		return nil, err
-	}
-	satisfied, err := v.directSatisfyAll(all, tr)
-	if err != nil {
-		return nil, err
-	}
-	endProbe(int64(len(all)))
-	if err := v.ctxErr(); err != nil {
-		return nil, err
-	}
-
-	// Stage 3 (Figure 4 right column): containment rollup through the
-	// sub-attribute inverted list, children before parents. all is in DFS
-	// preorder, so reverse order visits children first.
-	endRollup := c.stageTimer(tr, "rollup", c.obsv.stageRollup)
-	rolled := int64(0)
-	for i := len(all) - 1; i >= 0; i-- {
-		n := all[i]
-		if len(n.children) == 0 {
-			continue
-		}
-		narrowed, err := v.containmentRollup(n, satisfied)
-		if err != nil {
-			return nil, err
-		}
-		satisfied[n.id] = narrowed
-		rolled++
-	}
-	endRollup(rolled)
-	if err := v.ctxErr(); err != nil {
-		return nil, err
-	}
-
-	// Stage 4: objects containing a satisfying instance of every
-	// top-level criterion.
-	endIntersect := c.stageTimer(tr, "intersect", c.obsv.stageIntersect)
-	var tagged []relstore.Iterator
-	for _, top := range tops {
-		tagged = append(tagged, relstore.Project(
-			tagIter(satisfied[top.id], int64(top.id)),
-			[]int{0, 2}, []string{"object_id", "q_id"},
-		))
-	}
-	counts := relstore.GroupBy(relstore.Union(tagged...), []int{0}, []relstore.AggSpec{
-		{Func: relstore.AggCountDistinct, Col: 1, Name: "n_tops"},
-	})
-	need := int64(len(tops))
-	hits := relstore.Filter(counts, func(r relstore.Row) bool { return r[1].I == need })
-
-	var ids []int64
-	for {
-		r, ok := hits.Next()
-		if !ok {
-			break
-		}
-		ids = append(ids, r[0].I)
-	}
-	slices.Sort(ids)
-	visible := v.filterVisible(q.Owner, ids)
-	endIntersect(int64(len(visible)))
-	return visible, nil
+	ids, _, err := v.execPlan(q, key, tr, rowStrategy{})
+	return ids, err
 }
 
 // satisfiedCols is the row layout flowing between the pipeline stages.
 var satisfiedCols = []string{"object_id", "seq_id"}
-
-// directSatisfyAll computes stage 1+2 for every criteria node. With more
-// than one node and enough indexed rows the per-node probes fan out
-// across a bounded worker pool; each worker materializes its node's
-// instances before handing them back, so no iterator — they are
-// single-use and carry mutable cursor state — is ever shared between
-// goroutines. Below the row threshold (or with QueryWorkers=1) the loop
-// runs sequentially and, when the probe cache is off, streams iterators
-// without materializing.
-//
-// With the probe cache on, every node goes through the memoized
-// (materialized) path: repeated criteria — within this query or across
-// queries at the same generation — reuse one probe's rows, and
-// concurrent duplicates collapse via singleflight. The cached row
-// slices are shared read-only; each consumer gets its own cursor.
-func (v *view) directSatisfyAll(all []*qNode, tr *obs.Trace) (map[int]relstore.Iterator, error) {
-	c := v.c
-	satisfied := make(map[int]relstore.Iterator, len(all))
-	workers := c.fanoutWorkers(len(all), v.tab(TElemData).Len())
-	if workers > 1 {
-		c.obsv.pathParallel.Inc()
-		if tr != nil {
-			tr.Annotate(fmt.Sprintf("path=parallel workers=%d", workers))
-		}
-	} else {
-		c.obsv.pathSequential.Inc()
-		tr.Annotate("path=sequential")
-	}
-	if workers <= 1 && c.caches.probe == nil {
-		for _, n := range all {
-			it, err := v.directSatisfied(n)
-			if err != nil {
-				return nil, err
-			}
-			satisfied[n.id] = it
-		}
-		return satisfied, nil
-	}
-	rows := make([][]relstore.Row, len(all))
-	err := runParallel(workers, len(all), func(i int) error {
-		var err error
-		rows[i], err = v.directSatisfiedRows(all[i])
-		c.obsv.criterionRows.Observe(int64(len(rows[i])))
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, n := range all {
-		satisfied[n.id] = relstore.NewSliceIter(satisfiedCols, rows[i])
-	}
-	return satisfied, nil
-}
-
-// directSatisfied computes the instances of n's attribute definition that
-// satisfy all of n's element predicates: rows [object_id, seq_id].
-func (v *view) directSatisfied(n *qNode) (relstore.Iterator, error) {
-	if len(n.elems) == 0 {
-		// No element criteria: every instance of the definition.
-		attrT := v.tab(TAttrData)
-		ids, err := attrT.LookupEqual("attr_data_by_attr", relstore.Int(n.def.ID))
-		if err != nil {
-			return nil, err
-		}
-		return relstore.Project(relstore.ScanRowIDs(attrT, ids), []int{0, 2}, []string{"object_id", "seq_id"}), nil
-	}
-	// One probe per element predicate, each tagged with its criterion
-	// index; instances satisfying all predicates have a full distinct
-	// count (the paper's required-element-count check).
-	var parts []relstore.Iterator
-	for k, qe := range n.elems {
-		probe, err := v.probeElem(qe)
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, tagIter(probe, int64(k)))
-	}
-	counted := relstore.GroupBy(relstore.Union(parts...), []int{0, 1}, []relstore.AggSpec{
-		{Func: relstore.AggCountDistinct, Col: 2, Name: "n_elems"},
-	})
-	need := int64(len(n.elems))
-	ok := relstore.Filter(counted, func(r relstore.Row) bool { return r[2].I == need })
-	return relstore.Project(ok, []int{0, 1}, []string{"object_id", "seq_id"}), nil
-}
-
-// probeElem returns rows [object_id, seq_id] of attribute instances with
-// an element row matching the predicate, using the typed B-tree indexes.
-// OneOf predicates union one equality probe per accepted value.
-func (v *view) probeElem(qe qElem) (relstore.Iterator, error) {
-	if len(qe.pred.OneOf) > 0 {
-		if qe.pred.Op != relstore.OpEq {
-			return nil, fmt.Errorf("catalog: OneOf requires an equality predicate")
-		}
-		var parts []relstore.Iterator
-		for _, val := range qe.pred.OneOf {
-			single := qe
-			single.pred.OneOf = nil
-			single.pred.Value = val
-			it, err := v.probeElem(single)
-			if err != nil {
-				return nil, err
-			}
-			parts = append(parts, it)
-		}
-		return relstore.Distinct(relstore.Union(parts...)), nil
-	}
-	elemT := v.tab(TElemData)
-	eid := relstore.Int(qe.def.ID)
-	var ids []int64
-	var err error
-	var post func(relstore.Row) bool
-
-	numeric := false
-	if f, ok := qe.pred.Value.AsFloat(); ok && (qe.pred.Value.K == relstore.KInt || qe.pred.Value.K == relstore.KFloat) {
-		numeric = true
-		nv := relstore.Float(f)
-		switch qe.pred.Op {
-		case relstore.OpEq:
-			ids, err = elemT.LookupEqual("elem_data_by_nval", eid, nv)
-		case relstore.OpLt:
-			ids, err = elemT.LookupRange("elem_data_by_nval",
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid, nv}, Inclusive: false, Set: true})
-			post = notNullNval
-		case relstore.OpLe:
-			ids, err = elemT.LookupRange("elem_data_by_nval",
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid, nv}, Inclusive: true, Set: true})
-			post = notNullNval
-		case relstore.OpGt:
-			ids, err = elemT.LookupRange("elem_data_by_nval",
-				relstore.RangeBound{Vals: []relstore.Value{eid, nv}, Inclusive: false, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
-		case relstore.OpGe:
-			ids, err = elemT.LookupRange("elem_data_by_nval",
-				relstore.RangeBound{Vals: []relstore.Value{eid, nv}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
-		case relstore.OpNe:
-			// Inequality: scan the definition's rows and filter.
-			ids, err = elemT.LookupRange("elem_data_by_nval",
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
-			post = func(r relstore.Row) bool { return !r[6].IsNull() && r[6].F != f }
-		}
-	}
-	if !numeric {
-		sv := relstore.Str(qe.pred.Value.AsString())
-		switch qe.pred.Op {
-		case relstore.OpEq:
-			ids, err = elemT.LookupEqual("elem_data_by_sval", eid, sv)
-		case relstore.OpNe:
-			ids, err = elemT.LookupRange("elem_data_by_sval",
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
-			post = func(r relstore.Row) bool { return r[5].S != sv.S }
-		case relstore.OpLt:
-			ids, err = elemT.LookupRange("elem_data_by_sval",
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid, sv}, Inclusive: false, Set: true})
-		case relstore.OpLe:
-			ids, err = elemT.LookupRange("elem_data_by_sval",
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid, sv}, Inclusive: true, Set: true})
-		case relstore.OpGt:
-			ids, err = elemT.LookupRange("elem_data_by_sval",
-				relstore.RangeBound{Vals: []relstore.Value{eid, sv}, Inclusive: false, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
-		case relstore.OpGe:
-			ids, err = elemT.LookupRange("elem_data_by_sval",
-				relstore.RangeBound{Vals: []relstore.Value{eid, sv}, Inclusive: true, Set: true},
-				relstore.RangeBound{Vals: []relstore.Value{eid}, Inclusive: true, Set: true})
-		}
-	}
-	if err != nil {
-		return nil, err
-	}
-	it := relstore.ScanRowIDs(elemT, ids)
-	if post != nil {
-		it = relstore.Filter(it, post)
-	}
-	return relstore.Project(it, []int{0, 2}, []string{"object_id", "seq_id"}), nil
-}
-
-func notNullNval(r relstore.Row) bool { return !r[6].IsNull() }
 
 // containmentRollup narrows n's directly-satisfied instances to those
 // containing a satisfied instance of every child criterion, via the

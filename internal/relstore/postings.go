@@ -94,3 +94,20 @@ func (t *Table) ScanRowIDPostings(dst *bitset.Set) {
 		return true
 	})
 }
+
+// ScanTextPostings calls fn(doc, text) for every live row whose textCol
+// holds a string, keyed by docCol's integer value — the emission hook
+// the catalog's text index builds from (one call per elem_data sval).
+// The whole scan observes one version, even on a live handle.
+func (t *Table) ScanTextPostings(docCol, textCol int, fn func(doc int64, text string)) {
+	tv := t.version()
+	if tv == nil {
+		return
+	}
+	tv.scan(func(_ int64, r Row) bool {
+		if textCol < len(r) && docCol < len(r) && r[textCol].K == KString {
+			fn(r[docCol].I, r[textCol].S)
+		}
+		return true
+	})
+}

@@ -105,7 +105,12 @@ func (s *Server) handlePublish(published bool) http.HandlerFunc {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	enc := json.NewEncoder(w)
+	// Responses embed reconstructed XML documents; the default HTML-safe
+	// escaping would mangle every angle bracket into its unicode-escape
+	// form, so turn it off.
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
@@ -178,6 +183,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if q.Rank != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("service: ranked queries use POST /search"))
+		return
+	}
 	q = s.maybeExpand(r, q)
 	ids, err := s.evaluateScoped(r, q)
 	if err != nil {
@@ -206,14 +215,20 @@ func (s *Server) handleDefs(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleSearch runs the query and returns reconstructed documents;
-// ?offset and ?limit paginate over the ascending ID order, and the
-// response carries the total match count.
+// ?offset and ?limit paginate, and the response carries the total
+// match count. A structural query pages over the ascending ID order; a
+// query with a "rank" clause returns BM25 top-k results in score order,
+// each carrying its score (see handleSearchRanked).
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q, ok := s.readQuery(w, r)
 	if !ok {
 		return
 	}
 	q = s.maybeExpand(r, q)
+	if q.Rank != nil {
+		s.handleSearchRanked(w, r, q)
+		return
+	}
 	ids, err := s.evaluateScoped(r, q)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -246,6 +261,47 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	results := make([]result, 0, len(resp))
 	for _, rr := range resp {
 		results = append(results, result{ID: rr.ObjectID, XML: rr.XML})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"total": total, "results": results})
+}
+
+// handleSearchRanked is the ranked arm of POST /search: BM25 top-k
+// composed with the query's structural criteria, results in descending
+// score order with ?offset/?limit slicing the ranked list.
+func (s *Server) handleSearchRanked(w http.ResponseWriter, r *http.Request, q *catalog.Query) {
+	if r.URL.Query().Get("collection") != "" {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("service: ranked search does not support ?collection"))
+		return
+	}
+	resp, err := s.cat().SearchRanked(r.Context(), q)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, catalog.ErrUnknownDefinition) || errors.Is(err, catalog.ErrTextIndexDisabled) {
+			status = http.StatusBadRequest
+		}
+		writeErr(w, status, err)
+		return
+	}
+	total := len(resp)
+	if off := queryInt(r, "offset", 0); off > 0 {
+		if off >= len(resp) {
+			resp = nil
+		} else {
+			resp = resp[off:]
+		}
+	}
+	if lim := queryInt(r, "limit", 0); lim > 0 && lim < len(resp) {
+		resp = resp[:lim]
+	}
+	type result struct {
+		ID    int64   `json:"id"`
+		Score float64 `json:"score"`
+		XML   string  `json:"xml"`
+	}
+	results := make([]result, 0, len(resp))
+	for _, rr := range resp {
+		results = append(results, result{ID: rr.ObjectID, Score: rr.Score, XML: rr.XML})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"total": total, "results": results})
 }

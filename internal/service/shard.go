@@ -94,7 +94,7 @@ func decodeJSONBody(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 func queryStatus(err error) int {
-	if errors.Is(err, catalog.ErrUnknownDefinition) {
+	if errors.Is(err, catalog.ErrUnknownDefinition) || errors.Is(err, catalog.ErrTextIndexDisabled) {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
@@ -103,6 +103,10 @@ func queryStatus(err error) int {
 func (s *ShardedServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q, fanout, ok := s.readClusterQuery(w, r)
 	if !ok {
+		return
+	}
+	if q.Rank != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("service: ranked queries use POST /search"))
 		return
 	}
 	var ids []int64
@@ -127,6 +131,10 @@ func (s *ShardedServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if q.Rank != nil {
+		s.handleSearchRanked(w, r, q, fanout)
+		return
+	}
 	resp, total, err := s.searchPage(q, r, fanout)
 	if err != nil {
 		writeErr(w, queryStatus(err), err)
@@ -139,6 +147,39 @@ func (s *ShardedServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 	results := make([]result, 0, len(resp))
 	for _, rr := range resp {
 		results = append(results, result{ID: rr.ObjectID, XML: rr.XML})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"total": total, "results": results})
+}
+
+// handleSearchRanked serves a BM25 ranked /search over the cluster:
+// owner-scoped queries route, ?fanout=1 (or a superuser query) runs the
+// two-phase global-statistics scatter with a score-ordered merge.
+func (s *ShardedServer) handleSearchRanked(w http.ResponseWriter, r *http.Request, q *catalog.Query, fanout bool) {
+	resp, err := s.Cluster.SearchRanked(q, fanout)
+	if err != nil {
+		writeErr(w, queryStatus(err), err)
+		return
+	}
+	total := len(resp)
+	offset, limit := queryInt(r, "offset", 0), queryInt(r, "limit", 0)
+	if offset > 0 {
+		if offset >= len(resp) {
+			resp = nil
+		} else {
+			resp = resp[offset:]
+		}
+	}
+	if limit > 0 && limit < len(resp) {
+		resp = resp[:limit]
+	}
+	type result struct {
+		ID    int64   `json:"id"`
+		Score float64 `json:"score"`
+		XML   string  `json:"xml"`
+	}
+	results := make([]result, 0, len(resp))
+	for _, rr := range resp {
+		results = append(results, result{ID: rr.ObjectID, Score: rr.Score, XML: rr.XML})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"total": total, "results": results})
 }

@@ -1,0 +1,274 @@
+// Package textindex is a tokenized inverted index with BM25 ranking
+// over the catalog's attribute text values — the IR half of the hybrid
+// content-and-structure search scenario (ROADMAP; Pehcevski, cs/0507070
+// and cs/0508017). The index maps analyzed terms to per-document term
+// frequencies plus document lengths; TopK scores a bag of query terms
+// with BM25 and returns the k best documents, optionally restricted by
+// a caller-supplied admission filter (structural matches, visibility).
+//
+// Indexes are immutable once built: the catalog builds one per snapshot
+// epoch and shares it read-only across concurrent queries, exactly like
+// its other epoch-stamped cache layers. For distributed scoring, Stats
+// carries the corpus statistics (document count, total token length,
+// per-term document frequencies); summing every shard's Stats and
+// passing the total to TopK makes a scatter-gathered ranking identical
+// to a single index holding the union of the shards' documents.
+package textindex
+
+import (
+	"math"
+	"sort"
+	"unicode"
+)
+
+// MaxTokenRunes bounds a single token's length; longer letter/digit
+// runs (base64 blobs, minified payloads) are dropped rather than
+// indexed, so a huge pathological value cannot bloat the term
+// dictionary.
+const MaxTokenRunes = 64
+
+// BM25 parameters, the standard Robertson defaults.
+const (
+	BM25K1 = 1.2
+	BM25B  = 0.75
+)
+
+// Tokenize lowercases the text and splits it into letter/digit runs —
+// any other rune (punctuation, separators, symbols) is a boundary.
+// Tokens longer than MaxTokenRunes are dropped. The same analyzer runs
+// over indexed values and query terms, so the two always agree.
+func Tokenize(text string) []string {
+	var out []string
+	var run []rune
+	flush := func() {
+		if n := len(run); n > 0 && n <= MaxTokenRunes {
+			out = append(out, string(run))
+		}
+		run = run[:0]
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			run = append(run, unicode.ToLower(r))
+			continue
+		}
+		flush()
+	}
+	flush()
+	return out
+}
+
+// AnalyzeTerms tokenizes each raw query term and returns the distinct
+// analyzed tokens in first-appearance order. Deduplication makes
+// scoring independent of repeated query terms, and the stable order
+// keeps floating-point score accumulation deterministic across runs
+// and across shards.
+func AnalyzeTerms(terms []string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, t := range terms {
+		for _, tok := range Tokenize(t) {
+			if !seen[tok] {
+				seen[tok] = true
+				out = append(out, tok)
+			}
+		}
+	}
+	return out
+}
+
+// Posting is one document's entry in a term's posting list.
+type Posting struct {
+	Doc int64
+	TF  int32
+}
+
+// Scored is one ranked result: a document and its BM25 score.
+type Scored struct {
+	Doc   int64
+	Score float64
+}
+
+// Stats carries the corpus statistics BM25 scoring depends on. A zero
+// Stats means "use the index's own"; summed Stats from several indexes
+// (Merge) score a distributed corpus with global frequencies.
+type Stats struct {
+	// Docs is the number of indexed documents.
+	Docs int64 `json:"docs"`
+	// TotalLen is the total token count across all documents.
+	TotalLen int64 `json:"total_len"`
+	// DocFreq maps an analyzed term to the number of documents
+	// containing it.
+	DocFreq map[string]int64 `json:"doc_freq"`
+}
+
+// Merge adds o's statistics into s (summing document counts, lengths,
+// and per-term frequencies).
+func (s *Stats) Merge(o Stats) {
+	s.Docs += o.Docs
+	s.TotalLen += o.TotalLen
+	if s.DocFreq == nil {
+		s.DocFreq = make(map[string]int64, len(o.DocFreq))
+	}
+	for t, n := range o.DocFreq {
+		s.DocFreq[t] += n
+	}
+}
+
+// Builder accumulates documents for one immutable Index. Add may be
+// called any number of times per document; token counts accumulate.
+type Builder struct {
+	tf     map[string]map[int64]int32
+	docLen map[int64]int32
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		tf:     make(map[string]map[int64]int32),
+		docLen: make(map[int64]int32),
+	}
+}
+
+// Add tokenizes text and credits its tokens to doc. Text producing no
+// tokens contributes nothing (the document exists only if some Add
+// produced at least one token).
+func (b *Builder) Add(doc int64, text string) {
+	toks := Tokenize(text)
+	if len(toks) == 0 {
+		return
+	}
+	b.docLen[doc] += int32(len(toks))
+	for _, t := range toks {
+		m := b.tf[t]
+		if m == nil {
+			m = make(map[int64]int32)
+			b.tf[t] = m
+		}
+		m[doc]++
+	}
+}
+
+// Build freezes the builder into an immutable Index. Posting lists are
+// sorted by ascending document ID.
+func (b *Builder) Build() *Index {
+	ix := &Index{
+		post:   make(map[string][]Posting, len(b.tf)),
+		docLen: b.docLen,
+	}
+	for t, m := range b.tf {
+		pl := make([]Posting, 0, len(m))
+		for doc, tf := range m {
+			pl = append(pl, Posting{Doc: doc, TF: tf})
+		}
+		sort.Slice(pl, func(i, j int) bool { return pl[i].Doc < pl[j].Doc })
+		ix.post[t] = pl
+	}
+	for _, n := range b.docLen {
+		ix.totalLen += int64(n)
+	}
+	return ix
+}
+
+// Index is an immutable inverted index over tokenized text, safe for
+// concurrent readers.
+type Index struct {
+	post     map[string][]Posting
+	docLen   map[int64]int32
+	totalLen int64
+}
+
+// Docs returns the number of indexed documents.
+func (ix *Index) Docs() int { return len(ix.docLen) }
+
+// Terms returns the number of distinct terms in the dictionary.
+func (ix *Index) Terms() int { return len(ix.post) }
+
+// DocFreq returns the number of documents containing the analyzed term.
+func (ix *Index) DocFreq(term string) int { return len(ix.post[term]) }
+
+// Postings returns the term's posting list (ascending document ID),
+// shared read-only; callers must not mutate it.
+func (ix *Index) Postings(term string) []Posting { return ix.post[term] }
+
+// StatsFor returns this index's corpus statistics, with DocFreq
+// restricted to the given analyzed terms (all a scoring pass needs).
+func (ix *Index) StatsFor(terms []string) Stats {
+	st := Stats{
+		Docs:     int64(len(ix.docLen)),
+		TotalLen: ix.totalLen,
+		DocFreq:  make(map[string]int64, len(terms)),
+	}
+	for _, t := range terms {
+		if df := len(ix.post[t]); df > 0 {
+			st.DocFreq[t] = int64(df)
+		}
+	}
+	return st
+}
+
+// bm25IDF is the (always positive) BM25+ style inverse document
+// frequency: ln(1 + (N - df + 0.5)/(df + 0.5)).
+func bm25IDF(docs, df int64) float64 {
+	return math.Log1p((float64(docs) - float64(df) + 0.5) / (float64(df) + 0.5))
+}
+
+// TopK scores the analyzed terms with BM25 and returns the k
+// highest-scoring admitted documents, score descending with ties broken
+// by ascending document ID. st supplies the corpus statistics (nil: the
+// index's own — pass summed shard statistics for global scoring). allow,
+// when non-nil, admits documents (structural candidate membership,
+// visibility); others are skipped before scoring.
+//
+// Scoring is deterministic: terms accumulate in the given order and
+// postings in document order, so equal corpora produce bit-identical
+// scores regardless of sharding.
+func (ix *Index) TopK(terms []string, k int, st *Stats, allow func(int64) bool) []Scored {
+	if k <= 0 || len(terms) == 0 {
+		return nil
+	}
+	docs, totalLen := int64(len(ix.docLen)), ix.totalLen
+	dfOf := func(t string) int64 { return int64(len(ix.post[t])) }
+	if st != nil {
+		docs, totalLen = st.Docs, st.TotalLen
+		dfOf = func(t string) int64 { return st.DocFreq[t] }
+	}
+	if docs == 0 {
+		return nil
+	}
+	avgLen := float64(totalLen) / float64(docs)
+	scores := make(map[int64]float64)
+	for _, t := range terms {
+		pl := ix.post[t]
+		if len(pl) == 0 {
+			continue
+		}
+		df := dfOf(t)
+		if df == 0 {
+			continue
+		}
+		idf := bm25IDF(docs, df)
+		for _, p := range pl {
+			if allow != nil && !allow(p.Doc) {
+				continue
+			}
+			tf := float64(p.TF)
+			dl := float64(ix.docLen[p.Doc])
+			norm := BM25K1 * (1 - BM25B + BM25B*dl/avgLen)
+			scores[p.Doc] += idf * tf * (BM25K1 + 1) / (tf + norm)
+		}
+	}
+	out := make([]Scored, 0, len(scores))
+	for doc, s := range scores {
+		out = append(out, Scored{Doc: doc, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

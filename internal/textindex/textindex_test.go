@@ -1,0 +1,340 @@
+package textindex
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"   \t\n", nil},
+		{"Convective_Precipitation_Amount", []string{"convective", "precipitation", "amount"}},
+		{"radar-reflectivity, 2km", []string{"radar", "reflectivity", "2km"}},
+		{"ARPS model v5.2.12", []string{"arps", "model", "v5", "2", "12"}},
+		{"Überschall Größe", []string{"überschall", "größe"}},
+		{"日本語 テスト", []string{"日本語", "テスト"}},
+		{"---", nil},
+		{strings.Repeat("a", MaxTokenRunes), []string{strings.Repeat("a", MaxTokenRunes)}},
+		{strings.Repeat("a", MaxTokenRunes+1), nil},
+		{"ok " + strings.Repeat("x", 500) + " fine", []string{"ok", "fine"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeTermsDedupes(t *testing.T) {
+	got := AnalyzeTerms([]string{"Radar Reflectivity", "radar", "STORM radar"})
+	want := []string{"radar", "reflectivity", "storm"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AnalyzeTerms = %v, want %v", got, want)
+	}
+}
+
+func TestIndexBasics(t *testing.T) {
+	b := NewBuilder()
+	b.Add(1, "storm surge storm")
+	b.Add(2, "surge model")
+	b.Add(3, "quiet")
+	b.Add(3, "") // no tokens: contributes nothing
+	ix := b.Build()
+	if ix.Docs() != 3 {
+		t.Fatalf("Docs = %d, want 3", ix.Docs())
+	}
+	if ix.DocFreq("storm") != 1 || ix.DocFreq("surge") != 2 || ix.DocFreq("absent") != 0 {
+		t.Fatalf("unexpected doc freqs: storm=%d surge=%d", ix.DocFreq("storm"), ix.DocFreq("surge"))
+	}
+	pl := ix.Postings("surge")
+	if len(pl) != 2 || pl[0].Doc != 1 || pl[1].Doc != 2 {
+		t.Fatalf("postings not sorted by doc: %v", pl)
+	}
+	if pl := ix.Postings("storm"); pl[0].TF != 2 {
+		t.Fatalf("tf(storm, doc1) = %d, want 2", pl[0].TF)
+	}
+
+	top := ix.TopK([]string{"storm", "surge"}, 10, nil, nil)
+	if len(top) != 2 || top[0].Doc != 1 {
+		t.Fatalf("TopK = %v, want doc 1 first (matches both terms, tf 2)", top)
+	}
+	if top[0].Score <= top[1].Score {
+		t.Fatalf("scores not descending: %v", top)
+	}
+
+	// allow filter excludes doc 1 entirely.
+	top = ix.TopK([]string{"storm", "surge"}, 10, nil, func(d int64) bool { return d != 1 })
+	if len(top) != 1 || top[0].Doc != 2 {
+		t.Fatalf("filtered TopK = %v, want only doc 2", top)
+	}
+
+	// k truncation.
+	if top := ix.TopK([]string{"surge"}, 1, nil, nil); len(top) != 1 {
+		t.Fatalf("k=1 returned %d results", len(top))
+	}
+	// Degenerate inputs.
+	if ix.TopK(nil, 5, nil, nil) != nil || ix.TopK([]string{"surge"}, 0, nil, nil) != nil {
+		t.Fatal("empty terms / k=0 should return nil")
+	}
+	if NewBuilder().Build().TopK([]string{"x"}, 5, nil, nil) != nil {
+		t.Fatal("empty index should return nil")
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	b1 := NewBuilder()
+	b1.Add(1, "alpha beta")
+	b2 := NewBuilder()
+	b2.Add(2, "alpha gamma gamma")
+	terms := []string{"alpha", "beta", "gamma"}
+	var global Stats
+	global.Merge(b1.Build().StatsFor(terms))
+	global.Merge(b2.Build().StatsFor(terms))
+	if global.Docs != 2 || global.TotalLen != 5 {
+		t.Fatalf("merged stats = %+v", global)
+	}
+	if global.DocFreq["alpha"] != 2 || global.DocFreq["beta"] != 1 || global.DocFreq["gamma"] != 1 {
+		t.Fatalf("merged doc freqs = %v", global.DocFreq)
+	}
+}
+
+// TestShardedScoringMatchesSingleIndex is the distributed-statistics
+// contract: splitting a corpus across indexes and scoring each with the
+// summed Stats yields bit-identical scores to one index over the whole
+// corpus.
+func TestShardedScoringMatchesSingleIndex(t *testing.T) {
+	docs := corpusDocs(rand.New(rand.NewSource(7)), 200)
+	whole := NewBuilder()
+	parts := []*Builder{NewBuilder(), NewBuilder(), NewBuilder()}
+	for doc, text := range docs {
+		whole.Add(doc, text)
+		parts[doc%3].Add(doc, text)
+	}
+	single := whole.Build()
+	terms := []string{"storm", "pressure", "radar"}
+
+	var global Stats
+	shards := make([]*Index, len(parts))
+	for i, p := range parts {
+		shards[i] = p.Build()
+		global.Merge(shards[i].StatsFor(terms))
+	}
+	var merged []Scored
+	for _, sh := range shards {
+		merged = append(merged, sh.TopK(terms, len(docs), &global, nil)...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		return merged[i].Doc < merged[j].Doc
+	})
+	want := single.TopK(terms, len(docs), nil, nil)
+	if len(merged) != len(want) {
+		t.Fatalf("sharded %d results, single %d", len(merged), len(want))
+	}
+	for i := range want {
+		if merged[i].Doc != want[i].Doc || merged[i].Score != want[i].Score {
+			t.Fatalf("result %d: sharded %+v, single %+v", i, merged[i], want[i])
+		}
+	}
+}
+
+// bruteForceTopK recomputes BM25 from the raw documents with an
+// independent implementation: tokenize every document, count term
+// frequencies, and score-and-sort the whole corpus.
+func bruteForceTopK(docs map[int64]string, terms []string, k int, allow func(int64) bool) []Scored {
+	type docInfo struct {
+		tf  map[string]int
+		len int
+	}
+	infos := make(map[int64]docInfo)
+	totalLen := 0
+	for doc, text := range docs {
+		toks := Tokenize(text)
+		if len(toks) == 0 {
+			continue
+		}
+		info := docInfo{tf: map[string]int{}, len: len(toks)}
+		for _, tok := range toks {
+			info.tf[tok]++
+		}
+		infos[doc] = info
+		totalLen += len(toks)
+	}
+	n := len(infos)
+	if n == 0 {
+		return nil
+	}
+	avg := float64(totalLen) / float64(n)
+	df := map[string]int{}
+	for _, info := range infos {
+		for tok := range info.tf {
+			df[tok]++
+		}
+	}
+	var out []Scored
+	for doc, info := range infos {
+		if allow != nil && !allow(doc) {
+			continue
+		}
+		score := 0.0
+		hit := false
+		for _, term := range terms {
+			tf := info.tf[term]
+			if tf == 0 || df[term] == 0 {
+				continue
+			}
+			hit = true
+			idf := math.Log1p((float64(n) - float64(df[term]) + 0.5) / (float64(df[term]) + 0.5))
+			norm := BM25K1 * (1 - BM25B + BM25B*float64(info.len)/avg)
+			score += idf * float64(tf) * (BM25K1 + 1) / (float64(tf) + norm)
+		}
+		if hit {
+			out = append(out, Scored{Doc: doc, Score: score})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+var corpusVocab = []string{
+	"storm", "surge", "radar", "reflectivity", "pressure", "humidity",
+	"convective", "precipitation", "amount", "model", "grid", "arps",
+	"velocity", "wind", "temperature", "forecast",
+}
+
+func corpusDocs(rng *rand.Rand, n int) map[int64]string {
+	docs := make(map[int64]string, n)
+	for i := 0; i < n; i++ {
+		words := make([]string, 2+rng.Intn(12))
+		for j := range words {
+			words[j] = corpusVocab[rng.Intn(len(corpusVocab))]
+		}
+		docs[int64(i)] = strings.Join(words, " ")
+	}
+	return docs
+}
+
+// TestTopKMatchesBruteForce is the property test required by the
+// ranked-search issue: for randomized corpora, query term sets, k
+// values, and admission filters, the index's TopK equals an independent
+// brute-force score-and-sort oracle exactly (same docs, same order,
+// same float64 scores).
+func TestTopKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		docs := corpusDocs(rng, 1+rng.Intn(120))
+		b := NewBuilder()
+		for doc, text := range docs {
+			// Split some documents across multiple Add calls to exercise
+			// accumulation.
+			if cut := strings.LastIndex(text[:len(text)/2], " "); rng.Intn(2) == 0 && cut > 0 {
+				b.Add(doc, text[:cut])
+				b.Add(doc, text[cut:])
+			} else {
+				b.Add(doc, text)
+			}
+		}
+		ix := b.Build()
+
+		nTerms := 1 + rng.Intn(4)
+		terms := make([]string, nTerms)
+		for i := range terms {
+			terms[i] = corpusVocab[rng.Intn(len(corpusVocab))]
+		}
+		terms = AnalyzeTerms(terms)
+		k := 1 + rng.Intn(20)
+		var allow func(int64) bool
+		if rng.Intn(3) == 0 {
+			mod := int64(2 + rng.Intn(3))
+			allow = func(d int64) bool { return d%mod == 0 }
+		}
+
+		got := ix.TopK(terms, k, nil, allow)
+		want := bruteForceTopK(docs, terms, k, allow)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, oracle %d\ngot:  %v\nwant: %v", trial, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i].Doc != want[i].Doc || got[i].Score != want[i].Score {
+				t.Fatalf("trial %d result %d: got %+v, oracle %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// FuzzTokenize fuzzes the analyzer over arbitrary byte sequences
+// (invalid UTF-8, huge runs, exotic Unicode): it must never panic, and
+// every produced token must be non-empty, bounded, lowercase, and
+// alphanumeric.
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		"", " ", "hello world", "Convective_Precipitation_Amount",
+		"ÜBERSCHALL-Größe", "日本語 テスト", "\xff\xfe broken \x80 utf8",
+		strings.Repeat("a", 1<<12), strings.Repeat("ab ", 1000),
+		"mixed 123 MIXED \x00 \ufffd end",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			runes := []rune(tok)
+			if len(runes) > MaxTokenRunes {
+				t.Fatalf("token %q exceeds %d runes", tok, MaxTokenRunes)
+			}
+			for _, r := range runes {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q contains non-alphanumeric rune %q", tok, r)
+				}
+				if unicode.ToLower(r) != r {
+					t.Fatalf("token %q not lowercased", tok)
+				}
+			}
+		}
+		// Analyzer agreement: AnalyzeTerms over the same input yields a
+		// subset (the dedup) of the tokens, in order.
+		deduped := AnalyzeTerms([]string{s})
+		seen := map[string]bool{}
+		var manual []string
+		for _, tok := range toks {
+			if !seen[tok] {
+				seen[tok] = true
+				manual = append(manual, tok)
+			}
+		}
+		if !reflect.DeepEqual(deduped, manual) {
+			t.Fatalf("AnalyzeTerms disagrees with Tokenize+dedup: %v vs %v", deduped, manual)
+		}
+		// Indexing arbitrary text must not panic and must keep lengths
+		// consistent.
+		b := NewBuilder()
+		b.Add(1, s)
+		ix := b.Build()
+		if len(toks) == 0 && ix.Docs() != 0 {
+			t.Fatal("tokenless text should index no documents")
+		}
+	})
+}
